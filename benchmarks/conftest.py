@@ -1,0 +1,33 @@
+"""Shared fixtures for the figure/table reproduction benchmarks.
+
+Every file in this directory regenerates one evaluation artifact of the
+paper (Figures 2-26, Tables 4-5). Graphs are the 'small'-scale stand-ins;
+partitions are cached process-wide, so later benchmarks reuse the
+partitioning work of earlier ones.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+reproduced tables inline; they are always written to
+``benchmarks/results/``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import load_dataset, random_split
+
+GRAPH_KEYS = ("HW", "DI", "EN", "EU", "OR")
+SCALE = "small"
+SEED = 0
+
+
+@pytest.fixture(scope="session")
+def graphs():
+    return {key: load_dataset(key, SCALE, seed=SEED) for key in GRAPH_KEYS}
+
+
+@pytest.fixture(scope="session")
+def splits(graphs):
+    return {
+        key: random_split(graph, seed=7) for key, graph in graphs.items()
+    }

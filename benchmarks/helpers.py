@@ -1,0 +1,51 @@
+"""Helpers shared by the reproduction benchmarks."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Sequence
+
+from repro.experiments import format_series, format_table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+EDGE_PARTITIONERS = ("random", "dbh", "hdrf", "2ps-l", "hep10", "hep100")
+VERTEX_PARTITIONERS = ("random", "ldg", "spinner", "metis", "bytegnn", "kahip")
+
+
+def emit(artifact: str, text: str) -> None:
+    """Print a reproduced table/series and persist it under results/."""
+    banner = f"\n=== {artifact} ===\n{text}\n"
+    print(banner)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{artifact}.txt")
+    with open(path, "w") as handle:
+        handle.write(banner)
+
+
+def emit_table(
+    artifact: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+) -> None:
+    emit(artifact, format_table(headers, rows, title))
+
+
+def emit_series(
+    artifact: str,
+    title: str,
+    series: Dict[str, Sequence[float]],
+    xs: Sequence,
+    unit: str = "",
+) -> None:
+    lines = [title]
+    for name, ys in series.items():
+        lines.append(format_series(name, xs, ys, unit))
+    emit(artifact, "\n".join(lines))
+
+
+def once(benchmark, fn):
+    """Run the (expensive) experiment exactly once under the benchmark
+    fixture so ``--benchmark-only`` times it without repetition."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

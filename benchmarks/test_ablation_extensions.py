@@ -1,0 +1,69 @@
+"""Ablation: extension partitioners vs the studied Table 2 set.
+
+The paper's conclusion hopes for "even more effective graph partitioning
+algorithms". This benchmark places three such algorithms (Fennel, reLDG,
+NE — all from the paper's related-work universe) next to the studied set.
+"""
+
+from helpers import emit_table, once
+
+from repro.experiments import cached_vertex_partition
+from repro.partitioning import (
+    NePartitioner,
+    edge_cut_ratio,
+    make_extension_partitioner,
+    replication_factor,
+)
+from repro.experiments import cached_edge_partition
+
+
+def compute(graphs):
+    graph = graphs["OR"]
+    cut_rows = []
+    for name in ("random", "ldg", "metis"):
+        partition, seconds = cached_vertex_partition(graph, name, 16)
+        cut_rows.append((name, edge_cut_ratio(partition), seconds))
+    for name in ("fennel", "reldg"):
+        partitioner = make_extension_partitioner(name)
+        partition = partitioner.partition(graph, 16, seed=0)
+        cut_rows.append(
+            (
+                partitioner.name,
+                edge_cut_ratio(partition),
+                partitioner.last_partitioning_seconds,
+            )
+        )
+    rf_rows = []
+    for name in ("random", "hdrf", "hep100"):
+        partition, seconds = cached_edge_partition(graph, name, 16)
+        rf_rows.append((name, replication_factor(partition), seconds))
+    ne = NePartitioner()
+    partition = ne.partition(graph, 16, seed=0)
+    rf_rows.append(
+        ("NE", replication_factor(partition), ne.last_partitioning_seconds)
+    )
+    return cut_rows, rf_rows
+
+
+def test_ablation_extensions(graphs, benchmark):
+    cut_rows, rf_rows = once(benchmark, lambda: compute(graphs))
+    emit_table(
+        "ablation_extensions_cut",
+        ["partitioner", "edge-cut", "seconds"],
+        cut_rows,
+        "Extensions vs studied set (OR, 16 partitions): edge-cut",
+    )
+    emit_table(
+        "ablation_extensions_rf",
+        ["partitioner", "replication factor", "seconds"],
+        rf_rows,
+        "Extensions vs studied set (OR, 16 partitions): RF",
+    )
+    cuts = {name: cut for name, cut, _ in cut_rows}
+    # The streaming extensions land between Random and multilevel.
+    assert cuts["Fennel"] < cuts["random"]
+    assert cuts["reLDG"] <= cuts["ldg"] + 0.02
+    assert cuts["metis"] <= cuts["Fennel"] + 0.05
+    rfs = {name: rf for name, rf, _ in rf_rows}
+    # NE performs in HEP's league, far better than streaming HDRF.
+    assert rfs["NE"] < rfs["hdrf"]

@@ -1,0 +1,42 @@
+"""Ablation: KaHIP's extra effort (repetitions) vs cut and time.
+
+KaHIP buys the study's lowest edge-cut with repeated multilevel V-cycles.
+This ablation sweeps the repetition count to expose the quality/time
+trade-off that drives Table 5's slow amortization.
+"""
+
+from helpers import emit_table, once
+
+from repro.partitioning import KahipPartitioner, edge_cut_ratio
+
+REPETITIONS = (1, 2, 4)
+
+
+def compute(graphs):
+    rows = []
+    for reps in REPETITIONS:
+        partitioner = KahipPartitioner(repetitions=reps)
+        partition = partitioner.partition(graphs["OR"], 16, seed=0)
+        rows.append(
+            (
+                reps,
+                edge_cut_ratio(partition),
+                partitioner.last_partitioning_seconds,
+            )
+        )
+    return rows
+
+
+def test_ablation_kahip_effort(graphs, benchmark):
+    rows = once(benchmark, lambda: compute(graphs))
+    emit_table(
+        "ablation_kahip_effort",
+        ["repetitions", "edge-cut", "seconds"],
+        rows,
+        "Ablation (OR, 16 partitions): KaHIP repetitions",
+    )
+    cuts = [cut for _, cut, _ in rows]
+    seconds = [s for _, _, s in rows]
+    # More repetitions: cut never worse, time strictly growing.
+    assert cuts[-1] <= cuts[0] + 1e-9
+    assert seconds[-1] > 2 * seconds[0]

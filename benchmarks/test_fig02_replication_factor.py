@@ -1,0 +1,50 @@
+"""Figure 2: replication factors per vertex-cut partitioner and graph.
+
+Paper shape: HEP100 lowest, Random highest, RF grows with the number of
+partitions (e.g. OR at 32 partitions: HEP100 2.52 vs Random 22.2).
+"""
+
+from helpers import EDGE_PARTITIONERS, emit_series, once
+
+from repro.experiments import cached_edge_partition
+from repro.partitioning import replication_factor
+
+MACHINES = (4, 8, 16, 32)
+
+
+def compute(graphs):
+    results = {}
+    for key, graph in graphs.items():
+        series = {
+            name: [
+                replication_factor(
+                    cached_edge_partition(graph, name, k)[0]
+                )
+                for k in MACHINES
+            ]
+            for name in EDGE_PARTITIONERS
+        }
+        results[key] = series
+    return results
+
+
+def test_fig02_replication_factor(graphs, benchmark):
+    results = once(benchmark, lambda: compute(graphs))
+    for key, series in results.items():
+        emit_series(
+            f"fig02_{key}",
+            f"Figure 2 ({key}): replication factor vs #partitions",
+            series,
+            MACHINES,
+        )
+    for key, series in results.items():
+        for name, values in series.items():
+            # RF grows with the number of partitions.
+            assert values[0] <= values[-1] + 0.05, (key, name)
+        for i, k in enumerate(MACHINES):
+            # HEP100 best, Random worst (paper Figure 2).
+            assert series["hep100"][i] <= series["hdrf"][i] + 0.1
+            assert all(
+                series[name][i] <= series["random"][i] + 0.05
+                for name in EDGE_PARTITIONERS
+            )

@@ -1,0 +1,45 @@
+"""Figure 3: replication factor vs network communication on OR.
+
+Paper shape: strong linear correlation (R^2 >= 0.98) between replication
+factor and network traffic, across machine counts and layer counts.
+"""
+
+from helpers import EDGE_PARTITIONERS, emit_table, once
+
+from repro.experiments import (
+    TrainingParams,
+    r_squared,
+    run_distgnn,
+)
+
+MACHINES = (8, 16, 32)
+LAYERS = (2, 4)
+
+
+def compute(graphs):
+    rows = []
+    for k in MACHINES:
+        for layers in LAYERS:
+            params = TrainingParams(num_layers=layers)
+            records = [
+                run_distgnn(graphs["OR"], name, k, params)
+                for name in EDGE_PARTITIONERS
+            ]
+            rf = [r.replication_factor for r in records]
+            traffic = [r.network_bytes for r in records]
+            rows.append(
+                (k, layers, r_squared(rf, traffic))
+            )
+    return rows
+
+
+def test_fig03_rf_vs_traffic(graphs, benchmark):
+    rows = once(benchmark, lambda: compute(graphs))
+    emit_table(
+        "fig03",
+        ["machines", "layers", "R^2(RF, traffic)"],
+        rows,
+        "Figure 3 (OR): replication factor vs network communication",
+    )
+    for _, _, r2 in rows:
+        assert r2 >= 0.95  # paper: >= 0.98

@@ -1,0 +1,47 @@
+"""Figure 4: vertex balance of the vertex-cut partitioners.
+
+Paper shape: 2PS-L, HEP10 and HEP100 show large vertex imbalances
+(1.18-1.89 on 4 machines, up to 2.44 on 32); Random/DBH/HDRF stay near 1.
+"""
+
+from helpers import EDGE_PARTITIONERS, emit_series, once
+
+from repro.experiments import cached_edge_partition
+from repro.partitioning import vertex_balance_vertex_cut
+
+MACHINES = (4, 32)
+
+
+def compute(graphs):
+    return {
+        key: {
+            name: [
+                vertex_balance_vertex_cut(
+                    cached_edge_partition(graph, name, k)[0]
+                )
+                for k in MACHINES
+            ]
+            for name in EDGE_PARTITIONERS
+        }
+        for key, graph in graphs.items()
+    }
+
+
+def test_fig04_vertex_balance(graphs, benchmark):
+    results = once(benchmark, lambda: compute(graphs))
+    for key, series in results.items():
+        emit_series(
+            f"fig04_{key}",
+            f"Figure 4 ({key}): vertex balance at 4 and 32 partitions",
+            series,
+            MACHINES,
+        )
+    # The clustering-based partitioners imbalance vertices; the
+    # hashing/scoring ones stay balanced (paper Figure 4).
+    skewed = ("2ps-l", "hep10", "hep100")
+    for key in ("OR", "HW", "EN", "EU"):
+        series = results[key]
+        worst_skewed = max(max(series[name]) for name in skewed)
+        assert worst_skewed > 1.15, key
+        assert max(series["random"]) < 1.2, key
+        assert max(series["dbh"]) < 1.35, key

@@ -1,0 +1,41 @@
+"""Figure 5: memory utilization balance across machines (4 machines).
+
+Paper shape: memory-utilization imbalance tracks vertex imbalance
+("vertex imbalance perfectly correlates with memory utilization
+imbalance").
+"""
+
+from helpers import EDGE_PARTITIONERS, emit_table, once
+
+from repro.experiments import TrainingParams, r_squared, run_distgnn
+
+
+def compute(graphs):
+    params = TrainingParams(feature_size=64, hidden_dim=64, num_layers=3)
+    rows = []
+    vertex_balances = []
+    memory_balances = []
+    for key, graph in graphs.items():
+        for name in EDGE_PARTITIONERS:
+            record = run_distgnn(graph, name, 4, params)
+            rows.append(
+                (key, name, record.vertex_balance, record.memory_balance)
+            )
+            vertex_balances.append(record.vertex_balance)
+            memory_balances.append(record.memory_balance)
+    return rows, r_squared(vertex_balances, memory_balances)
+
+
+def test_fig05_memory_balance(graphs, benchmark):
+    rows, r2 = once(benchmark, lambda: compute(graphs))
+    emit_table(
+        "fig05",
+        ["graph", "partitioner", "vertex balance", "memory balance"],
+        rows,
+        f"Figure 5: memory utilization balance, 4 machines "
+        f"(R^2 vs vertex balance = {r2:.3f})",
+    )
+    # Memory balance must track vertex balance tightly.
+    assert r2 > 0.9
+    for _, name, vb, mb in rows:
+        assert mb >= 1.0

@@ -1,0 +1,47 @@
+"""Figure 6: partitioning time of the vertex-cut partitioners (4 vs 32).
+
+Paper shape: streaming partitioners (Random, DBH, 2PS-L) barely depend on
+the partition count; HDRF's scoring is O(k) per edge, so its time grows
+with more partitions.
+"""
+
+from helpers import EDGE_PARTITIONERS, emit_series, once
+
+from repro.experiments import cached_edge_partition
+
+MACHINES = (4, 32)
+
+
+def compute(graphs):
+    return {
+        key: {
+            name: [
+                cached_edge_partition(graph, name, k)[1] for k in MACHINES
+            ]
+            for name in EDGE_PARTITIONERS
+        }
+        for key, graph in graphs.items()
+    }
+
+
+def test_fig06_partitioning_time(graphs, benchmark):
+    results = once(benchmark, lambda: compute(graphs))
+    for key, series in results.items():
+        emit_series(
+            f"fig06_{key}",
+            f"Figure 6 ({key}): partitioning seconds at 4 and 32 partitions",
+            series,
+            MACHINES,
+            unit="s",
+        )
+    for key, series in results.items():
+        # HDRF's O(k) scoring slows it down with more partitions on the
+        # dense graphs (on sparse DI the effect drowns in noise).
+        if key in ("HW", "OR"):
+            assert series["hdrf"][1] > series["hdrf"][0] * 0.8, key
+        # Stateless streaming stays roughly flat in the partition count
+        # (generous slack: these runs are fractions of a millisecond).
+        assert series["random"][1] < series["random"][0] * 5 + 0.2, key
+        assert series["dbh"][1] < series["dbh"][0] * 5 + 0.2, key
+        # In-memory/hybrid partitioning costs the most (paper Figure 6).
+        assert series["hep100"][1] > series["dbh"][1], key

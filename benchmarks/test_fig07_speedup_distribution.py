@@ -1,0 +1,61 @@
+"""Figure 7: DistGNN speedup distribution over Random, 4-32 machines.
+
+Paper shape: all partitioners speed training up; HEP100/HEP10 lead by a
+wide margin; effectiveness grows with the machine count; the spread over
+GNN parameters is small (speedups are parameter-insensitive).
+"""
+
+import numpy as np
+from helpers import EDGE_PARTITIONERS, emit_table, once
+
+from repro.experiments import (
+    reduced_grid,
+    run_distgnn_grid,
+    speedup_vs_random,
+)
+
+MACHINES = (4, 8, 16, 32)
+GRAPHS = ("HW", "EN", "EU", "OR")  # the paper's Fig.7 graphs
+
+
+def compute(graphs):
+    grid = list(reduced_grid())
+    stats = {}
+    for key in GRAPHS:
+        records = run_distgnn_grid(
+            graphs[key], EDGE_PARTITIONERS, MACHINES, grid
+        )
+        speedups = speedup_vs_random(records)
+        for (g, name, k, _params), value in speedups.items():
+            stats.setdefault((g, name, k), []).append(value)
+    return {
+        cell: (float(np.mean(vals)), float(np.min(vals)), float(np.max(vals)))
+        for cell, vals in stats.items()
+    }
+
+
+def test_fig07_speedup_distribution(graphs, benchmark):
+    stats = once(benchmark, lambda: compute(graphs))
+    rows = [
+        (g, name, k, mean, lo, hi)
+        for (g, name, k), (mean, lo, hi) in sorted(stats.items())
+    ]
+    emit_table(
+        "fig07",
+        ["graph", "partitioner", "machines", "mean", "min", "max"],
+        rows,
+        "Figure 7: DistGNN speedup over Random "
+        "(all sweep configurations)",
+    )
+    for key in GRAPHS:
+        # HEP dominates the streaming partitioners at scale.
+        assert (
+            stats[(key, "hep100", 32)][0] > stats[(key, "dbh", 32)][0]
+        ), key
+        # Effectiveness grows with the scale-out factor.
+        assert (
+            stats[(key, "hep100", 32)][0] > stats[(key, "hep100", 4)][0]
+        ), key
+        # Small spread: speedups are insensitive to GNN parameters.
+        mean, lo, hi = stats[(key, "hep100", 16)]
+        assert hi - lo < 0.6 * mean, key

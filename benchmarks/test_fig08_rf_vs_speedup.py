@@ -1,0 +1,49 @@
+"""Figure 8: replication factor vs speedup on EN, with vertex balance.
+
+Paper shape: lower RF -> higher speedup; when RFs are close, the
+vertex-imbalanced partitioner (2PS-L) falls behind its balanced peers.
+"""
+
+from helpers import EDGE_PARTITIONERS, emit_table, once
+
+from repro.experiments import (
+    TrainingParams,
+    run_distgnn,
+)
+
+
+def compute(graphs):
+    params = TrainingParams(feature_size=64, hidden_dim=64, num_layers=3)
+    records = {
+        name: run_distgnn(graphs["EN"], name, 16, params)
+        for name in EDGE_PARTITIONERS
+    }
+    base = records["random"].epoch_seconds
+    return {
+        name: (
+            r.replication_factor,
+            base / r.epoch_seconds,
+            r.vertex_balance,
+        )
+        for name, r in records.items()
+    }
+
+
+def test_fig08_rf_vs_speedup(graphs, benchmark):
+    rows = once(benchmark, lambda: compute(graphs))
+    emit_table(
+        "fig08",
+        ["partitioner", "RF", "speedup", "vertex balance"],
+        [(name,) + vals for name, vals in rows.items()],
+        "Figure 8 (EN, 16 machines): RF vs speedup "
+        "(vertex balance in last column)",
+    )
+    # Lower RF -> at least as high speedup for the balanced partitioners.
+    balanced = ["random", "dbh", "hdrf"]
+    ordered = sorted(balanced, key=lambda n: rows[n][0])
+    speeds = [rows[n][1] for n in ordered]
+    assert speeds == sorted(speeds, reverse=True)
+    # 2PS-L is clearly more vertex-imbalanced than HDRF...
+    assert rows["2ps-l"][2] > rows["hdrf"][2] + 0.1
+    # ...which costs it speedup relative to its RF advantage.
+    assert rows["hep100"][1] == max(v[1] for v in rows.values())

@@ -1,0 +1,80 @@
+"""Figure 9: memory footprint distribution in % of Random (4 vs 32).
+
+Paper shape: HEP10/HEP100 far more effective than the streaming
+partitioners; the spread over GNN parameters is wide (unlike the speedup
+distribution); RF correlates with memory at R^2 >= 0.99.
+"""
+
+import numpy as np
+from helpers import EDGE_PARTITIONERS, emit_table, once
+
+from repro.experiments import (
+    r_squared,
+    reduced_grid,
+    run_distgnn_grid,
+)
+
+MACHINES = (4, 32)
+GRAPHS = ("HW", "EN", "EU", "OR")
+
+
+def compute(graphs):
+    grid = list(reduced_grid())
+    cells = {}
+    per_config = {}
+    for key in GRAPHS:
+        records = run_distgnn_grid(
+            graphs[key], EDGE_PARTITIONERS, MACHINES, grid
+        )
+        base = {
+            (r.num_machines, r.params): r.total_memory_bytes
+            for r in records
+            if r.partitioner == "random"
+        }
+        for r in records:
+            per_config.setdefault(
+                (key, r.num_machines, r.params), []
+            ).append((r.replication_factor, r.total_memory_bytes))
+            pct = 100.0 * r.total_memory_bytes / base[
+                (r.num_machines, r.params)
+            ]
+            cells.setdefault((key, r.partitioner, r.num_machines), []).append(
+                pct
+            )
+    stats = {
+        cell: (float(np.mean(v)), float(np.min(v)), float(np.max(v)))
+        for cell, v in cells.items()
+    }
+    # The paper's R^2 compares partitioners within one configuration
+    # (same graph, machine count, hyper-parameters).
+    r2_values = [
+        r_squared([p[0] for p in points], [p[1] for p in points])
+        for points in per_config.values()
+    ]
+    return stats, float(np.min(r2_values))
+
+
+def test_fig09_memory_footprint(graphs, benchmark):
+    stats, r2 = once(benchmark, lambda: compute(graphs))
+    rows = [
+        (g, name, k, mean, lo, hi)
+        for (g, name, k), (mean, lo, hi) in sorted(stats.items())
+    ]
+    emit_table(
+        "fig09",
+        ["graph", "partitioner", "machines", "mean %", "min %", "max %"],
+        rows,
+        f"Figure 9: memory footprint in % of Random "
+        f"(min per-config R^2 RF vs memory = {r2:.3f})",
+    )
+    assert r2 > 0.9  # paper: >= 0.99
+    for key in GRAPHS:
+        # HEP saves much more memory than DBH.
+        assert (
+            stats[(key, "hep100", 32)][0] < stats[(key, "dbh", 32)][0]
+        ), key
+        # Large savings at scale (paper: up to 85% less).
+        assert stats[(key, "hep100", 32)][0] < 70.0, key
+        # Wide spread: effectiveness depends on the GNN parameters.
+        mean, lo, hi = stats[(key, "hep100", 32)]
+        assert hi - lo > 1.0, key

@@ -1,0 +1,80 @@
+"""Figure 11: DistGNN effectiveness vs scale-out factor (4 -> 32).
+
+Paper shapes: (a) speedups grow with machine count, HEP sharply;
+(b) memory savings grow with machine count; (c) the partitioners'
+replication factor relative to Random shrinks as machines increase.
+"""
+
+import numpy as np
+from helpers import EDGE_PARTITIONERS, emit_series, once
+
+from repro.experiments import (
+    TrainingParams,
+    run_distgnn,
+)
+
+MACHINES = (4, 8, 16, 32)
+GRAPHS = ("HW", "EN", "EU", "OR")
+
+
+def compute(graphs):
+    params = TrainingParams(feature_size=64, hidden_dim=64, num_layers=3)
+    speedup = {name: [] for name in EDGE_PARTITIONERS if name != "random"}
+    memory_pct = {name: [] for name in speedup}
+    rf_pct = {name: [] for name in speedup}
+    for k in MACHINES:
+        per_graph = {
+            key: {
+                name: run_distgnn(graphs[key], name, k, params)
+                for name in EDGE_PARTITIONERS
+            }
+            for key in GRAPHS
+        }
+        for name in speedup:
+            speedup[name].append(
+                float(np.mean([
+                    per_graph[key]["random"].epoch_seconds
+                    / per_graph[key][name].epoch_seconds
+                    for key in GRAPHS
+                ]))
+            )
+            memory_pct[name].append(
+                float(np.mean([
+                    100.0 * per_graph[key][name].total_memory_bytes
+                    / per_graph[key]["random"].total_memory_bytes
+                    for key in GRAPHS
+                ]))
+            )
+            rf_pct[name].append(
+                float(np.mean([
+                    100.0 * per_graph[key][name].replication_factor
+                    / per_graph[key]["random"].replication_factor
+                    for key in GRAPHS
+                ]))
+            )
+    return speedup, memory_pct, rf_pct
+
+
+def test_fig11_scaleout(graphs, benchmark):
+    speedup, memory_pct, rf_pct = once(benchmark, lambda: compute(graphs))
+    emit_series(
+        "fig11a", "Figure 11a: mean speedup vs scale-out",
+        speedup, MACHINES, unit="x",
+    )
+    emit_series(
+        "fig11b", "Figure 11b: memory in % of Random vs scale-out",
+        memory_pct, MACHINES, unit="%",
+    )
+    emit_series(
+        "fig11c", "Figure 11c: RF in % of Random vs scale-out",
+        rf_pct, MACHINES, unit="%",
+    )
+    for name in speedup:
+        # Effectiveness increases with the scale-out factor.
+        assert speedup[name][-1] > speedup[name][0], name
+        assert memory_pct[name][-1] < memory_pct[name][0], name
+        assert rf_pct[name][-1] < rf_pct[name][0] + 1.0, name
+    # HEP's speedup rises more sharply than the streaming partitioners'.
+    hep_gain = speedup["hep100"][-1] - speedup["hep100"][0]
+    dbh_gain = speedup["dbh"][-1] - speedup["dbh"][0]
+    assert hep_gain > dbh_gain

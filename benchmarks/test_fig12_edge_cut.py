@@ -1,0 +1,55 @@
+"""Figure 12: edge-cut ratio per edge-cut partitioner, graph, #partitions.
+
+Paper shape: KaHIP/METIS achieve the lowest cut, Random the highest; the
+cut grows with the partition count; the road network (DI) admits far
+lower cuts than the power-law graphs.
+"""
+
+from helpers import VERTEX_PARTITIONERS, emit_series, once
+
+from repro.experiments import cached_vertex_partition
+from repro.partitioning import edge_cut_ratio
+
+MACHINES = (4, 8, 16, 32)
+
+
+def compute(graphs):
+    return {
+        key: {
+            name: [
+                edge_cut_ratio(
+                    cached_vertex_partition(graph, name, k)[0]
+                )
+                for k in MACHINES
+            ]
+            for name in VERTEX_PARTITIONERS
+        }
+        for key, graph in graphs.items()
+    }
+
+
+def test_fig12_edge_cut(graphs, benchmark):
+    results = once(benchmark, lambda: compute(graphs))
+    for key, series in results.items():
+        emit_series(
+            f"fig12_{key}",
+            f"Figure 12 ({key}): edge-cut ratio vs #partitions",
+            series,
+            MACHINES,
+        )
+    for key, series in results.items():
+        for name, values in series.items():
+            assert all(0.0 <= v <= 1.0 for v in values), (key, name)
+            # More partitions -> larger cut.
+            assert values[-1] >= values[0] - 0.02, (key, name)
+            # Random is the worst.
+            if name != "random":
+                assert values[-1] < series["random"][-1], (key, name)
+    # Multilevel partitioners lead (paper: KaHIP lowest in most cases).
+    for key in ("OR", "EU", "DI"):
+        best_multilevel = min(
+            results[key]["kahip"][-1], results[key]["metis"][-1]
+        )
+        assert best_multilevel <= results[key]["ldg"][-1] + 0.02, key
+    # The road network cuts far lower than the social graph.
+    assert results["DI"]["metis"][-1] < 0.5 * results["OR"]["metis"][-1]

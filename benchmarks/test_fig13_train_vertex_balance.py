@@ -1,0 +1,47 @@
+"""Figure 13: training-vertex balance at 8 partitions.
+
+Paper shape: with a uniform random 10% training split, hash-based and
+balanced partitioners keep training vertices near-balanced; block/cluster
+based partitioners (ByteGNN explicitly balances them) stay bounded too.
+"""
+
+from helpers import VERTEX_PARTITIONERS, emit_table, once
+
+from repro.experiments import cached_vertex_partition
+from repro.partitioning import training_vertex_balance
+
+
+def compute(graphs, splits):
+    rows = []
+    for key, graph in graphs.items():
+        for name in VERTEX_PARTITIONERS:
+            partition, _ = cached_vertex_partition(graph, name, 8)
+            rows.append(
+                (
+                    key,
+                    name,
+                    training_vertex_balance(
+                        partition, splits[key].train
+                    ),
+                )
+            )
+    return rows
+
+
+def test_fig13_train_vertex_balance(graphs, splits, benchmark):
+    rows = once(benchmark, lambda: compute(graphs, splits))
+    emit_table(
+        "fig13",
+        ["graph", "partitioner", "train vertex balance"],
+        rows,
+        "Figure 13: training vertex balance (8 partitions)",
+    )
+    by_cell = {(g, n): v for g, n, v in rows}
+    for key in graphs:
+        # Random's uniform assignment keeps training vertices balanced.
+        assert by_cell[(key, "random")] < 1.35, key
+        # ByteGNN balances training vertices by construction.
+        assert by_cell[(key, "bytegnn")] < 1.35, key
+        # Nothing degenerates (every partition gets training vertices).
+        for name in VERTEX_PARTITIONERS:
+            assert by_cell[(key, name)] < 3.0, (key, name)

@@ -1,0 +1,55 @@
+"""Figure 14: balance of mini-batch input vertices (GraphSage).
+
+Paper shape: even with balanced training vertices, the *input vertices*
+of the sampled mini-batches are imbalanced, and the imbalance grows with
+the number of partitions.
+"""
+
+from helpers import emit_series, once
+
+from repro.distdgl import DistDglEngine
+from repro.experiments import cached_vertex_partition
+
+MACHINES = (4, 8, 16, 32)
+PARTITIONERS = ("random", "metis", "kahip")
+
+
+def compute(graphs, splits):
+    results = {}
+    for key in ("OR", "EU"):
+        series = {}
+        for name in PARTITIONERS:
+            values = []
+            for k in MACHINES:
+                partition, _ = cached_vertex_partition(graphs[key], name, k)
+                engine = DistDglEngine(
+                    partition,
+                    splits[key],
+                    feature_size=64,
+                    hidden_dim=64,
+                    num_layers=3,
+                    global_batch_size=64,
+                    seed=0,
+                )
+                values.append(engine.run_epoch().mean_input_vertex_balance)
+            series[name] = values
+        results[key] = series
+    return results
+
+
+def test_fig14_input_vertex_balance(graphs, splits, benchmark):
+    results = once(benchmark, lambda: compute(graphs, splits))
+    for key, series in results.items():
+        emit_series(
+            f"fig14_{key}",
+            f"Figure 14 ({key}): mini-batch input vertex balance",
+            series,
+            MACHINES,
+        )
+    for key, series in results.items():
+        for name, values in series.items():
+            assert all(v >= 1.0 for v in values), (key, name)
+            # Imbalance grows as the number of partitions grows.
+            assert values[-1] > values[0], (key, name)
+            # And it is a *real* imbalance, not a rounding artifact.
+            assert values[-1] > 1.1, (key, name)

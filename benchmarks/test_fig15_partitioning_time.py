@@ -1,0 +1,44 @@
+"""Figure 15: partitioning time of the edge-cut partitioners (log scale).
+
+Paper shape: KaHIP — the best partitioner by edge-cut — is by far the
+slowest; streaming (Random, LDG) is orders of magnitude faster.
+"""
+
+from helpers import VERTEX_PARTITIONERS, emit_series, once
+
+from repro.experiments import cached_vertex_partition
+
+MACHINES = (4, 32)
+
+
+def compute(graphs):
+    return {
+        key: {
+            name: [
+                cached_vertex_partition(graph, name, k)[1]
+                for k in MACHINES
+            ]
+            for name in VERTEX_PARTITIONERS
+        }
+        for key, graph in graphs.items()
+    }
+
+
+def test_fig15_partitioning_time(graphs, benchmark):
+    results = once(benchmark, lambda: compute(graphs))
+    for key, series in results.items():
+        emit_series(
+            f"fig15_{key}",
+            f"Figure 15 ({key}): partitioning seconds (log scale in paper)",
+            series,
+            MACHINES,
+            unit="s",
+        )
+    for key, series in results.items():
+        # KaHIP costs the most of all partitioners...
+        for name in VERTEX_PARTITIONERS:
+            if name != "kahip":
+                assert series["kahip"][1] >= series[name][1], (key, name)
+        # ...and streaming is at least 10x cheaper than KaHIP.
+        assert series["random"][1] < series["kahip"][1] / 10, key
+        assert series["ldg"][1] < series["kahip"][1], key

@@ -1,0 +1,56 @@
+"""Figure 18: DistDGL speedup vs feature size (4 and 32 machines).
+
+Paper shape: partitioning effectiveness increases with feature size
+(e.g. KaHIP 1.23 -> 1.52 from feature size 16 to 512 on 4 machines).
+"""
+
+from helpers import VERTEX_PARTITIONERS, emit_series, once
+
+from repro.experiments import TrainingParams, run_distdgl
+
+FEATURES = (16, 64, 512)
+MACHINES = (4, 32)
+
+
+def compute(graphs, splits):
+    results = {}
+    for k in MACHINES:
+        series = {}
+        for name in VERTEX_PARTITIONERS:
+            if name == "random":
+                continue
+            values = []
+            for fs in FEATURES:
+                params = TrainingParams(
+                    feature_size=fs, hidden_dim=64, num_layers=3,
+                    global_batch_size=64,
+                )
+                mine = run_distdgl(
+                    graphs["OR"], name, k, params, split=splits["OR"]
+                ).epoch_seconds
+                base = run_distdgl(
+                    graphs["OR"], "random", k, params, split=splits["OR"]
+                ).epoch_seconds
+                values.append(base / mine)
+            series[name] = values
+        results[k] = series
+    return results
+
+
+def test_fig18_speedup_vs_feature(graphs, splits, benchmark):
+    results = once(benchmark, lambda: compute(graphs, splits))
+    for k, series in results.items():
+        emit_series(
+            f"fig18_{k}machines",
+            f"Figure 18 (OR, {k} machines): speedup vs feature size",
+            series,
+            FEATURES,
+            unit="x",
+        )
+    for k, series in results.items():
+        for name in ("metis", "kahip", "spinner"):
+            values = series[name]
+            # Larger features -> higher effectiveness.
+            assert values[-1] > values[0] * 0.97, (k, name)
+        assert series["kahip"][-1] > 1.0
+        assert series["metis"][-1] > 1.0

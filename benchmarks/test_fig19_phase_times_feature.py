@@ -1,0 +1,64 @@
+"""Figure 19: phase times vs feature size (3-layer GraphSage, hidden 64,
+4 machines) on EU and DI.
+
+Paper shapes: on EU, feature fetching grows with the feature size while
+sampling stays constant, and at 512 fetching dominates sampling by a lot;
+on the road network DI, sampling always exceeds fetching (tiny, low-skew
+mini-batches).
+"""
+
+from helpers import emit_series, once
+
+from repro.experiments import TrainingParams, run_distdgl
+
+FEATURES = (16, 64, 512)
+
+
+def phases_for(graph, split, fs):
+    params = TrainingParams(
+        feature_size=fs, hidden_dim=64, num_layers=3, global_batch_size=64
+    )
+    record = run_distdgl(graph, "metis", 4, params, split=split)
+    return record.phase_seconds
+
+
+def compute(graphs, splits):
+    return {
+        key: [phases_for(graphs[key], splits[key], fs) for fs in FEATURES]
+        for key in ("EU", "DI")
+    }
+
+
+def test_fig19_phase_times_feature(graphs, splits, benchmark):
+    results = once(benchmark, lambda: compute(graphs, splits))
+    for key, phase_list in results.items():
+        series = {
+            phase: [p[phase] * 1e3 for p in phase_list]
+            for phase in ("sample", "fetch", "forward", "backward")
+        }
+        emit_series(
+            f"fig19_{key}",
+            f"Figure 19 ({key}): phase milliseconds vs feature size "
+            "(METIS, 4 machines)",
+            series,
+            FEATURES,
+            unit="ms",
+        )
+    eu = results["EU"]
+    # Fetch grows with feature size; sampling stays constant.
+    assert eu[-1]["fetch"] > 3 * eu[0]["fetch"]
+    assert abs(eu[-1]["sample"] - eu[0]["sample"]) < 0.35 * eu[0]["sample"]
+    # For small features (<= 64) sampling exceeds fetching on EU...
+    assert eu[0]["sample"] > eu[0]["fetch"]
+    # At feature size 512, fetching dominates sampling on EU...
+    assert eu[-1]["fetch"] > eu[-1]["sample"]
+    # ...while on the road network sampling wins for small/medium
+    # features. (The paper sees this at 512 too because its DI edge-cut
+    # is <0.001; our scaled-down DI cuts ~0.04, so at 512 fetch catches
+    # up — we only require it stays comparable.)
+    for phases in results["DI"][:2]:
+        assert phases["sample"] > phases["fetch"]
+    di_large = results["DI"][-1]
+    assert di_large["fetch"] < 2.0 * di_large["sample"]
+    # Forward/backward grow with feature size (more layer-0 compute).
+    assert eu[-1]["forward"] > eu[0]["forward"]

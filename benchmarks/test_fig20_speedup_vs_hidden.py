@@ -1,0 +1,55 @@
+"""Figure 20: DistDGL speedup vs hidden dimension (4 and 32 machines).
+
+Paper shape: partitioning becomes *less* crucial as the hidden dimension
+grows (KaHIP 1.38 -> 1.19, METIS 1.31 -> 1.15 from hidden 16 to 512):
+compute starts to dominate the communication the partitioners reduce.
+"""
+
+from helpers import emit_series, once
+
+from repro.experiments import TrainingParams, run_distdgl
+
+HIDDEN = (16, 64, 512)
+MACHINES = (4, 32)
+PARTITIONERS = ("metis", "kahip", "spinner", "ldg")
+
+
+def compute(graphs, splits):
+    results = {}
+    for k in MACHINES:
+        series = {}
+        for name in PARTITIONERS:
+            values = []
+            for hd in HIDDEN:
+                params = TrainingParams(
+                    feature_size=64, hidden_dim=hd, num_layers=3,
+                    global_batch_size=64,
+                )
+                mine = run_distdgl(
+                    graphs["OR"], name, k, params, split=splits["OR"]
+                ).epoch_seconds
+                base = run_distdgl(
+                    graphs["OR"], "random", k, params, split=splits["OR"]
+                ).epoch_seconds
+                values.append(base / mine)
+            series[name] = values
+        results[k] = series
+    return results
+
+
+def test_fig20_speedup_vs_hidden(graphs, splits, benchmark):
+    results = once(benchmark, lambda: compute(graphs, splits))
+    for k, series in results.items():
+        emit_series(
+            f"fig20_{k}machines",
+            f"Figure 20 (OR, {k} machines): speedup vs hidden dimension",
+            series,
+            HIDDEN,
+            unit="x",
+        )
+    for k, series in results.items():
+        for name in ("metis", "kahip"):
+            values = series[name]
+            # Larger hidden dimension -> lower effectiveness.
+            assert values[-1] < values[0], (k, name)
+            assert values[0] > 1.0, (k, name)

@@ -1,0 +1,63 @@
+"""Figure 21: phase times vs #layers (GraphSage, hidden 64, feature 64,
+4 machines, OR).
+
+Paper shape: every phase grows with the layer count (larger computation
+graphs); for 3-4 layers most of the partitioner speedup comes from
+sampling + fetching.
+"""
+
+from helpers import emit_series, once
+
+from repro.experiments import TrainingParams, run_distdgl
+
+LAYERS = (2, 3, 4)
+
+
+def compute(graphs, splits):
+    out = {}
+    for name in ("random", "metis"):
+        phase_list = []
+        for layers in LAYERS:
+            params = TrainingParams(
+                feature_size=64, hidden_dim=64, num_layers=layers,
+                global_batch_size=64,
+            )
+            phase_list.append(
+                run_distdgl(
+                    graphs["OR"], name, 4, params, split=splits["OR"]
+                ).phase_seconds
+            )
+        out[name] = phase_list
+    return out
+
+
+def test_fig21_phase_times_layers(graphs, splits, benchmark):
+    results = once(benchmark, lambda: compute(graphs, splits))
+    for name, phase_list in results.items():
+        series = {
+            phase: [p[phase] * 1e3 for p in phase_list]
+            for phase in ("sample", "fetch", "forward", "backward")
+        }
+        emit_series(
+            f"fig21_{name}",
+            f"Figure 21 (OR, 4 machines, {name}): phase ms vs #layers",
+            series,
+            LAYERS,
+            unit="ms",
+        )
+    for name, phase_list in results.items():
+        for phase in ("sample", "fetch", "forward", "backward"):
+            # Every phase grows in run-time with the number of layers.
+            assert phase_list[-1][phase] > phase_list[0][phase], (
+                name, phase,
+            )
+    # For deep models the partitioner's gain concentrates in the data
+    # phases (sampling + fetching), not in the compute phases.
+    rnd, met = results["random"][-1], results["metis"][-1]
+    data_gain = (rnd["sample"] + rnd["fetch"]) - (
+        met["sample"] + met["fetch"]
+    )
+    compute_gain = (rnd["forward"] + rnd["backward"]) - (
+        met["forward"] + met["backward"]
+    )
+    assert data_gain > compute_gain

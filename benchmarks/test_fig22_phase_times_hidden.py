@@ -1,0 +1,54 @@
+"""Figure 22: phase times vs hidden dimension (3-layer GraphSage,
+feature 64, 4 machines, OR).
+
+Paper shape: sampling and feature loading stay constant; only the
+neural-network phases grow with the hidden dimension.
+"""
+
+from helpers import emit_series, once
+
+from repro.experiments import TrainingParams, run_distdgl
+
+HIDDEN = (16, 64, 512)
+
+
+def compute(graphs, splits):
+    phase_list = []
+    for hd in HIDDEN:
+        params = TrainingParams(
+            feature_size=64, hidden_dim=hd, num_layers=3,
+            global_batch_size=64,
+        )
+        phase_list.append(
+            run_distdgl(
+                graphs["OR"], "metis", 4, params, split=splits["OR"]
+            ).phase_seconds
+        )
+    return phase_list
+
+
+def test_fig22_phase_times_hidden(graphs, splits, benchmark):
+    phase_list = once(benchmark, lambda: compute(graphs, splits))
+    series = {
+        phase: [p[phase] * 1e3 for p in phase_list]
+        for phase in ("sample", "fetch", "forward", "backward")
+    }
+    emit_series(
+        "fig22",
+        "Figure 22 (OR, 4 machines, METIS): phase ms vs hidden dimension",
+        series,
+        HIDDEN,
+        unit="ms",
+    )
+    # Compute grows strongly with the hidden dimension...
+    assert phase_list[-1]["forward"] > 3 * phase_list[0]["forward"]
+    assert phase_list[-1]["backward"] > 3 * phase_list[0]["backward"]
+    # ...while the data phases stay flat.
+    assert (
+        abs(phase_list[-1]["sample"] - phase_list[0]["sample"])
+        < 0.35 * phase_list[0]["sample"]
+    )
+    assert (
+        abs(phase_list[-1]["fetch"] - phase_list[0]["fetch"])
+        < 0.35 * phase_list[0]["fetch"]
+    )

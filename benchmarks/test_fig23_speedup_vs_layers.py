@@ -1,0 +1,57 @@
+"""Figure 23: DistDGL speedup vs #layers (4 and 32 machines).
+
+Paper shape: the effectiveness of the partitioners remains relatively
+unaffected by the layer count (no clear trend; much weaker influence than
+feature size or hidden dimension), and partitioners keep beating Random
+even for deep models.
+"""
+
+from helpers import emit_series, once
+
+from repro.experiments import TrainingParams, run_distdgl
+
+LAYERS = (2, 3, 4)
+MACHINES = (4, 32)
+PARTITIONERS = ("metis", "kahip")
+
+
+def compute(graphs, splits):
+    results = {}
+    for k in MACHINES:
+        series = {}
+        for name in PARTITIONERS:
+            values = []
+            for layers in LAYERS:
+                params = TrainingParams(
+                    feature_size=64, hidden_dim=64, num_layers=layers,
+                    global_batch_size=64,
+                )
+                mine = run_distdgl(
+                    graphs["OR"], name, k, params, split=splits["OR"]
+                ).epoch_seconds
+                base = run_distdgl(
+                    graphs["OR"], "random", k, params, split=splits["OR"]
+                ).epoch_seconds
+                values.append(base / mine)
+            series[name] = values
+        results[k] = series
+    return results
+
+
+def test_fig23_speedup_vs_layers(graphs, splits, benchmark):
+    results = once(benchmark, lambda: compute(graphs, splits))
+    for k, series in results.items():
+        emit_series(
+            f"fig23_{k}machines",
+            f"Figure 23 (OR, {k} machines): speedup vs #layers",
+            series,
+            LAYERS,
+            unit="x",
+        )
+    for k, series in results.items():
+        for name, values in series.items():
+            # Partitioners beat Random at every depth...
+            assert min(values) > 0.95, (k, name)
+            # ...and the layer influence is much weaker than the ~30%+
+            # swings feature size and hidden dimension cause.
+            assert max(values) - min(values) < 0.5 * min(values), (k, name)

@@ -1,0 +1,92 @@
+"""Figure 24: DistDGL effectiveness when scaling from 4 to 32 machines.
+
+Paper shapes: (a) on most graphs the speedup slightly *decreases* with
+more machines (DI is the exception: it increases); (b) the partitioners'
+remote-vertex counts relative to Random increase with the machine count;
+(c) so does their relative edge-cut.
+"""
+
+import numpy as np
+from helpers import emit_series, once
+
+from repro.experiments import TrainingParams, run_distdgl
+
+MACHINES = (4, 8, 16, 32)
+PARTITIONERS = ("metis", "kahip", "ldg")
+POWER_LAW_GRAPHS = ("OR", "EU")
+
+PARAMS = TrainingParams(
+    feature_size=512, hidden_dim=64, num_layers=3, global_batch_size=64
+)
+
+
+def compute(graphs, splits):
+    speedup = {name: [] for name in PARTITIONERS}
+    speedup_di = {name: [] for name in PARTITIONERS}
+    remote_pct = {name: [] for name in PARTITIONERS}
+    cut_pct = {name: [] for name in PARTITIONERS}
+    for k in MACHINES:
+        records = {
+            (key, name): run_distdgl(
+                graphs[key], name, k, PARAMS, split=splits[key]
+            )
+            for key in POWER_LAW_GRAPHS + ("DI",)
+            for name in PARTITIONERS + ("random",)
+        }
+        for name in PARTITIONERS:
+            speedup[name].append(
+                float(np.mean([
+                    records[(key, "random")].epoch_seconds
+                    / records[(key, name)].epoch_seconds
+                    for key in POWER_LAW_GRAPHS
+                ]))
+            )
+            speedup_di[name].append(
+                records[("DI", "random")].epoch_seconds
+                / records[("DI", name)].epoch_seconds
+            )
+            remote_pct[name].append(
+                float(np.mean([
+                    100.0 * records[(key, name)].remote_input_vertices
+                    / max(records[(key, "random")].remote_input_vertices, 1)
+                    for key in POWER_LAW_GRAPHS
+                ]))
+            )
+            cut_pct[name].append(
+                float(np.mean([
+                    100.0 * records[(key, name)].edge_cut
+                    / records[(key, "random")].edge_cut
+                    for key in POWER_LAW_GRAPHS
+                ]))
+            )
+    return speedup, speedup_di, remote_pct, cut_pct
+
+
+def test_fig24_scaleout(graphs, splits, benchmark):
+    speedup, speedup_di, remote_pct, cut_pct = once(
+        benchmark, lambda: compute(graphs, splits)
+    )
+    emit_series(
+        "fig24a", "Figure 24a: mean speedup (power-law graphs) vs machines",
+        speedup, MACHINES, unit="x",
+    )
+    emit_series(
+        "fig24a_DI", "Figure 24a (DI): speedup vs machines",
+        speedup_di, MACHINES, unit="x",
+    )
+    emit_series(
+        "fig24b", "Figure 24b: remote vertices in % of Random",
+        remote_pct, MACHINES, unit="%",
+    )
+    emit_series(
+        "fig24c", "Figure 24c: edge-cut in % of Random",
+        cut_pct, MACHINES, unit="%",
+    )
+    for name in ("metis", "kahip"):
+        # On power-law graphs, scaling out erodes the advantage...
+        assert speedup[name][-1] < speedup[name][0] + 0.05, name
+        # ...because the relative partitioning metrics degrade.
+        assert remote_pct[name][-1] > remote_pct[name][0], name
+        assert cut_pct[name][-1] > cut_pct[name][0], name
+        # DI is the exception: its speedup does not erode.
+        assert speedup_di[name][-1] > speedup_di[name][0] - 0.1, name

@@ -1,0 +1,53 @@
+"""Figure 25: phase times vs scale-out for 3-layer GAT and GraphSage
+(feature 512, hidden 64, OR).
+
+Paper shapes: the feature-fetching phase scales down sharply with more
+machines; GAT's compute phases are heavier than GraphSage's.
+"""
+
+from helpers import emit_series, once
+
+from repro.experiments import TrainingParams, run_distdgl
+
+MACHINES = (4, 8, 16, 32)
+
+
+def compute(graphs, splits):
+    out = {}
+    for arch in ("sage", "gat"):
+        phase_list = []
+        for k in MACHINES:
+            params = TrainingParams(
+                feature_size=512, hidden_dim=64, num_layers=3,
+                arch=arch, global_batch_size=64,
+            )
+            phase_list.append(
+                run_distdgl(
+                    graphs["OR"], "metis", k, params, split=splits["OR"]
+                ).phase_seconds
+            )
+        out[arch] = phase_list
+    return out
+
+
+def test_fig25_phase_times_scaleout(graphs, splits, benchmark):
+    results = once(benchmark, lambda: compute(graphs, splits))
+    for arch, phase_list in results.items():
+        series = {
+            phase: [p[phase] * 1e3 for p in phase_list]
+            for phase in ("sample", "fetch", "forward", "backward")
+        }
+        emit_series(
+            f"fig25_{arch}",
+            f"Figure 25 ({arch}, OR, METIS): phase ms vs machines",
+            series,
+            MACHINES,
+            unit="ms",
+        )
+    for arch, phase_list in results.items():
+        # Feature fetching scales down markedly with more machines
+        # ("the feature loading phase scales really well").
+        assert phase_list[-1]["fetch"] < 0.65 * phase_list[0]["fetch"], arch
+    # GAT is computationally heavier than GraphSage at every scale.
+    for sage_p, gat_p in zip(results["sage"], results["gat"]):
+        assert gat_p["forward"] > sage_p["forward"]

@@ -1,0 +1,80 @@
+"""Figure 26: batch-size sweep (3-layer GraphSage, hidden 64, feature
+512, OR, 16 machines).
+
+Paper shapes: as the global batch size grows, (b) the partitioners'
+network traffic relative to Random falls and (c) so do their remote
+vertices — larger batches overlap more, so good partitions keep more of
+each batch local; (a) with large features this raises the speedup.
+
+Batch sizes are the paper's divided by BATCH_SIZE_SCALE; the sweep stops
+at paper-8192 (scaled 128) because beyond that the scaled batch covers
+most of our 400-vertex training set — a saturation regime the paper's
+300k-training-vertex graphs never enter.
+"""
+
+from helpers import emit_series, once
+
+from repro.experiments import (
+    PAPER_BATCH_SIZES,
+    TrainingParams,
+    run_distdgl,
+    scaled_batch_size,
+)
+
+PARTITIONERS = ("metis", "kahip", "spinner")
+SWEPT_PAPER_SIZES = PAPER_BATCH_SIZES[:5]  # 512 .. 8192
+BATCHES = [scaled_batch_size(b) for b in SWEPT_PAPER_SIZES]
+
+
+def compute(graphs, splits):
+    speedup = {name: [] for name in PARTITIONERS}
+    traffic_pct = {name: [] for name in PARTITIONERS}
+    remote_pct = {name: [] for name in PARTITIONERS}
+    for gbs in BATCHES:
+        params = TrainingParams(
+            feature_size=512, hidden_dim=64, num_layers=3,
+            global_batch_size=gbs,
+        )
+        base = run_distdgl(
+            graphs["OR"], "random", 16, params, split=splits["OR"]
+        )
+        for name in PARTITIONERS:
+            record = run_distdgl(
+                graphs["OR"], name, 16, params, split=splits["OR"]
+            )
+            speedup[name].append(base.epoch_seconds / record.epoch_seconds)
+            traffic_pct[name].append(
+                100.0 * record.network_bytes / base.network_bytes
+            )
+            remote_pct[name].append(
+                100.0 * record.remote_input_vertices
+                / max(base.remote_input_vertices, 1)
+            )
+    return speedup, traffic_pct, remote_pct
+
+
+def test_fig26_batch_size(graphs, splits, benchmark):
+    speedup, traffic_pct, remote_pct = once(
+        benchmark, lambda: compute(graphs, splits)
+    )
+    labels = [f"{p}({s})" for p, s in zip(SWEPT_PAPER_SIZES, BATCHES)]
+    emit_series(
+        "fig26a", "Figure 26a (OR, 16 machines, f=512): speedup vs "
+        "batch size paper(scaled)", speedup, labels, unit="x",
+    )
+    emit_series(
+        "fig26b", "Figure 26b: network traffic in % of Random",
+        traffic_pct, labels, unit="%",
+    )
+    emit_series(
+        "fig26c", "Figure 26c: remote vertices in % of Random",
+        remote_pct, labels, unit="%",
+    )
+    for name in PARTITIONERS:
+        # Larger batches -> relatively less traffic and fewer remote
+        # vertices than Random (batch overlap rewards locality).
+        assert traffic_pct[name][-1] < traffic_pct[name][0], name
+        assert remote_pct[name][-1] < remote_pct[name][0], name
+    # With large features the effectiveness rises with the batch size.
+    for name in ("metis", "kahip"):
+        assert speedup[name][-1] > speedup[name][0] * 0.98, name

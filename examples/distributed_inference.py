@@ -1,0 +1,82 @@
+"""Distributed layer-wise inference after mini-batch training.
+
+Trains a GraphSAGE model DistDGL-style, then evaluates it over the whole
+graph with DistDGL's layer-wise distributed inference: every machine
+computes its owned vertices per layer, fetching halo states from its
+peers. The example verifies the distributed result matches centralized
+inference exactly and shows how the partitioner controls the halo
+traffic.
+
+Usage::
+
+    python examples/distributed_inference.py
+"""
+
+import numpy as np
+
+from repro.distdgl import DistributedInference, DistributedMiniBatchTrainer
+from repro.gnn import accuracy, full_graph_block
+from repro.graph import load_dataset, random_split
+from repro.partitioning import (
+    halo_statistics,
+    make_vertex_partitioner,
+)
+
+NUM_MACHINES = 8
+FEATURE_SIZE = 16
+NUM_CLASSES = 5
+
+
+def main() -> None:
+    graph = load_dataset("EN", scale="small")
+    split = random_split(graph, seed=5)
+    rng = np.random.default_rng(0)
+    labels = rng.integers(0, NUM_CLASSES, size=graph.num_vertices)
+    features = rng.normal(0.0, 0.4, size=(graph.num_vertices, FEATURE_SIZE))
+    features[np.arange(graph.num_vertices), labels] += 1.6
+
+    # Train once (the model is shared; partitioning is a layout choice).
+    train_partition = make_vertex_partitioner("metis").partition(
+        graph, NUM_MACHINES, seed=0
+    )
+    trainer = DistributedMiniBatchTrainer(
+        train_partition, split, features, labels,
+        hidden_dim=32, num_layers=2, global_batch_size=64, seed=1,
+    )
+    losses = trainer.train(8)
+    print(
+        f"Trained 2-layer GraphSAGE on {graph}: "
+        f"loss {losses[0]:.3f} -> {losses[-1]:.3f}\n"
+    )
+    model = trainer.model
+
+    # Reference: centralized inference.
+    block = full_graph_block(graph)
+    reference = model.forward([block, block], features)
+
+    print(f"{'partitioner':>12s} {'halo/inner':>11s} {'fetch MB':>9s} "
+          f"{'infer ms':>9s} {'==central':>10s} {'test acc':>9s}")
+    for name in ("random", "metis", "kahip"):
+        partition = make_vertex_partitioner(name).partition(
+            graph, NUM_MACHINES, seed=0
+        )
+        halo = halo_statistics(partition)
+        inference = DistributedInference(partition, model)
+        logits, report = inference.run(features)
+        matches = bool(np.allclose(logits, reference, atol=1e-9))
+        acc = accuracy(logits[split.test], labels[split.test])
+        print(
+            f"{name:>12s} {halo.halo_ratio().mean():11.2f} "
+            f"{report.total_fetch_bytes / 1e6:9.2f} "
+            f"{report.total_seconds * 1e3:9.2f} {str(matches):>10s} "
+            f"{acc:9.3f}"
+        )
+
+    print(
+        "\nInference results are identical for every layout; a better "
+        "partition simply fetches a smaller halo."
+    )
+
+
+if __name__ == "__main__":
+    main()

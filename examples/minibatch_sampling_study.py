@@ -1,0 +1,79 @@
+"""Mini-batch distributed training with neighbourhood sampling (DistDGL).
+
+Reproduces the paper's DistDGL workflow on the web-crawl stand-in (EU):
+every worker samples seeds from its own partition, fetches remote
+features, and trains a shared GraphSAGE replica. The script contrasts
+partitioners along the axes the paper measures:
+
+* phase breakdown (sampling / fetching / compute),
+* remote input vertices,
+* real training convergence (identical task, different data layout).
+
+Usage::
+
+    python examples/minibatch_sampling_study.py
+"""
+
+import numpy as np
+
+from repro.distdgl import DistDglEngine, DistributedMiniBatchTrainer
+from repro.graph import load_dataset, random_split
+from repro.partitioning import make_vertex_partitioner, vertex_partition_quality
+
+NUM_MACHINES = 8
+FEATURE_SIZE = 64
+NUM_CLASSES = 6
+
+
+def main() -> None:
+    graph = load_dataset("EU", scale="small")
+    split = random_split(graph, seed=11)
+    rng = np.random.default_rng(0)
+    labels = rng.integers(0, NUM_CLASSES, size=graph.num_vertices)
+    features = rng.normal(0.0, 0.5, size=(graph.num_vertices, FEATURE_SIZE))
+    features[np.arange(graph.num_vertices), labels] += 1.8
+
+    print(f"DistDGL-style training on {graph}, {NUM_MACHINES} workers\n")
+    header = (
+        f"{'partitioner':>12s} {'cut':>6s} {'sample':>8s} {'fetch':>8s} "
+        f"{'fwd':>8s} {'bwd':>8s} {'remote':>7s} {'testacc':>8s}"
+    )
+    print(header)
+    for name in ("random", "ldg", "metis", "bytegnn"):
+        partition = make_vertex_partitioner(name).partition(
+            graph, NUM_MACHINES, seed=0
+        )
+        quality = vertex_partition_quality(partition, split.train)
+
+        engine = DistDglEngine(
+            partition, split,
+            feature_size=FEATURE_SIZE, hidden_dim=32, num_layers=2,
+            global_batch_size=64, seed=0,
+        )
+        report = engine.run_epoch()
+        phases = report.phase_seconds()
+
+        trainer = DistributedMiniBatchTrainer(
+            partition, split, features, labels,
+            hidden_dim=32, num_layers=2, global_batch_size=64,
+            learning_rate=0.01, seed=1,
+        )
+        trainer.train(6)
+        accuracy = trainer.evaluate(split.test)
+
+        print(
+            f"{name:>12s} {quality.edge_cut:6.3f} "
+            f"{phases['sample'] * 1e3:7.1f}ms {phases['fetch'] * 1e3:7.1f}ms "
+            f"{phases['forward'] * 1e3:7.1f}ms "
+            f"{phases['backward'] * 1e3:7.1f}ms "
+            f"{report.remote_input_vertices:7d} {accuracy:8.3f}"
+        )
+
+    print(
+        "\nLower edge-cut -> fewer remote inputs -> cheaper sampling and "
+        "fetching; accuracy is layout-independent."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Full-batch distributed GraphSAGE on a social network (DistGNN-style).
+
+Trains a *real* numpy GraphSAGE model over an edge partition using
+DistGNN's communication pattern (per-machine partial aggregates reduced
+across replicas), on a synthetic community-detection task: each vertex's
+label is its planted community, features are a noisy one-hot encoding.
+
+The script demonstrates two facts from the paper:
+
+* distributed full-batch training is numerically identical to centralized
+  training regardless of the partitioner (correctness), and
+* the partitioner decides the *cost*: the simulated epoch time and memory
+  differ sharply between Random and HEP (performance).
+
+Usage::
+
+    python examples/social_network_full_batch.py
+"""
+
+import numpy as np
+
+from repro.distgnn import DistGnnEngine, DistributedFullBatchTrainer
+from repro.graph import load_dataset, random_split
+from repro.partitioning import make_edge_partitioner
+
+NUM_MACHINES = 8
+NUM_CLASSES = 8
+FEATURE_SIZE = 16
+EPOCHS = 40
+
+
+def make_task(graph, rng):
+    """Labels = coarse community id; features = noisy one-hot labels."""
+    labels = (np.arange(graph.num_vertices) * NUM_CLASSES
+              // graph.num_vertices)
+    features = rng.normal(0.0, 0.6, size=(graph.num_vertices, FEATURE_SIZE))
+    features[np.arange(graph.num_vertices), labels] += 1.5
+    return features, labels
+
+
+def main() -> None:
+    graph = load_dataset("OR", scale="small")
+    split = random_split(graph, seed=3)
+    rng = np.random.default_rng(0)
+    features, labels = make_task(graph, rng)
+    train_mask = split.train_mask(graph.num_vertices)
+
+    print(f"Training 2-layer GraphSAGE on {graph} "
+          f"({NUM_MACHINES} simulated machines)\n")
+
+    final_losses = {}
+    for name in ("random", "hdrf", "hep100"):
+        partition = make_edge_partitioner(name).partition(
+            graph, NUM_MACHINES, seed=0
+        )
+        trainer = DistributedFullBatchTrainer(
+            partition, features, labels, train_mask,
+            hidden_dim=32, num_layers=2, learning_rate=0.01, seed=1,
+        )
+        losses = trainer.train(EPOCHS)
+        accuracy = trainer.evaluate(split.test)
+        final_losses[name] = losses[-1]
+
+        engine = DistGnnEngine(
+            partition, FEATURE_SIZE, 32, 2, num_classes=NUM_CLASSES
+        )
+        breakdown = engine.simulate_epoch()
+        print(
+            f"{name:>8s}: loss {losses[0]:.3f} -> {losses[-1]:.3f}, "
+            f"test acc {accuracy:.3f} | simulated epoch "
+            f"{breakdown.epoch_seconds * 1e3:6.2f} ms, "
+            f"memory {engine.total_memory() / 1e6:5.1f} MB"
+        )
+
+    spread = max(final_losses.values()) - min(final_losses.values())
+    print(
+        f"\nFinal-loss spread across partitioners: {spread:.2e} "
+        "(training math is partition-independent; only cost changes)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,216 @@
+"""Regenerate EXPERIMENTS.md from benchmark results + live measurements.
+
+Run after ``pytest benchmarks/ --benchmark-only`` (which populates
+``benchmarks/results/``)::
+
+    python scripts/build_experiments_report.py
+
+The report has three parts: a headline paper-vs-measured table computed
+live (cheap, partition-cache backed), the per-artifact reproduction index
+with embedded measured series, and the documented deviations.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.distgnn import DistGnnEngine
+from repro.experiments import (
+    TrainingParams,
+    cached_edge_partition,
+    run_distdgl,
+    run_distgnn,
+)
+from repro.experiments.paper_reference import (
+    DISTDGL_HIDDEN_DIM_SPEEDUPS,
+    DISTGNN_OR_MEAN_SPEEDUPS,
+    DISTGNN_RF_PCT_OF_RANDOM,
+    REPLICATION_FACTOR_OR_32,
+    TABLE_4_AMORTIZATION,
+)
+from repro.graph import load_dataset, random_split
+from repro.partitioning import replication_factor
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RESULTS_DIR = os.path.join(REPO_ROOT, "benchmarks", "results")
+
+ARTIFACTS = [
+    ("Figure 2", "fig02_OR", "RF per partitioner/k: HEP100 lowest, Random highest, RF grows with k", "reproduced"),
+    ("Figure 3", "fig03", "RF vs traffic: R^2 >= 0.98 (ours >= 0.95 asserted, ~1.0 measured)", "reproduced"),
+    ("Figure 4", "fig04_OR", "2PS-L/HEP vertex-imbalanced (1.18-2.44); Random/DBH/HDRF balanced", "reproduced"),
+    ("Figure 5", "fig05", "memory-utilization balance tracks vertex balance", "reproduced"),
+    ("Figure 6", "fig06_OR", "streaming time flat in k; HDRF grows (O(k) scoring); hybrid slowest", "reproduced"),
+    ("Figure 7", "fig07", "DistGNN speedups: HEP >> streaming, grow with k, parameter-insensitive", "reproduced (magnitudes compressed, see Deviations)"),
+    ("Figure 8", "fig08", "lower RF -> higher speedup; 2PS-L's vertex imbalance costs it", "reproduced"),
+    ("Figure 9", "fig09", "memory in % of Random: HEP strongest; spread across parameters; RF~memory R^2 >= 0.99", "reproduced"),
+    ("Figure 10", "fig10a", "memory effectiveness rises with feature size and hidden dim; layers matter iff hidden >> features", "reproduced"),
+    ("Figure 11", "fig11a", "DistGNN effectiveness rises with scale-out (speedup, memory, RF%)", "reproduced"),
+    ("Table 4", "tab04", "amortization within a few epochs; DBH fastest", "reproduced"),
+    ("Figure 12", "fig12_OR", "edge-cut: KaHIP/METIS lowest, Random highest, DI far below power-law graphs", "reproduced"),
+    ("Figure 13", "fig13", "training-vertex balance near 1 for random split (ByteGNN by design)", "reproduced"),
+    ("Figure 14", "fig14_OR", "mini-batch input-vertex imbalance, growing with k", "reproduced"),
+    ("Figure 15", "fig15_OR", "KaHIP by far the slowest partitioner; streaming orders faster", "reproduced"),
+    ("Figure 16", "fig16", "DistDGL speedups moderate (<3.5), KaHIP/METIS lead, visible parameter spread", "reproduced"),
+    ("Figure 17", "fig17", "per-worker training-time imbalance for every partitioner", "reproduced (smaller magnitude)"),
+    ("Figure 18", "fig18_4machines", "speedup grows with feature size", "reproduced"),
+    ("Figure 19", "fig19_EU", "fetch grows with feature size and dominates at 512; DI sampling-bound", "reproduced (DI at fs=512: fetch comparable, see Deviations)"),
+    ("Figure 20", "fig20_4machines", "speedup falls as hidden dimension grows", "reproduced"),
+    ("Figure 21", "fig21_metis", "all phases grow with layers; gains concentrate in sample+fetch", "reproduced"),
+    ("Figure 22", "fig22", "hidden dim raises compute only; data phases flat", "reproduced"),
+    ("Figure 23", "fig23_4machines", "layer count barely moves effectiveness", "reproduced"),
+    ("Figure 24", "fig24a", "scale-out erodes DistDGL effectiveness (except DI); relative metrics degrade", "reproduced"),
+    ("Figure 25", "fig25_sage", "fetch scales down sharply with machines; GAT heavier than SAGE", "reproduced"),
+    ("Table 5", "tab05", "KaHIP amortizes orders slower than METIS; LDG near-instant", "reproduced"),
+    ("Figure 26", "fig26a", "bigger batches -> relatively less traffic/remote vertices; speedup up at fs=512", "reproduced (sweep truncated at paper-8192, see Deviations)"),
+    ("Ablation: comm model", "ablation_comm_model", "bisection vs per-port fabric; HEP's RF advantage needs overlap", "extension"),
+    ("Ablation: HEP refinement", "ablation_hep_refinement", "in-memory refinement lowers RF, never hurts", "extension"),
+    ("Ablation: KaHIP effort", "ablation_kahip_effort", "repetitions: cut never worse, time grows", "extension"),
+    ("Ablation: extensions", "ablation_extensions_cut", "Fennel/reLDG/NE vs the studied set", "extension"),
+    ("Ablation: OOM on DI", "ablation_oom", "Random OOMs where HEP fits (paper Section 4.3)", "extension"),
+    ("Ablation: bandwidth", "ablation_bandwidth", "slower network -> partitioning matters more", "extension"),
+    ("Ablation: ByteGNN hops", "ablation_bytegnn_hops", "block depth moves locality", "extension"),
+    ("Ablation: architectures", "ablation_architectures", "GAT's compute dilutes the partitioner gain", "extension"),
+    ("Ablation: feature cache", "ablation_feature_cache", "degree cache cuts traffic, narrows partitioner gap", "extension"),
+    ("Scale robustness", "scale_robustness", "headline orderings hold at 3x graph scale", "extension"),
+]
+
+
+def headline_rows():
+    or_graph = load_dataset("OR", "small")
+    split = random_split(or_graph, seed=7)
+    rows = []
+
+    rf_random = replication_factor(
+        cached_edge_partition(or_graph, "random", 32)[0]
+    )
+    rf_hep = replication_factor(
+        cached_edge_partition(or_graph, "hep100", 32)[0]
+    )
+    rows.append((
+        "RF on OR @ 32 partitions (HEP100 / Random)",
+        f"{REPLICATION_FACTOR_OR_32['hep100']} / "
+        f"{REPLICATION_FACTOR_OR_32['random']}",
+        f"{rf_hep:.2f} / {rf_random:.2f}",
+    ))
+    rows.append((
+        "RF as % of Random @ 32 (HEP100)",
+        f"{DISTGNN_RF_PCT_OF_RANDOM['hep100'][1]:.0f}%",
+        f"{100 * rf_hep / rf_random:.0f}%",
+    ))
+
+    params = TrainingParams(feature_size=64, hidden_dim=64, num_layers=3)
+    base = run_distgnn(or_graph, "random", 16, params)
+    for name in ("hdrf", "hep100"):
+        record = run_distgnn(or_graph, name, 16, params)
+        rows.append((
+            f"DistGNN speedup on OR @ 16 machines ({name})",
+            f"{DISTGNN_OR_MEAN_SPEEDUPS[(name, 16)]:.2f}x",
+            f"{base.epoch_seconds / record.epoch_seconds:.2f}x",
+        ))
+
+    hep_partition, _ = cached_edge_partition(or_graph, "hep100", 16)
+    rnd_partition, _ = cached_edge_partition(or_graph, "random", 16)
+    mem_hep = DistGnnEngine(hep_partition, 64, 64, 3).total_memory()
+    mem_rnd = DistGnnEngine(rnd_partition, 64, 64, 3).total_memory()
+    rows.append((
+        "DistGNN memory saved by HEP100 on OR @ 16",
+        "60%",
+        f"{100 * (1 - mem_hep / mem_rnd):.0f}%",
+    ))
+
+    amort = TABLE_4_AMORTIZATION["OR"]["dbh"]
+    rows.append((
+        "Table 4 ordering: DBH amortizes fastest on OR",
+        f"{amort:.2f} epochs (fastest)",
+        "fastest (see tab04 artifact)",
+    ))
+
+    for hd, paper in zip((16, 512), DISTDGL_HIDDEN_DIM_SPEEDUPS["kahip"]):
+        p = TrainingParams(
+            feature_size=64, hidden_dim=hd, num_layers=3,
+            global_batch_size=64,
+        )
+        mine = run_distdgl(or_graph, "kahip", 4, p, split=split)
+        base_d = run_distdgl(or_graph, "random", 4, p, split=split)
+        rows.append((
+            f"DistDGL KaHIP speedup @ hidden={hd} (4 machines)",
+            f"{paper:.2f}x",
+            f"{base_d.epoch_seconds / mine.epoch_seconds:.2f}x",
+        ))
+    return rows
+
+
+def main() -> int:
+    if not os.path.isdir(RESULTS_DIR):
+        print("run `pytest benchmarks/ --benchmark-only` first",
+              file=sys.stderr)
+        return 1
+
+    lines = []
+    lines.append("# EXPERIMENTS — paper vs measured\n")
+    lines.append(
+        "Regenerate with `pytest benchmarks/ --benchmark-only` followed by\n"
+        "`python scripts/build_experiments_report.py`. Paper values are the\n"
+        "authors' 32-machine/real-graph measurements; ours come from the\n"
+        "scaled-down simulation (see DESIGN.md) — orderings and trends are\n"
+        "the comparison targets, not absolute magnitudes.\n"
+    )
+
+    lines.append("\n## Headline comparison\n")
+    lines.append("| quantity | paper | measured |")
+    lines.append("|---|---|---|")
+    for name, paper, measured in headline_rows():
+        lines.append(f"| {name} | {paper} | {measured} |")
+
+    lines.append("\n## Per-artifact reproduction index\n")
+    lines.append("| artifact | expected shape | status |")
+    lines.append("|---|---|---|")
+    for artifact, _key, shape, status in ARTIFACTS:
+        lines.append(f"| {artifact} | {shape} | {status} |")
+
+    lines.append("\n## Measured series (from benchmarks/results/)\n")
+    for artifact, key, _shape, _status in ARTIFACTS:
+        path = os.path.join(RESULTS_DIR, f"{key}.txt")
+        if not os.path.exists(path):
+            lines.append(f"### {artifact}\n\n*(missing: run the benchmark)*\n")
+            continue
+        with open(path) as handle:
+            body = handle.read().strip()
+        lines.append(f"### {artifact} (`{key}`)\n")
+        lines.append("```")
+        lines.append(body)
+        lines.append("```\n")
+
+    lines.append("\n## Documented deviations\n")
+    lines.append(
+        "- **Magnitudes are compressed.** Our graphs are ~10^3 smaller, so\n"
+        "  quality gaps between partitioners (and hence speedups) are\n"
+        "  smaller than the paper's 10.4x/3.5x maxima; every *ordering* and\n"
+        "  *trend* asserted by the benchmarks holds.\n"
+        "- **DI edge-cut is ~0.04-0.10, not <0.001**: a 90x90 lattice has\n"
+        "  proportionally more boundary than a 24M-vertex road network. At\n"
+        "  feature size 512 this lets DI's fetch phase catch up with\n"
+        "  sampling (Figure 19b holds for feature sizes <= 64).\n"
+        "- **Figure 26 sweeps paper batch sizes 512-8192** (scaled /64);\n"
+        "  larger scaled batches would cover most of our 400-vertex\n"
+        "  training set, a saturation regime the paper never enters.\n"
+        "- **2PS-L on EU does not slow down** (paper: 0.92x): its vertex\n"
+        "  imbalance on our EU stand-in (~1.5) is milder than on the real\n"
+        "  Eu-2015-tpd; the imbalance -> lower-speedup mechanism is still\n"
+        "  visible (Figures 4/8).\n"
+        "- **Partitioning times** are measured wall seconds of our Python\n"
+        "  implementations; `CostModel.partitioning_time_scale` maps them\n"
+        "  onto the simulated axis (amortization *rankings* are\n"
+        "  scale-free).\n"
+    )
+
+    output = os.path.join(REPO_ROOT, "EXPERIMENTS.md")
+    with open(output, "w") as handle:
+        handle.write("\n".join(lines))
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

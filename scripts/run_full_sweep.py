@@ -1,0 +1,114 @@
+"""Run the paper's full Table 3 sweep and persist the records as JSON.
+
+The benchmark suite (``pytest benchmarks/``) uses reduced grids so it
+finishes in minutes; this script runs the *complete* cross product —
+27 hyper-parameter configurations x partitioners x machine counts per
+graph and system — and writes ``sweep_distgnn.json`` /
+``sweep_distdgl.json`` for offline analysis.
+
+Usage::
+
+    python scripts/run_full_sweep.py [--quick] [--graphs OR,EU]
+        [--machines 4,32] [--out DIR]
+
+``--quick`` restricts to the corner-covering reduced grid (the same one
+the benchmarks use).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.experiments import (
+    MACHINE_COUNTS,
+    parameter_grid,
+    reduced_grid,
+    run_distdgl_grid,
+    run_distgnn_grid,
+    save_records,
+    speedup_summary,
+)
+from repro.graph import DATASET_KEYS, load_dataset, random_split
+from repro.partitioning import (
+    EDGE_PARTITIONER_NAMES,
+    VERTEX_PARTITIONER_NAMES,
+)
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced grid instead of the full 27 configs")
+    parser.add_argument("--graphs", default=",".join(DATASET_KEYS))
+    parser.add_argument(
+        "--machines", default=",".join(str(k) for k in MACHINE_COUNTS)
+    )
+    parser.add_argument("--scale", default="small",
+                        choices=("tiny", "small", "medium"))
+    parser.add_argument("--out", default=".")
+    parser.add_argument("--seed", type=int, default=0)
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    graphs = [g.strip().upper() for g in args.graphs.split(",")]
+    machines = [int(k) for k in args.machines.split(",")]
+    grid = list(reduced_grid() if args.quick else parameter_grid())
+    print(
+        f"sweep: graphs={graphs} machines={machines} "
+        f"configs={len(grid)} scale={args.scale}"
+    )
+
+    distgnn_records = []
+    distdgl_records = []
+    for key in graphs:
+        graph = load_dataset(key, args.scale, seed=args.seed)
+        split = random_split(graph, seed=args.seed)
+        start = time.time()
+        distgnn_records.extend(
+            run_distgnn_grid(
+                graph, EDGE_PARTITIONER_NAMES, machines, grid,
+                seed=args.seed,
+            )
+        )
+        print(f"{key}: DistGNN grid done in {time.time() - start:.0f}s")
+        start = time.time()
+        distdgl_records.extend(
+            run_distdgl_grid(
+                graph, VERTEX_PARTITIONER_NAMES, machines, grid,
+                split=split, seed=args.seed,
+            )
+        )
+        print(f"{key}: DistDGL grid done in {time.time() - start:.0f}s")
+
+    os.makedirs(args.out, exist_ok=True)
+    gnn_path = os.path.join(args.out, "sweep_distgnn.json")
+    dgl_path = os.path.join(args.out, "sweep_distdgl.json")
+    save_records(distgnn_records, gnn_path)
+    save_records(distdgl_records, dgl_path)
+    print(f"wrote {gnn_path} ({len(distgnn_records)} records)")
+    print(f"wrote {dgl_path} ({len(distdgl_records)} records)")
+
+    # Quick headline: mean speedups at the largest machine count.
+    top_k = max(machines)
+    for label, records in (
+        ("DistGNN", distgnn_records),
+        ("DistDGL", distdgl_records),
+    ):
+        summaries = speedup_summary(records)
+        print(f"\n{label} mean speedup over Random @ {top_k} machines:")
+        for (graph, partitioner, k), summary in sorted(summaries.items()):
+            if k == top_k and partitioner != "random":
+                print(
+                    f"  {graph} {partitioner:>8s}: {summary.mean:5.2f}x "
+                    f"[{summary.minimum:.2f}, {summary.maximum:.2f}]"
+                )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Reproduction of "An Experimental Comparison of Partitioning Strategies
+for Distributed Graph Neural Network Training" (Merkel, Stoll, Mayer,
+Jacobsen; EDBT/PVLDB).
+
+The package contains every layer of the study, built from scratch:
+
+- :mod:`repro.graph` -- graph storage, synthetic stand-ins for the paper's
+  five datasets, splits and IO;
+- :mod:`repro.partitioning` -- all 12 partitioning algorithms of Table 2
+  plus the quality metrics of Section 2.1;
+- :mod:`repro.cluster` / :mod:`repro.costmodel` -- the simulated cluster
+  and its calibrated cost model;
+- :mod:`repro.gnn` -- numpy GraphSAGE/GCN/GAT with real forward/backward,
+  optimizers and DGL-style neighbourhood sampling;
+- :mod:`repro.distgnn` -- full-batch training over edge partitions
+  (DistGNN), both cost-accounted and actually executed;
+- :mod:`repro.distdgl` -- mini-batch training over vertex partitions
+  (DistDGL), with executed sampling;
+- :mod:`repro.experiments` -- the sweep harness behind every figure and
+  table of the paper (see ``benchmarks/``).
+
+Quickstart::
+
+    from repro.graph import load_dataset, random_split
+    from repro.partitioning import make_vertex_partitioner
+    from repro.distdgl import DistDglEngine
+
+    graph = load_dataset("OR")
+    split = random_split(graph)
+    partition = make_vertex_partitioner("metis").partition(graph, 4)
+    engine = DistDglEngine(partition, split)
+    report = engine.run_epoch()
+    print(report.epoch_seconds, report.phase_seconds())
+"""
+
+__version__ = "1.0.0"
+
+from . import (  # noqa: F401
+    cluster,
+    costmodel,
+    distdgl,
+    distgnn,
+    experiments,
+    gnn,
+    graph,
+    partitioning,
+)
+
+__all__ = [
+    "graph",
+    "partitioning",
+    "cluster",
+    "costmodel",
+    "gnn",
+    "distgnn",
+    "distdgl",
+    "experiments",
+]

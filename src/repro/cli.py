@@ -1,0 +1,348 @@
+"""Command-line interface to the reproduction library.
+
+Subcommands::
+
+    python -m repro datasets                         # list the stand-ins
+    python -m repro partition  --graph OR --cut edge-cut --algorithm metis -k 8
+    python -m repro distgnn    --graph OR --partitioner hep100 -k 8
+    python -m repro distdgl    --graph OR --partitioner metis -k 8
+    python -m repro amortize   --graph OR -k 16 --epochs 100
+
+All numbers are simulated cluster seconds under the default cost model;
+see ``repro.costmodel`` for calibration details.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .experiments import (
+    TrainingParams,
+    epochs_to_amortize,
+    format_table,
+    run_distdgl,
+    run_distgnn,
+)
+from .graph import (
+    DATASET_KEYS,
+    dataset_specs,
+    graph_stats,
+    load_dataset,
+    random_split,
+    read_edge_list,
+)
+from .partitioning import (
+    EDGE_PARTITIONER_NAMES,
+    VERTEX_PARTITIONER_NAMES,
+    edge_partition_quality,
+    make_edge_partitioner,
+    make_vertex_partitioner,
+    vertex_partition_quality,
+)
+
+__all__ = ["main"]
+
+
+def _load_graph(args):
+    if args.edge_list:
+        return read_edge_list(args.edge_list, directed=args.directed)
+    return load_dataset(args.graph, scale=args.scale, seed=args.seed)
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--graph", default="OR", choices=DATASET_KEYS,
+        help="built-in dataset key (default: OR)",
+    )
+    parser.add_argument(
+        "--edge-list", default=None,
+        help="path to a whitespace edge list (overrides --graph)",
+    )
+    parser.add_argument(
+        "--directed", action="store_true",
+        help="treat --edge-list input as directed",
+    )
+    parser.add_argument(
+        "--scale", default="small", choices=("tiny", "small", "medium"),
+        help="built-in dataset scale (default: small)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--feature-size", type=int, default=64)
+    parser.add_argument("--hidden-dim", type=int, default=64)
+    parser.add_argument("--num-layers", type=int, default=3)
+    parser.add_argument("-k", "--machines", type=int, default=8)
+
+
+def _cmd_datasets(_args) -> int:
+    rows = []
+    for key, spec in sorted(dataset_specs().items()):
+        graph = load_dataset(key, "tiny")
+        stats = graph_stats(graph)
+        rows.append(
+            (
+                key,
+                spec.paper_name,
+                spec.category,
+                "yes" if spec.directed else "no",
+                stats.num_vertices,
+                stats.num_edges,
+                stats.mean_degree,
+            )
+        )
+    print(
+        format_table(
+            ["key", "paper dataset", "category", "dir",
+             "|V| (tiny)", "|E| (tiny)", "mean deg"],
+            rows,
+            "Built-in dataset stand-ins (see DESIGN.md)",
+        )
+    )
+    return 0
+
+
+def _cmd_partition(args) -> int:
+    graph = _load_graph(args)
+    split = random_split(graph, seed=args.seed)
+    if args.cut == "vertex-cut":
+        partitioner = make_edge_partitioner(args.algorithm)
+        partition = partitioner.partition(graph, args.machines, args.seed)
+        quality = edge_partition_quality(partition).as_row()
+        assignment = partition.assignment
+    else:
+        partitioner = make_vertex_partitioner(args.algorithm)
+        partition = partitioner.partition(graph, args.machines, args.seed)
+        quality = vertex_partition_quality(partition, split.train).as_row()
+        assignment = partition.assignment
+    print(
+        f"{partitioner.name} ({partitioner.cut_type}, "
+        f"{partitioner.category}) on {graph}"
+    )
+    print(f"quality: {quality}")
+    print(f"partitioning time: {partitioner.last_partitioning_seconds:.3f}s")
+    if args.output:
+        np.savetxt(args.output, assignment, fmt="%d")
+        print(f"assignment written to {args.output}")
+    return 0
+
+
+def _cmd_distgnn(args) -> int:
+    graph = _load_graph(args)
+    params = TrainingParams(
+        feature_size=args.feature_size,
+        hidden_dim=args.hidden_dim,
+        num_layers=args.num_layers,
+    )
+    record = run_distgnn(
+        graph, args.partitioner, args.machines, params, seed=args.seed
+    )
+    baseline = run_distgnn(
+        graph, "random", args.machines, params, seed=args.seed
+    )
+    rows = [
+        ("epoch seconds", record.epoch_seconds),
+        ("speedup vs Random", baseline.epoch_seconds / record.epoch_seconds),
+        ("network MB / epoch", record.network_bytes / 1e6),
+        ("total memory MB", record.total_memory_bytes / 1e6),
+        ("memory balance", record.memory_balance),
+        ("replication factor", record.replication_factor),
+        ("vertex balance", record.vertex_balance),
+        ("partitioning seconds", record.partitioning_seconds),
+    ]
+    print(
+        format_table(
+            ["metric", "value"], rows,
+            f"DistGNN full-batch: {args.partitioner} on {graph.name}, "
+            f"{args.machines} machines ({params.label()})",
+        )
+    )
+    return 0
+
+
+def _cmd_distdgl(args) -> int:
+    graph = _load_graph(args)
+    params = TrainingParams(
+        feature_size=args.feature_size,
+        hidden_dim=args.hidden_dim,
+        num_layers=args.num_layers,
+        arch=args.arch,
+        global_batch_size=args.batch_size,
+    )
+    record = run_distdgl(
+        graph, args.partitioner, args.machines, params, seed=args.seed
+    )
+    baseline = run_distdgl(
+        graph, "random", args.machines, params, seed=args.seed
+    )
+    rows = [
+        ("epoch seconds", record.epoch_seconds),
+        ("speedup vs Random", baseline.epoch_seconds / record.epoch_seconds),
+    ]
+    rows += [
+        (f"phase: {phase}", seconds)
+        for phase, seconds in record.phase_seconds.items()
+    ]
+    rows += [
+        ("remote input vertices", record.remote_input_vertices),
+        ("edge-cut ratio", record.edge_cut),
+        ("training vertex balance", record.training_vertex_balance),
+        ("partitioning seconds", record.partitioning_seconds),
+    ]
+    print(
+        format_table(
+            ["metric", "value"], rows,
+            f"DistDGL mini-batch: {args.partitioner} on {graph.name}, "
+            f"{args.machines} machines ({params.label()})",
+        )
+    )
+    return 0
+
+
+def _cmd_amortize(args) -> int:
+    graph = _load_graph(args)
+    params = TrainingParams(
+        feature_size=args.feature_size,
+        hidden_dim=args.hidden_dim,
+        num_layers=args.num_layers,
+    )
+    baseline = run_distgnn(
+        graph, "random", args.machines, params, seed=args.seed
+    )
+    rows = []
+    for name in EDGE_PARTITIONER_NAMES:
+        if name == "random":
+            continue
+        record = run_distgnn(
+            graph, name, args.machines, params, seed=args.seed
+        )
+        epochs = epochs_to_amortize(
+            record.partitioning_seconds,
+            baseline.epoch_seconds,
+            record.epoch_seconds,
+        )
+        total = record.partitioning_seconds + (
+            args.epochs * record.epoch_seconds
+        )
+        rows.append(
+            (
+                name,
+                baseline.epoch_seconds / record.epoch_seconds,
+                "no" if epochs is None else f"{epochs:.1f}",
+                total,
+            )
+        )
+    print(
+        format_table(
+            ["partitioner", "speedup", "amortizes after (epochs)",
+             f"total s ({args.epochs} epochs)"],
+            rows,
+            f"Amortization on {graph.name}, {args.machines} machines "
+            "(DistGNN full-batch)",
+        )
+    )
+    return 0
+
+
+def _cmd_recommend(args) -> int:
+    from .experiments import recommend_edge_partitioner
+
+    graph = _load_graph(args)
+    params = TrainingParams(
+        feature_size=args.feature_size,
+        hidden_dim=args.hidden_dim,
+        num_layers=args.num_layers,
+    )
+    recommendation = recommend_edge_partitioner(
+        graph, args.machines, args.epochs, params=params, seed=args.seed
+    )
+    rows = [
+        (e.name, e.partitioning_seconds, e.epoch_seconds, e.total_seconds)
+        for e in recommendation.estimates
+    ]
+    print(
+        format_table(
+            ["partitioner", "partition s", "epoch s",
+             f"total s ({args.epochs} epochs)"],
+            rows,
+            f"Advisor (sampled subgraph): best = {recommendation.best}",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed-GNN partitioning study reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list the built-in dataset stand-ins")
+
+    partition = sub.add_parser("partition", help="run one partitioner")
+    _add_graph_arguments(partition)
+    partition.add_argument(
+        "--cut", choices=("vertex-cut", "edge-cut"), default="edge-cut"
+    )
+    partition.add_argument(
+        "--algorithm", default="metis",
+        help=f"vertex-cut: {', '.join(EDGE_PARTITIONER_NAMES)}; "
+             f"edge-cut: {', '.join(VERTEX_PARTITIONER_NAMES)}",
+    )
+    partition.add_argument("-k", "--machines", type=int, default=8)
+    partition.add_argument("--output", default=None)
+
+    distgnn = sub.add_parser("distgnn", help="simulate full-batch training")
+    _add_graph_arguments(distgnn)
+    _add_model_arguments(distgnn)
+    distgnn.add_argument("--partitioner", default="hep100")
+
+    distdgl = sub.add_parser("distdgl", help="simulate mini-batch training")
+    _add_graph_arguments(distdgl)
+    _add_model_arguments(distdgl)
+    distdgl.add_argument("--partitioner", default="metis")
+    distdgl.add_argument("--arch", default="sage",
+                         choices=("sage", "gcn", "gat"))
+    distdgl.add_argument("--batch-size", type=int, default=64)
+
+    amortize = sub.add_parser(
+        "amortize", help="amortization analysis (paper RQ-5)"
+    )
+    _add_graph_arguments(amortize)
+    _add_model_arguments(amortize)
+    amortize.add_argument("--epochs", type=int, default=100)
+
+    recommend = sub.add_parser(
+        "recommend",
+        help="advise a partitioner via a cheap sampled-subgraph study",
+    )
+    _add_graph_arguments(recommend)
+    _add_model_arguments(recommend)
+    recommend.add_argument("--epochs", type=int, default=100)
+
+    return parser
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "partition": _cmd_partition,
+    "distgnn": _cmd_distgnn,
+    "distdgl": _cmd_distdgl,
+    "amortize": _cmd_amortize,
+    "recommend": _cmd_recommend,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

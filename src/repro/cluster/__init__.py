@@ -1,0 +1,19 @@
+"""Simulated cluster substrate: machines, network fabric, BSP timeline."""
+
+from .cluster import Cluster, OutOfMemoryError
+from .machine import Machine, MemoryLedger
+from .network import NetworkFabric
+from .timeline import PhaseRecord, Timeline
+from .trace import save_chrome_trace, timeline_to_chrome_trace
+
+__all__ = [
+    "Cluster",
+    "OutOfMemoryError",
+    "Machine",
+    "MemoryLedger",
+    "NetworkFabric",
+    "PhaseRecord",
+    "Timeline",
+    "timeline_to_chrome_trace",
+    "save_chrome_trace",
+]

@@ -1,0 +1,155 @@
+"""The simulated compute cluster tying machines, network and timeline."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..costmodel import DEFAULT_COST_MODEL, CostModel
+from .machine import Machine
+from .network import NetworkFabric
+from .timeline import Timeline
+
+__all__ = ["Cluster", "OutOfMemoryError"]
+
+
+class OutOfMemoryError(RuntimeError):
+    """Raised when a machine's footprint exceeds the memory budget.
+
+    Mirrors the paper's observation that random partitioning makes some
+    graph/cluster combinations untrainable (DI could never be processed
+    under random partitioning) while better partitioners fit.
+    """
+
+    def __init__(self, machine_id: int, needed: float, budget: float) -> None:
+        super().__init__(
+            f"machine {machine_id} needs {needed / 1e6:.1f} MB "
+            f"but the budget is {budget / 1e6:.1f} MB"
+        )
+        self.machine_id = machine_id
+        self.needed = needed
+        self.budget = budget
+
+
+class Cluster:
+    """``num_machines`` workers, a shared fabric, and a BSP timeline."""
+
+    def __init__(
+        self,
+        num_machines: int,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        machine_speeds: np.ndarray | None = None,
+    ) -> None:
+        """``machine_speeds`` (optional) gives each machine a relative
+        compute speed (1.0 = nominal, 0.5 = half speed). Used to inject
+        stragglers/heterogeneity into otherwise balanced workloads.
+        """
+        if num_machines <= 0:
+            raise ValueError("need at least one machine")
+        self.cost_model = cost_model
+        if machine_speeds is None:
+            machine_speeds = np.ones(num_machines)
+        machine_speeds = np.asarray(machine_speeds, dtype=np.float64)
+        if machine_speeds.shape != (num_machines,):
+            raise ValueError("need one speed factor per machine")
+        if (machine_speeds <= 0).any():
+            raise ValueError("speed factors must be positive")
+        self.machine_speeds = machine_speeds
+        self.machines: List[Machine] = [
+            Machine(i) for i in range(num_machines)
+        ]
+        self.fabric = NetworkFabric(num_machines, cost_model)
+        self.timeline = Timeline()
+
+    @property
+    def num_machines(self) -> int:
+        return len(self.machines)
+
+    # ------------------------------------------------------------------
+    # Phase execution
+    # ------------------------------------------------------------------
+    def run_compute_phase(
+        self, name: str, per_machine_seconds: np.ndarray
+    ) -> float:
+        """Record a barrier-separated compute phase; returns its duration.
+
+        ``per_machine_seconds`` is at nominal speed; heterogeneous
+        machines stretch their share by ``1 / speed``.
+        """
+        per_machine_seconds = (
+            np.asarray(per_machine_seconds, dtype=np.float64)
+            / self.machine_speeds
+        )
+        for machine, seconds in zip(self.machines, per_machine_seconds):
+            machine.add_compute(float(seconds))
+        return self.timeline.add_phase(name, per_machine_seconds)
+
+    def run_comm_phase(
+        self,
+        name: str,
+        sent_per_machine: np.ndarray,
+        received_per_machine: np.ndarray,
+        messages_per_machine: np.ndarray | None = None,
+    ) -> float:
+        """Record a communication phase: traffic plus straggler time."""
+        sent = np.asarray(sent_per_machine, dtype=np.float64)
+        received = np.asarray(received_per_machine, dtype=np.float64)
+        self.fabric.transfer_bulk(sent, received, messages_per_machine)
+        for machine, s, r in zip(self.machines, sent, received):
+            machine.bytes_sent += float(s)
+            machine.bytes_received += float(r)
+        # Per-machine port bound, floored by the fabric's bisection bound:
+        # with every machine communicating concurrently the shared fabric
+        # sustains ~k/2 concurrent full-rate transfers, so a phase cannot
+        # finish faster than 2 * total / (k * bandwidth). Mild imbalance is
+        # therefore absorbed; extreme imbalance (a dominant port) stalls
+        # the barrier, as the paper observes for 2PS-L.
+        if self.cost_model.fabric_model == "bisection":
+            bisection_floor = (
+                2.0 * float(sent.sum()) / max(self.num_machines, 1)
+            )
+        else:  # pure per-port model (ablation)
+            bisection_floor = 0.0
+        per_machine_seconds = np.array(
+            [
+                self.cost_model.transfer_seconds(
+                    max(s, r, bisection_floor),
+                    int(messages_per_machine[i])
+                    if messages_per_machine is not None
+                    else 1,
+                )
+                if max(s, r, bisection_floor) > 0
+                else 0.0
+                for i, (s, r) in enumerate(zip(sent, received))
+            ]
+        )
+        return self.timeline.add_phase(name, per_machine_seconds)
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def allocate(
+        self, machine_id: int, category: str, num_bytes: float
+    ) -> None:
+        self.machines[machine_id].memory.allocate(category, num_bytes)
+
+    def check_memory_budget(self) -> None:
+        """Raise :class:`OutOfMemoryError` if any machine is over budget."""
+        budget = self.cost_model.memory_budget_bytes
+        for machine in self.machines:
+            if machine.memory.peak_bytes > budget:
+                raise OutOfMemoryError(
+                    machine.machine_id, machine.memory.peak_bytes, budget
+                )
+
+    def memory_per_machine(self) -> np.ndarray:
+        return np.array(
+            [machine.memory.peak_bytes for machine in self.machines]
+        )
+
+    def memory_utilization_balance(self) -> float:
+        """max/mean of per-machine peak memory (paper Figure 5)."""
+        peaks = self.memory_per_machine()
+        mean = peaks.mean()
+        return float(peaks.max() / mean) if mean > 0 else 1.0

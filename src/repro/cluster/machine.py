@@ -1,0 +1,68 @@
+"""Simulated machine: memory ledger and compute accounting."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["MemoryLedger", "Machine"]
+
+
+class MemoryLedger:
+    """Tracks bytes allocated per category, with a peak watermark.
+
+    Categories mirror the footprint breakdown the paper discusses: graph
+    structure, features, activations (intermediate representations),
+    replicas, model/optimizer state, communication buffers.
+    """
+
+    def __init__(self) -> None:
+        self._current: Dict[str, float] = {}
+        self._peak_total = 0.0
+
+    def allocate(self, category: str, num_bytes: float) -> None:
+        if num_bytes < 0:
+            raise ValueError("allocate takes non-negative sizes; use free")
+        self._current[category] = self._current.get(category, 0.0) + num_bytes
+        self._peak_total = max(self._peak_total, self.total_bytes)
+
+    def free(self, category: str, num_bytes: float) -> None:
+        held = self._current.get(category, 0.0)
+        if num_bytes > held + 1e-6:
+            raise ValueError(
+                f"freeing {num_bytes} bytes of {category!r} "
+                f"but only {held} allocated"
+            )
+        self._current[category] = held - num_bytes
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(self._current.values())
+
+    @property
+    def peak_bytes(self) -> float:
+        return self._peak_total
+
+    def by_category(self) -> Dict[str, float]:
+        return dict(self._current)
+
+
+class Machine:
+    """One worker of the simulated cluster."""
+
+    def __init__(self, machine_id: int) -> None:
+        self.machine_id = machine_id
+        self.memory = MemoryLedger()
+        self.compute_seconds = 0.0
+        self.bytes_sent = 0.0
+        self.bytes_received = 0.0
+
+    def add_compute(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("compute time must be non-negative")
+        self.compute_seconds += seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Machine({self.machine_id}, mem={self.memory.total_bytes:.0f}B, "
+            f"cpu={self.compute_seconds:.3f}s)"
+        )

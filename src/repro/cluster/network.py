@@ -1,0 +1,66 @@
+"""Network fabric: per-machine traffic accounting.
+
+Traffic is what the paper measures ("network communication"); the fabric
+accumulates sent/received bytes per machine and converts a communication
+phase into seconds under the cost model (bandwidth is per machine port, so
+the phase lasts as long as its busiest port).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..costmodel import CostModel
+
+__all__ = ["NetworkFabric"]
+
+
+class NetworkFabric:
+    """Per-machine sent/received/message counters plus phase timing."""
+
+    def __init__(self, num_machines: int, cost_model: CostModel) -> None:
+        self.num_machines = num_machines
+        self.cost_model = cost_model
+        self.sent = np.zeros(num_machines, dtype=np.float64)
+        self.received = np.zeros(num_machines, dtype=np.float64)
+        self.messages = np.zeros(num_machines, dtype=np.int64)
+
+    def transfer(self, src: int, dst: int, num_bytes: float) -> None:
+        """Record a point-to-point transfer (no time accounting)."""
+        if src == dst:
+            return  # local, free
+        self.sent[src] += num_bytes
+        self.received[dst] += num_bytes
+        self.messages[src] += 1
+
+    def transfer_bulk(
+        self,
+        sent_per_machine: np.ndarray,
+        received_per_machine: np.ndarray,
+        messages_per_machine: np.ndarray | None = None,
+    ) -> None:
+        """Record aggregate per-machine traffic for one phase."""
+        self.sent += sent_per_machine
+        self.received += received_per_machine
+        if messages_per_machine is not None:
+            self.messages += messages_per_machine
+
+    def phase_seconds(
+        self,
+        sent_per_machine: np.ndarray,
+        received_per_machine: np.ndarray,
+        messages_per_machine: np.ndarray | None = None,
+    ) -> float:
+        """Duration of a communication phase: busiest port wins."""
+        port_bytes = np.maximum(sent_per_machine, received_per_machine)
+        busiest = float(port_bytes.max()) if port_bytes.size else 0.0
+        num_msgs = 1
+        if messages_per_machine is not None and messages_per_machine.size:
+            num_msgs = int(messages_per_machine.max())
+        if busiest <= 0:
+            return 0.0
+        return self.cost_model.transfer_seconds(busiest, num_msgs)
+
+    @property
+    def total_bytes(self) -> float:
+        return float(self.sent.sum())

@@ -1,0 +1,22 @@
+"""Cost model: converts operation/byte counts into simulated seconds."""
+
+from .constants import DEFAULT_COST_MODEL, CostModel
+from .flops import (
+    BACKWARD_FACTOR,
+    aggregation_bytes,
+    gat_layer_flops,
+    gcn_layer_flops,
+    gemm_flops,
+    sage_layer_flops,
+)
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "BACKWARD_FACTOR",
+    "gemm_flops",
+    "sage_layer_flops",
+    "gcn_layer_flops",
+    "gat_layer_flops",
+    "aggregation_bytes",
+]

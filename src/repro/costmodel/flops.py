@@ -1,0 +1,71 @@
+"""Floating-point operation counts for GNN layers.
+
+Each function returns the *forward* flops; backward passes cost roughly
+twice the forward (two GEMMs per weight: gradient w.r.t. input and w.r.t.
+weights), which callers account with :data:`BACKWARD_FACTOR`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BACKWARD_FACTOR",
+    "gemm_flops",
+    "sage_layer_flops",
+    "gcn_layer_flops",
+    "gat_layer_flops",
+    "aggregation_bytes",
+]
+
+#: Backward pass cost relative to forward (standard 2x rule of thumb).
+BACKWARD_FACTOR = 2.0
+
+
+def gemm_flops(rows: float, inner: float, cols: float) -> float:
+    """Flops of a dense ``rows x inner @ inner x cols`` multiply."""
+    return 2.0 * rows * inner * cols
+
+
+def sage_layer_flops(
+    num_dst: float, num_edges: float, dim_in: int, dim_out: int
+) -> float:
+    """GraphSAGE (mean aggregator): aggregate neighbours, then two GEMMs
+    (self and neighbour transforms).
+    """
+    aggregate = 2.0 * num_edges * dim_in  # sum + count-normalise
+    transform = gemm_flops(num_dst, dim_in, dim_out) * 2.0
+    return aggregate + transform
+
+
+def gcn_layer_flops(
+    num_dst: float, num_edges: float, dim_in: int, dim_out: int
+) -> float:
+    """GCN: normalised aggregation plus a single GEMM."""
+    aggregate = 2.0 * num_edges * dim_in
+    transform = gemm_flops(num_dst, dim_in, dim_out)
+    return aggregate + transform
+
+
+def gat_layer_flops(
+    num_dst: float,
+    num_src: float,
+    num_edges: float,
+    dim_in: int,
+    dim_out: int,
+    num_heads: int = 1,
+) -> float:
+    """GAT: source/destination projections, per-edge attention scores,
+    softmax and the weighted aggregation. Noticeably heavier per edge than
+    SAGE/GCN, which is why GAT phase times exceed GraphSAGE in Figure 25.
+    """
+    project = gemm_flops(num_src, dim_in, dim_out * num_heads)
+    scores = 6.0 * num_edges * dim_out * num_heads  # leaky-relu attention
+    softmax = 5.0 * num_edges * num_heads
+    aggregate = 2.0 * num_edges * dim_out * num_heads
+    return project + scores + softmax + aggregate + 4.0 * num_dst * dim_out
+
+
+def aggregation_bytes(
+    num_edges: float, dim: int, float_bytes: int = 4
+) -> float:
+    """Bytes touched by a sparse gather/scatter aggregation."""
+    return 2.0 * num_edges * dim * float_bytes

@@ -1,0 +1,14 @@
+"""DistDGL-style mini-batch distributed training over vertex partitions."""
+
+from .engine import DistDglEngine, EpochReport, StepBreakdown
+from .inference import DistributedInference, InferenceReport
+from .minibatch import DistributedMiniBatchTrainer
+
+__all__ = [
+    "DistDglEngine",
+    "EpochReport",
+    "StepBreakdown",
+    "DistributedMiniBatchTrainer",
+    "DistributedInference",
+    "InferenceReport",
+]

@@ -1,0 +1,13 @@
+"""DistGNN-style full-batch distributed training over edge partitions."""
+
+from .delayed import DelayedAggregationTrainer, compare_with_synchronous
+from .engine import DistGnnEngine, EpochBreakdown
+from .fullbatch import DistributedFullBatchTrainer
+
+__all__ = [
+    "DistGnnEngine",
+    "EpochBreakdown",
+    "DistributedFullBatchTrainer",
+    "DelayedAggregationTrainer",
+    "compare_with_synchronous",
+]

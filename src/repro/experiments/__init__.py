@@ -1,0 +1,78 @@
+"""Experiment harness: sweeps, runners, amortization, correlation."""
+
+from .amortization import (
+    AmortizationResult,
+    amortization_table,
+    epochs_to_amortize,
+)
+from .advisor import (
+    CandidateEstimate,
+    Recommendation,
+    recommend_edge_partitioner,
+)
+from .analysis import DistributionSummary, speedup_summary, summarize
+from .export import load_records, records_to_json, save_records
+from .cache import cached_edge_partition, cached_vertex_partition, clear_cache
+from .config import (
+    BATCH_SIZE_SCALE,
+    FEATURE_SIZES,
+    HIDDEN_DIMENSIONS,
+    LAYER_COUNTS,
+    MACHINE_COUNTS,
+    PAPER_BATCH_SIZES,
+    TrainingParams,
+    parameter_grid,
+    reduced_grid,
+    scaled_batch_size,
+)
+from .correlation import pearson, r_squared
+from .records import DistDglRecord, DistGnnRecord
+from .report import format_series, format_table, print_series, print_table
+from .runner import (
+    run_distdgl,
+    run_distdgl_grid,
+    run_distgnn,
+    run_distgnn_grid,
+    speedup_vs_random,
+)
+
+__all__ = [
+    "TrainingParams",
+    "HIDDEN_DIMENSIONS",
+    "FEATURE_SIZES",
+    "LAYER_COUNTS",
+    "MACHINE_COUNTS",
+    "PAPER_BATCH_SIZES",
+    "BATCH_SIZE_SCALE",
+    "scaled_batch_size",
+    "parameter_grid",
+    "reduced_grid",
+    "cached_edge_partition",
+    "cached_vertex_partition",
+    "clear_cache",
+    "DistGnnRecord",
+    "DistDglRecord",
+    "run_distgnn",
+    "run_distgnn_grid",
+    "run_distdgl",
+    "run_distdgl_grid",
+    "speedup_vs_random",
+    "epochs_to_amortize",
+    "amortization_table",
+    "AmortizationResult",
+    "pearson",
+    "r_squared",
+    "format_table",
+    "print_table",
+    "format_series",
+    "print_series",
+    "DistributionSummary",
+    "summarize",
+    "speedup_summary",
+    "records_to_json",
+    "save_records",
+    "load_records",
+    "Recommendation",
+    "CandidateEstimate",
+    "recommend_edge_partitioner",
+]

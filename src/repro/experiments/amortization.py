@@ -1,0 +1,85 @@
+"""Partitioning-time amortization analysis (paper Tables 4 and 5).
+
+The number of epochs until partitioning pays for itself is
+
+    epochs = partitioning_time / (epoch_time_random - epoch_time_partitioner)
+
+with random partitioning assumed free (paper Section 4.3(5)). A slowdown
+(denominator <= 0) means amortization is impossible ("no" in the tables).
+
+Our partitioner implementations run on the host, while training times are
+simulated cluster seconds; ``CostModel.partitioning_time_scale`` converts
+between the two axes. The *ranking* (which partitioner amortizes after how
+many epochs relative to the others) is invariant to that single constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..costmodel import DEFAULT_COST_MODEL, CostModel
+
+__all__ = ["AmortizationResult", "epochs_to_amortize", "amortization_table"]
+
+
+@dataclass(frozen=True)
+class AmortizationResult:
+    graph: str
+    partitioner: str
+    epochs: Optional[float]  # None = "no" (slowdown, never amortizes)
+
+    def formatted(self) -> str:
+        return "no" if self.epochs is None else f"{self.epochs:.2f}"
+
+
+def epochs_to_amortize(
+    partitioning_seconds: float,
+    epoch_seconds_random: float,
+    epoch_seconds_partitioner: float,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> Optional[float]:
+    """Epochs until the partitioning investment is repaid, or None."""
+    saving = epoch_seconds_random - epoch_seconds_partitioner
+    if saving <= 0:
+        return None
+    scaled = partitioning_seconds * cost_model.partitioning_time_scale
+    return scaled / saving
+
+
+def amortization_table(
+    records: Sequence,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> Dict[str, Dict[str, AmortizationResult]]:
+    """Average epochs-to-amortize per (graph, partitioner) over all other
+    sweep dimensions — the layout of the paper's Tables 4 and 5.
+    """
+    by_cell: Dict[tuple, list] = {}
+    baselines = {
+        (r.graph, r.num_machines, r.params): r.epoch_seconds
+        for r in records
+        if r.partitioner.lower() == "random"
+    }
+    for r in records:
+        if r.partitioner.lower() == "random":
+            continue
+        base = baselines.get((r.graph, r.num_machines, r.params))
+        if base is None:
+            continue
+        epochs = epochs_to_amortize(
+            r.partitioning_seconds, base, r.epoch_seconds, cost_model
+        )
+        by_cell.setdefault((r.graph, r.partitioner), []).append(epochs)
+
+    table: Dict[str, Dict[str, AmortizationResult]] = {}
+    for (graph, partitioner), values in by_cell.items():
+        # One slowdown configuration makes the average undefined -> "no",
+        # as the paper marks 2PS-L on EU.
+        if any(v is None for v in values):
+            result = AmortizationResult(graph, partitioner, None)
+        else:
+            result = AmortizationResult(
+                graph, partitioner, sum(values) / len(values)
+            )
+        table.setdefault(graph, {})[partitioner] = result
+    return table

@@ -1,0 +1,94 @@
+"""Statistical summaries over experiment records.
+
+The paper's "distribution" figures (7, 9, 16) report, per cell, the
+spread of a metric over all sweep configurations; these helpers compute
+those summaries from flat record lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["DistributionSummary", "summarize", "speedup_summary"]
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number-ish summary of one cell's metric distribution."""
+
+    mean: float
+    minimum: float
+    q25: float
+    median: float
+    q75: float
+    maximum: float
+    count: int
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "DistributionSummary":
+        if not len(values):
+            raise ValueError("cannot summarize an empty distribution")
+        arr = np.asarray(values, dtype=np.float64)
+        return cls(
+            mean=float(arr.mean()),
+            minimum=float(arr.min()),
+            q25=float(np.percentile(arr, 25)),
+            median=float(np.percentile(arr, 50)),
+            q75=float(np.percentile(arr, 75)),
+            maximum=float(arr.max()),
+            count=int(arr.size),
+        )
+
+    @property
+    def spread(self) -> float:
+        return self.maximum - self.minimum
+
+
+def summarize(
+    records: Sequence,
+    metric: Callable[[object], float],
+    group_by: Callable[[object], Tuple] = lambda r: (
+        r.graph, r.partitioner, r.num_machines,
+    ),
+) -> Dict[Tuple, DistributionSummary]:
+    """Group records and summarize ``metric`` per group."""
+    groups: Dict[Tuple, list] = {}
+    for record in records:
+        groups.setdefault(group_by(record), []).append(metric(record))
+    return {
+        key: DistributionSummary.from_values(values)
+        for key, values in groups.items()
+    }
+
+
+def speedup_summary(
+    records: Sequence,
+    baseline: str = "random",
+) -> Dict[Tuple, DistributionSummary]:
+    """Speedup-over-baseline distributions per (graph, partitioner, k).
+
+    The baseline record for every (graph, k, params) combination must be
+    present in ``records``.
+    """
+    base = {
+        (r.graph, r.num_machines, r.params): r.epoch_seconds
+        for r in records
+        if r.partitioner.lower() == baseline
+    }
+    groups: Dict[Tuple, list] = {}
+    for r in records:
+        reference = base.get((r.graph, r.num_machines, r.params))
+        if reference is None:
+            raise ValueError(
+                f"missing {baseline!r} baseline for "
+                f"({r.graph}, {r.num_machines}, {r.params.label()})"
+            )
+        key = (r.graph, r.partitioner, r.num_machines)
+        groups.setdefault(key, []).append(reference / r.epoch_seconds)
+    return {
+        key: DistributionSummary.from_values(values)
+        for key, values in groups.items()
+    }

@@ -1,0 +1,112 @@
+"""Experiment configuration mirroring the paper's methodology (Section 3).
+
+Table 3 hyper-parameters: hidden dimension and feature size in
+{16, 64, 512}, layers in {2, 3, 4}. Clusters of 4, 8, 16 and 32 machines.
+Batch sizes for the Figure 26 sweep are the paper's 512..32768 divided by
+``BATCH_SIZE_SCALE`` — our graphs are ~500x smaller than the paper's, so
+the training-vertex pools are scaled accordingly (the mapping is recorded
+with every result).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from itertools import product
+from typing import Iterator, Optional, Sequence, Tuple
+
+__all__ = [
+    "TrainingParams",
+    "HIDDEN_DIMENSIONS",
+    "FEATURE_SIZES",
+    "LAYER_COUNTS",
+    "MACHINE_COUNTS",
+    "PAPER_BATCH_SIZES",
+    "BATCH_SIZE_SCALE",
+    "scaled_batch_size",
+    "parameter_grid",
+    "reduced_grid",
+]
+
+#: Table 3 values.
+HIDDEN_DIMENSIONS: Tuple[int, ...] = (16, 64, 512)
+FEATURE_SIZES: Tuple[int, ...] = (16, 64, 512)
+LAYER_COUNTS: Tuple[int, ...] = (2, 3, 4)
+#: Cluster sizes used throughout the evaluation.
+MACHINE_COUNTS: Tuple[int, ...] = (4, 8, 16, 32)
+#: Figure 26 batch sizes (paper scale).
+PAPER_BATCH_SIZES: Tuple[int, ...] = (512, 1024, 2048, 4096, 8192, 16384, 32768)
+#: Our graphs are ~500x smaller; batch sizes shrink by this factor so the
+#: batch-to-training-set ratio matches the paper's regime.
+BATCH_SIZE_SCALE: int = 64
+
+
+def scaled_batch_size(paper_batch_size: int) -> int:
+    """Map a paper-scale global batch size onto our graph scale."""
+    return max(paper_batch_size // BATCH_SIZE_SCALE, 1)
+
+
+@dataclass(frozen=True)
+class TrainingParams:
+    """One GNN training configuration of the sweep."""
+
+    feature_size: int = 64
+    hidden_dim: int = 64
+    num_layers: int = 3
+    arch: str = "sage"
+    num_classes: int = 10
+    global_batch_size: int = 16  # paper-scale 1024 / BATCH_SIZE_SCALE
+
+    def with_(self, **changes) -> "TrainingParams":
+        return replace(self, **changes)
+
+    def label(self) -> str:
+        return (
+            f"{self.arch} f{self.feature_size} h{self.hidden_dim} "
+            f"L{self.num_layers}"
+        )
+
+
+def parameter_grid(
+    arch: str = "sage",
+    feature_sizes: Optional[Sequence[int]] = None,
+    hidden_dims: Optional[Sequence[int]] = None,
+    layer_counts: Optional[Sequence[int]] = None,
+) -> Iterator[TrainingParams]:
+    """The full Table 3 cross product (27 configurations per arch)."""
+    for feature, hidden, layers in product(
+        feature_sizes or FEATURE_SIZES,
+        hidden_dims or HIDDEN_DIMENSIONS,
+        layer_counts or LAYER_COUNTS,
+    ):
+        yield TrainingParams(
+            feature_size=feature,
+            hidden_dim=hidden,
+            num_layers=layers,
+            arch=arch,
+        )
+
+
+def reduced_grid(arch: str = "sage") -> Iterator[TrainingParams]:
+    """A corner-covering subset of the grid for quick benchmark runs:
+    all three values of each dimension appear while the others stay at
+    their middle value, plus the extreme corners.
+    """
+    base = TrainingParams(arch=arch)
+    seen = set()
+    candidates = [base]
+    for feature in FEATURE_SIZES:
+        candidates.append(base.with_(feature_size=feature))
+    for hidden in HIDDEN_DIMENSIONS:
+        candidates.append(base.with_(hidden_dim=hidden))
+    for layers in LAYER_COUNTS:
+        candidates.append(base.with_(num_layers=layers))
+    candidates.append(
+        base.with_(feature_size=512, hidden_dim=16, num_layers=4)
+    )
+    candidates.append(
+        base.with_(feature_size=16, hidden_dim=512, num_layers=2)
+    )
+    for params in candidates:
+        if params not in seen:
+            seen.add(params)
+            yield params

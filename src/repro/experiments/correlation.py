@@ -1,0 +1,25 @@
+"""Correlation helpers for the paper's R^2 claims (Figures 3, 5, 9)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["r_squared", "pearson"]
+
+
+def pearson(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation coefficient."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.size < 2:
+        raise ValueError("need two equal-length series of >= 2 points")
+    if x.std() == 0 or y.std() == 0:
+        raise ValueError("constant series has no correlation")
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def r_squared(x: Sequence[float], y: Sequence[float]) -> float:
+    """Coefficient of determination of the linear fit y ~ x."""
+    return pearson(x, y) ** 2

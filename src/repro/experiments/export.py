@@ -1,0 +1,69 @@
+"""JSON export/import of experiment records.
+
+The benchmark harness regenerates everything from scratch, but sweeps are
+expensive enough that users will want to persist records and post-process
+them elsewhere (notebooks, plotting).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import List, Sequence, Union
+
+from .config import TrainingParams
+from .records import DistDglRecord, DistGnnRecord
+
+__all__ = ["records_to_json", "save_records", "load_records"]
+
+Record = Union[DistGnnRecord, DistDglRecord]
+
+_KINDS = {
+    "distgnn": DistGnnRecord,
+    "distdgl": DistDglRecord,
+}
+
+
+def _record_kind(record: Record) -> str:
+    for kind, cls in _KINDS.items():
+        if isinstance(record, cls):
+            return kind
+    raise TypeError(f"unsupported record type {type(record).__name__}")
+
+
+def records_to_json(records: Sequence[Record]) -> str:
+    """Serialize records (of either engine) to a JSON string."""
+    payload = []
+    for record in records:
+        data = dataclasses.asdict(record)
+        data["params"] = dataclasses.asdict(record.params)
+        if data.get("memory_per_machine") is not None:
+            data["memory_per_machine"] = [
+                float(x) for x in data["memory_per_machine"]
+            ]
+        payload.append({"kind": _record_kind(record), "data": data})
+    return json.dumps(payload, indent=2)
+
+
+def save_records(records: Sequence[Record], path: Union[str, os.PathLike]) -> None:
+    """Write :func:`records_to_json` output to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(records_to_json(records))
+
+
+def load_records(path: Union[str, os.PathLike]) -> List[Record]:
+    """Load records written by :func:`save_records`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    records: List[Record] = []
+    for entry in payload:
+        kind = entry["kind"]
+        if kind not in _KINDS:
+            raise ValueError(f"unknown record kind {kind!r}")
+        data = dict(entry["data"])
+        data["params"] = TrainingParams(**data["params"])
+        if data.get("memory_per_machine") is not None:
+            data["memory_per_machine"] = tuple(data["memory_per_machine"])
+        records.append(_KINDS[kind](**data))
+    return records

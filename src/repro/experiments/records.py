@@ -1,0 +1,54 @@
+"""Result records produced by the experiment runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .config import TrainingParams
+
+__all__ = ["DistGnnRecord", "DistDglRecord"]
+
+
+@dataclass(frozen=True)
+class DistGnnRecord:
+    """One DistGNN experiment: graph x partitioner x k x params."""
+
+    graph: str
+    partitioner: str
+    num_machines: int
+    params: TrainingParams
+    epoch_seconds: float
+    forward_seconds: float
+    backward_seconds: float
+    sync_seconds: float
+    network_bytes: float
+    total_memory_bytes: float
+    memory_balance: float
+    replication_factor: float
+    edge_balance: float
+    vertex_balance: float
+    partitioning_seconds: float
+    out_of_memory: bool = False
+    memory_per_machine: Optional[tuple] = None
+
+
+@dataclass(frozen=True)
+class DistDglRecord:
+    """One DistDGL experiment: graph x partitioner x k x params."""
+
+    graph: str
+    partitioner: str
+    num_machines: int
+    params: TrainingParams
+    epoch_seconds: float
+    phase_seconds: Dict[str, float] = field(hash=False, default=None)
+    network_bytes: float = 0.0
+    remote_input_vertices: int = 0
+    local_input_vertices: int = 0
+    input_vertex_balance: float = 1.0
+    training_time_balance: float = 1.0
+    edge_cut: float = 0.0
+    vertex_balance: float = 1.0
+    training_vertex_balance: float = 1.0
+    partitioning_seconds: float = 0.0

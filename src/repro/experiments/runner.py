@@ -1,0 +1,212 @@
+"""Experiment runner: one call per (graph, partitioner, k, params) cell.
+
+Wraps partitioning (cached), engine construction and epoch simulation into
+flat result records, with the out-of-memory behaviour the paper reports
+(random partitioning pushing machines over budget) surfaced as a flag
+rather than an exception.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..cluster import OutOfMemoryError
+from ..costmodel import DEFAULT_COST_MODEL, CostModel
+from ..distdgl import DistDglEngine
+from ..distgnn import DistGnnEngine
+from ..graph import Graph, VertexSplit, random_split
+from ..partitioning import (
+    edge_partition_quality,
+    vertex_partition_quality,
+)
+from .cache import cached_edge_partition, cached_vertex_partition
+from .config import TrainingParams
+from .records import DistDglRecord, DistGnnRecord
+
+__all__ = [
+    "run_distgnn",
+    "run_distgnn_grid",
+    "run_distdgl",
+    "run_distdgl_grid",
+    "speedup_vs_random",
+]
+
+
+def run_distgnn(
+    graph: Graph,
+    partitioner: str,
+    num_machines: int,
+    params: TrainingParams,
+    seed: int = 0,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    enforce_memory_budget: bool = False,
+) -> DistGnnRecord:
+    """Simulate one DistGNN full-batch configuration."""
+    partition, part_seconds = cached_edge_partition(
+        graph, partitioner, num_machines, seed
+    )
+    quality = edge_partition_quality(partition)
+    engine = DistGnnEngine(
+        partition,
+        feature_size=params.feature_size,
+        hidden_dim=params.hidden_dim,
+        num_layers=params.num_layers,
+        num_classes=params.num_classes,
+        cost_model=cost_model,
+    )
+    out_of_memory = False
+    if enforce_memory_budget:
+        try:
+            engine.check_memory_budget()
+        except OutOfMemoryError:
+            out_of_memory = True
+    breakdown = engine.simulate_epoch()
+    return DistGnnRecord(
+        graph=graph.name,
+        partitioner=partitioner,
+        num_machines=num_machines,
+        params=params,
+        epoch_seconds=breakdown.epoch_seconds,
+        forward_seconds=breakdown.forward_seconds,
+        backward_seconds=breakdown.backward_seconds,
+        sync_seconds=breakdown.sync_seconds,
+        network_bytes=breakdown.network_bytes,
+        total_memory_bytes=engine.total_memory(),
+        memory_balance=engine.memory_utilization_balance(),
+        replication_factor=quality.replication_factor,
+        edge_balance=quality.edge_balance,
+        vertex_balance=quality.vertex_balance,
+        partitioning_seconds=part_seconds,
+        out_of_memory=out_of_memory,
+        memory_per_machine=tuple(engine.memory_per_machine()),
+    )
+
+
+def run_distgnn_grid(
+    graph: Graph,
+    partitioners: Sequence[str],
+    machine_counts: Sequence[int],
+    grid: Iterable[TrainingParams],
+    seed: int = 0,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> List[DistGnnRecord]:
+    """Run :func:`run_distgnn` over partitioners x machines x params."""
+    grid = list(grid)
+    records = []
+    for k in machine_counts:
+        for name in partitioners:
+            for params in grid:
+                records.append(
+                    run_distgnn(
+                        graph, name, k, params, seed, cost_model
+                    )
+                )
+    return records
+
+
+def run_distdgl(
+    graph: Graph,
+    partitioner: str,
+    num_machines: int,
+    params: TrainingParams,
+    split: Optional[VertexSplit] = None,
+    num_epochs: int = 1,
+    seed: int = 0,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> DistDglRecord:
+    """Run one DistDGL mini-batch configuration (sampling is executed)."""
+    if split is None:
+        split = random_split(graph, seed=seed)
+    partition, part_seconds = cached_vertex_partition(
+        graph, partitioner, num_machines, seed
+    )
+    quality = vertex_partition_quality(partition, split.train)
+    engine = DistDglEngine(
+        partition,
+        split,
+        arch=params.arch,
+        feature_size=params.feature_size,
+        hidden_dim=params.hidden_dim,
+        num_layers=params.num_layers,
+        num_classes=params.num_classes,
+        global_batch_size=params.global_batch_size,
+        cost_model=cost_model,
+        seed=seed,
+    )
+    reports = engine.run_training(num_epochs)
+    epoch_seconds = sum(r.epoch_seconds for r in reports) / len(reports)
+    phases = {
+        phase: sum(r.phase_seconds()[phase] for r in reports) / len(reports)
+        for phase in reports[0].phase_seconds()
+    }
+    return DistDglRecord(
+        graph=graph.name,
+        partitioner=partitioner,
+        num_machines=num_machines,
+        params=params,
+        epoch_seconds=epoch_seconds,
+        phase_seconds=phases,
+        network_bytes=sum(r.network_bytes for r in reports) / len(reports),
+        remote_input_vertices=int(
+            sum(r.remote_input_vertices for r in reports) / len(reports)
+        ),
+        local_input_vertices=int(
+            sum(r.local_input_vertices for r in reports) / len(reports)
+        ),
+        input_vertex_balance=float(
+            sum(r.mean_input_vertex_balance for r in reports) / len(reports)
+        ),
+        training_time_balance=float(
+            sum(r.training_time_balance() for r in reports) / len(reports)
+        ),
+        edge_cut=quality.edge_cut,
+        vertex_balance=quality.vertex_balance,
+        training_vertex_balance=quality.training_vertex_balance,
+        partitioning_seconds=part_seconds,
+    )
+
+
+def run_distdgl_grid(
+    graph: Graph,
+    partitioners: Sequence[str],
+    machine_counts: Sequence[int],
+    grid: Iterable[TrainingParams],
+    split: Optional[VertexSplit] = None,
+    seed: int = 0,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> List[DistDglRecord]:
+    """Run :func:`run_distdgl` over partitioners x machines x params."""
+    if split is None:
+        split = random_split(graph, seed=seed)
+    grid = list(grid)
+    records = []
+    for k in machine_counts:
+        for name in partitioners:
+            for params in grid:
+                records.append(
+                    run_distdgl(
+                        graph, name, k, params, split=split,
+                        seed=seed, cost_model=cost_model,
+                    )
+                )
+    return records
+
+
+def speedup_vs_random(records: Sequence) -> dict:
+    """Speedup of each record over the Random baseline with the same
+    (graph, k, params); keyed by (graph, partitioner, k, params).
+    """
+    baselines = {
+        (r.graph, r.num_machines, r.params): r.epoch_seconds
+        for r in records
+        if r.partitioner.lower() == "random"
+    }
+    speedups = {}
+    for r in records:
+        base = baselines.get((r.graph, r.num_machines, r.params))
+        if base is None or r.epoch_seconds <= 0:
+            continue
+        speedups[
+            (r.graph, r.partitioner, r.num_machines, r.params)
+        ] = base / r.epoch_seconds
+    return speedups

@@ -1,0 +1,35 @@
+"""Activation functions with explicit gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["relu", "relu_grad", "leaky_relu", "leaky_relu_grad", "softmax"]
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit, elementwise."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray, upstream: np.ndarray) -> np.ndarray:
+    """Gradient of relu evaluated at pre-activation ``x``."""
+    return upstream * (x > 0.0)
+
+
+def leaky_relu(x: np.ndarray, slope: float = 0.2) -> np.ndarray:
+    """Leaky ReLU with the given negative slope, elementwise."""
+    return np.where(x > 0.0, x, slope * x)
+
+
+def leaky_relu_grad(
+    x: np.ndarray, upstream: np.ndarray, slope: float = 0.2
+) -> np.ndarray:
+    return upstream * np.where(x > 0.0, 1.0, slope)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)

@@ -1,0 +1,82 @@
+"""Message-flow blocks: the unit of GNN computation.
+
+A :class:`Block` is a bipartite message-passing structure from source
+vertices to destination vertices, exactly like DGL's message-flow graphs
+(MFGs): mini-batch training builds one block per layer via sampling, while
+full-batch training uses one block covering the whole (local) graph per
+layer.
+
+Convention (as in DGL): the destination vertices are a *prefix* of the
+source vertices, i.e. ``src_ids[:num_dst] == dst_ids``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph import Graph
+
+__all__ = ["Block", "full_graph_block"]
+
+
+@dataclass(frozen=True)
+class Block:
+    """One layer's message-passing structure.
+
+    Attributes
+    ----------
+    src_ids:
+        Global vertex ids of source (input) vertices; the first
+        ``num_dst`` entries are the destination vertices.
+    num_dst:
+        Number of destination (output) vertices.
+    edge_src / edge_dst:
+        Local indices (into ``src_ids`` / the dst prefix) of each message.
+    """
+
+    src_ids: np.ndarray
+    num_dst: int
+    edge_src: np.ndarray
+    edge_dst: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.num_dst > self.src_ids.shape[0]:
+            raise ValueError("num_dst exceeds number of source vertices")
+        if self.edge_src.shape != self.edge_dst.shape:
+            raise ValueError("edge arrays must be parallel")
+        if self.edge_src.size:
+            if self.edge_src.max() >= self.src_ids.shape[0]:
+                raise ValueError("edge_src index out of range")
+            if self.edge_dst.max() >= self.num_dst:
+                raise ValueError("edge_dst index out of range")
+
+    @property
+    def num_src(self) -> int:
+        return int(self.src_ids.shape[0])
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_src.shape[0])
+
+    def in_degrees(self) -> np.ndarray:
+        """Messages per destination vertex (for mean aggregation)."""
+        return np.bincount(self.edge_dst, minlength=self.num_dst)
+
+
+def full_graph_block(graph: Graph) -> Block:
+    """A block covering the entire graph (full-batch training).
+
+    Every vertex is both source and destination; messages flow along the
+    symmetric adjacency, as GNN frameworks do for undirected learning.
+    """
+    indptr, indices = graph.symmetric_csr()
+    n = graph.num_vertices
+    edge_dst = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    return Block(
+        src_ids=np.arange(n, dtype=np.int64),
+        num_dst=n,
+        edge_src=indices.astype(np.int64),
+        edge_dst=edge_dst,
+    )

@@ -1,0 +1,301 @@
+"""GNN layers with explicit numpy forward and backward passes.
+
+Implements the three architectures used in the paper's experiments:
+GraphSAGE (mean aggregator), GCN, and GAT. Each layer owns its parameters
+and gradients, caches what its backward pass needs, and message-passes over
+a :class:`~repro.gnn.blocks.Block`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+from .activations import leaky_relu, leaky_relu_grad
+from .blocks import Block
+
+__all__ = [
+    "GraphLayer",
+    "SageLayer",
+    "GcnLayer",
+    "GatLayer",
+    "MultiHeadGatLayer",
+]
+
+
+def _glorot(
+    rng: np.random.Generator, fan_in: int, fan_out: int
+) -> np.ndarray:
+    scale = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-scale, scale, size=(fan_in, fan_out))
+
+
+class GraphLayer(abc.ABC):
+    """Base class: parameter store plus forward/backward contract."""
+
+    def __init__(self, dim_in: int, dim_out: int) -> None:
+        if dim_in <= 0 or dim_out <= 0:
+            raise ValueError("dimensions must be positive")
+        self.dim_in = dim_in
+        self.dim_out = dim_out
+        self.params: Dict[str, np.ndarray] = {}
+        self.grads: Dict[str, np.ndarray] = {}
+        self._cache: dict = {}
+
+    def add_param(self, name: str, value: np.ndarray) -> None:
+        self.params[name] = value
+        self.grads[name] = np.zeros_like(value)
+
+    def zero_grad(self) -> None:
+        for grad in self.grads.values():
+            grad.fill(0.0)
+
+    def parameters(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        for name in self.params:
+            yield self.params[name], self.grads[name]
+
+    @property
+    def num_params(self) -> int:
+        return sum(p.size for p in self.params.values())
+
+    @abc.abstractmethod
+    def forward(self, block: Block, x_src: np.ndarray) -> np.ndarray:
+        """Compute destination representations, caching for backward."""
+
+    @abc.abstractmethod
+    def backward(self, upstream: np.ndarray) -> np.ndarray:
+        """Accumulate parameter grads, return gradient w.r.t. ``x_src``."""
+
+
+def _scatter_sum(
+    values: np.ndarray, index: np.ndarray, num_segments: int
+) -> np.ndarray:
+    out = np.zeros((num_segments,) + values.shape[1:], dtype=values.dtype)
+    np.add.at(out, index, values)
+    return out
+
+
+class SageLayer(GraphLayer):
+    """GraphSAGE with mean aggregation.
+
+    ``h_v = x_v W_self + mean_{u in N(v)} x_u W_neigh + b``
+    """
+
+    def __init__(self, dim_in: int, dim_out: int, seed: int = 0) -> None:
+        super().__init__(dim_in, dim_out)
+        rng = np.random.default_rng(seed)
+        self.add_param("w_self", _glorot(rng, dim_in, dim_out))
+        self.add_param("w_neigh", _glorot(rng, dim_in, dim_out))
+        self.add_param("bias", np.zeros(dim_out))
+
+    def forward(self, block: Block, x_src: np.ndarray) -> np.ndarray:
+        x_dst = x_src[: block.num_dst]
+        sums = _scatter_sum(
+            x_src[block.edge_src], block.edge_dst, block.num_dst
+        )
+        degrees = np.maximum(block.in_degrees(), 1).astype(np.float64)
+        mean = sums / degrees[:, None]
+        out = (
+            x_dst @ self.params["w_self"]
+            + mean @ self.params["w_neigh"]
+            + self.params["bias"]
+        )
+        self._cache = {
+            "block": block,
+            "x_src": x_src,
+            "mean": mean,
+            "degrees": degrees,
+        }
+        return out
+
+    def backward(self, upstream: np.ndarray) -> np.ndarray:
+        block: Block = self._cache["block"]
+        x_src = self._cache["x_src"]
+        mean = self._cache["mean"]
+        degrees = self._cache["degrees"]
+        x_dst = x_src[: block.num_dst]
+
+        self.grads["w_self"] += x_dst.T @ upstream
+        self.grads["w_neigh"] += mean.T @ upstream
+        self.grads["bias"] += upstream.sum(axis=0)
+
+        dx_src = np.zeros_like(x_src)
+        dx_src[: block.num_dst] += upstream @ self.params["w_self"].T
+        d_mean = upstream @ self.params["w_neigh"].T
+        d_sums = d_mean / degrees[:, None]
+        np.add.at(dx_src, block.edge_src, d_sums[block.edge_dst])
+        self._cache = {}
+        return dx_src
+
+
+class GcnLayer(GraphLayer):
+    """GCN with self-loop mean normalisation.
+
+    ``h_v = ((x_v + sum_{u in N(v)} x_u) / (deg(v) + 1)) W + b``
+    """
+
+    def __init__(self, dim_in: int, dim_out: int, seed: int = 0) -> None:
+        super().__init__(dim_in, dim_out)
+        rng = np.random.default_rng(seed)
+        self.add_param("weight", _glorot(rng, dim_in, dim_out))
+        self.add_param("bias", np.zeros(dim_out))
+
+    def forward(self, block: Block, x_src: np.ndarray) -> np.ndarray:
+        x_dst = x_src[: block.num_dst]
+        sums = _scatter_sum(
+            x_src[block.edge_src], block.edge_dst, block.num_dst
+        )
+        degrees = (block.in_degrees() + 1).astype(np.float64)
+        normed = (sums + x_dst) / degrees[:, None]
+        out = normed @ self.params["weight"] + self.params["bias"]
+        self._cache = {
+            "block": block,
+            "x_src_shape": x_src.shape,
+            "normed": normed,
+            "degrees": degrees,
+        }
+        return out
+
+    def backward(self, upstream: np.ndarray) -> np.ndarray:
+        block: Block = self._cache["block"]
+        normed = self._cache["normed"]
+        degrees = self._cache["degrees"]
+
+        self.grads["weight"] += normed.T @ upstream
+        self.grads["bias"] += upstream.sum(axis=0)
+
+        d_normed = upstream @ self.params["weight"].T
+        d_pre = d_normed / degrees[:, None]
+        dx_src = np.zeros(self._cache["x_src_shape"])
+        dx_src[: block.num_dst] += d_pre
+        np.add.at(dx_src, block.edge_src, d_pre[block.edge_dst])
+        self._cache = {}
+        return dx_src
+
+
+class GatLayer(GraphLayer):
+    """Single-head graph attention (GAT).
+
+    ``e_uv = leakyrelu(a_src . z_u + a_dst . z_v)``,
+    ``alpha = softmax_v(e)``, ``h_v = sum_u alpha_uv z_u + b`` with
+    ``z = x W``. The per-edge attention math makes GAT noticeably more
+    expensive than SAGE/GCN, which the paper's Figure 25 relies on.
+    """
+
+    negative_slope = 0.2
+
+    def __init__(self, dim_in: int, dim_out: int, seed: int = 0) -> None:
+        super().__init__(dim_in, dim_out)
+        rng = np.random.default_rng(seed)
+        self.add_param("weight", _glorot(rng, dim_in, dim_out))
+        self.add_param("a_src", _glorot(rng, dim_out, 1)[:, 0])
+        self.add_param("a_dst", _glorot(rng, dim_out, 1)[:, 0])
+        self.add_param("bias", np.zeros(dim_out))
+
+    def forward(self, block: Block, x_src: np.ndarray) -> np.ndarray:
+        z = x_src @ self.params["weight"]
+        s_src = z @ self.params["a_src"]
+        s_dst = z[: block.num_dst] @ self.params["a_dst"]
+        pre = s_src[block.edge_src] + s_dst[block.edge_dst]
+        act = leaky_relu(pre, self.negative_slope)
+        # Segment softmax over incoming edges of each destination.
+        seg_max = np.full(block.num_dst, -np.inf)
+        np.maximum.at(seg_max, block.edge_dst, act)
+        seg_max[np.isneginf(seg_max)] = 0.0
+        exp = np.exp(act - seg_max[block.edge_dst])
+        seg_sum = _scatter_sum(exp, block.edge_dst, block.num_dst)
+        seg_sum = np.maximum(seg_sum, 1e-12)
+        alpha = exp / seg_sum[block.edge_dst]
+        out = _scatter_sum(
+            alpha[:, None] * z[block.edge_src],
+            block.edge_dst,
+            block.num_dst,
+        )
+        out += self.params["bias"]
+        self._cache = {
+            "block": block,
+            "x_src": x_src,
+            "z": z,
+            "alpha": alpha,
+            "pre": pre,
+        }
+        return out
+
+    def backward(self, upstream: np.ndarray) -> np.ndarray:
+        block: Block = self._cache["block"]
+        x_src = self._cache["x_src"]
+        z = self._cache["z"]
+        alpha = self._cache["alpha"]
+        pre = self._cache["pre"]
+
+        self.grads["bias"] += upstream.sum(axis=0)
+        dz = np.zeros_like(z)
+        # Through the aggregation: out_v = sum_e alpha_e z_src(e).
+        d_edge = upstream[block.edge_dst]  # (E, d_out)
+        d_alpha = (d_edge * z[block.edge_src]).sum(axis=1)
+        np.add.at(dz, block.edge_src, alpha[:, None] * d_edge)
+        # Segment softmax backward.
+        weighted = alpha * d_alpha
+        seg_weighted = _scatter_sum(weighted, block.edge_dst, block.num_dst)
+        d_act = weighted - alpha * seg_weighted[block.edge_dst]
+        d_pre = leaky_relu_grad(pre, d_act, self.negative_slope)
+        # Through the attention scores.
+        ds_src = _scatter_sum(d_pre, block.edge_src, block.num_src)
+        ds_dst = _scatter_sum(d_pre, block.edge_dst, block.num_dst)
+        self.grads["a_src"] += z.T @ ds_src
+        self.grads["a_dst"] += z[: block.num_dst].T @ ds_dst
+        dz += ds_src[:, None] * self.params["a_src"][None, :]
+        dz[: block.num_dst] += ds_dst[:, None] * self.params["a_dst"][None, :]
+        # Through the projection.
+        self.grads["weight"] += x_src.T @ dz
+        dx_src = dz @ self.params["weight"].T
+        self._cache = {}
+        return dx_src
+
+
+class MultiHeadGatLayer(GraphLayer):
+    """Multi-head GAT with head concatenation.
+
+    ``num_heads`` independent single-head attention layers run over the
+    same block; their outputs are concatenated, so ``dim_out`` must be a
+    multiple of ``num_heads`` (each head produces ``dim_out/num_heads``).
+    """
+
+    def __init__(
+        self, dim_in: int, dim_out: int, num_heads: int = 4, seed: int = 0
+    ) -> None:
+        super().__init__(dim_in, dim_out)
+        if num_heads < 1:
+            raise ValueError("need at least one head")
+        if dim_out % num_heads != 0:
+            raise ValueError("dim_out must be divisible by num_heads")
+        self.num_heads = num_heads
+        self.head_dim = dim_out // num_heads
+        self.heads = [
+            GatLayer(dim_in, self.head_dim, seed=seed + 101 * h)
+            for h in range(num_heads)
+        ]
+        # Expose head parameters through the usual dict interface.
+        for h, head in enumerate(self.heads):
+            for name, value in head.params.items():
+                self.params[f"h{h}_{name}"] = value
+                self.grads[f"h{h}_{name}"] = head.grads[name]
+
+    def forward(self, block: Block, x_src: np.ndarray) -> np.ndarray:
+        outputs = [head.forward(block, x_src) for head in self.heads]
+        return np.concatenate(outputs, axis=1)
+
+    def backward(self, upstream: np.ndarray) -> np.ndarray:
+        dx = None
+        for h, head in enumerate(self.heads):
+            chunk = upstream[:, h * self.head_dim : (h + 1) * self.head_dim]
+            head_dx = head.backward(chunk)
+            dx = head_dx if dx is None else dx + head_dx
+        assert dx is not None
+        return dx
+
+    def zero_grad(self) -> None:
+        for head in self.heads:
+            head.zero_grad()

@@ -1,0 +1,37 @@
+"""Softmax cross-entropy loss with gradient."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .activations import softmax
+
+__all__ = ["softmax_cross_entropy", "accuracy"]
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy over rows; returns ``(loss, d_logits)``."""
+    if logits.ndim != 2:
+        raise ValueError("logits must be (n, classes)")
+    if labels.shape != (logits.shape[0],):
+        raise ValueError("labels must be a vector matching logits rows")
+    n = logits.shape[0]
+    if n == 0:
+        return 0.0, np.zeros_like(logits)
+    probs = softmax(logits, axis=1)
+    picked = probs[np.arange(n), labels]
+    loss = float(-np.log(np.maximum(picked, 1e-12)).mean())
+    grad = probs
+    grad[np.arange(n), labels] -= 1.0
+    return loss, grad / n
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of rows whose argmax equals the label."""
+    if logits.shape[0] == 0:
+        return 0.0
+    return float((logits.argmax(axis=1) == labels).mean())

@@ -1,0 +1,80 @@
+"""Incremental construction of :class:`~repro.graph.csr.Graph` objects."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from .csr import Graph
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Accumulates edges and produces an immutable :class:`Graph`.
+
+    Duplicate edges and (for undirected graphs) mirrored duplicates are
+    removed at :meth:`build` time. Self loops are allowed but most
+    generators avoid them.
+    """
+
+    def __init__(self, directed: bool = False, name: str = "") -> None:
+        self._directed = directed
+        self._name = name
+        self._sources: list[int] = []
+        self._targets: list[int] = []
+        self._chunks: list[np.ndarray] = []
+        self._max_vertex = -1
+
+    def add_edge(self, u: int, v: int) -> None:
+        if u < 0 or v < 0:
+            raise ValueError("vertex ids must be non-negative")
+        self._sources.append(u)
+        self._targets.append(v)
+        self._max_vertex = max(self._max_vertex, u, v)
+
+    def add_edges(self, pairs: Iterable[Tuple[int, int]]) -> None:
+        for u, v in pairs:
+            self.add_edge(int(u), int(v))
+
+    def add_edge_array(self, edges: np.ndarray) -> None:
+        """Bulk-add an ``(m, 2)`` array of edges."""
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        if edges.size == 0:
+            return
+        if edges.min() < 0:
+            raise ValueError("vertex ids must be non-negative")
+        self._chunks.append(edges)
+        self._max_vertex = max(self._max_vertex, int(edges.max()))
+
+    @property
+    def num_pending_edges(self) -> int:
+        return len(self._sources) + sum(c.shape[0] for c in self._chunks)
+
+    def build(self, num_vertices: Optional[int] = None) -> Graph:
+        """Finalize the builder into a graph.
+
+        ``num_vertices`` defaults to ``max vertex id + 1``. The builder can
+        be reused afterwards; building does not clear accumulated edges.
+        """
+        parts = list(self._chunks)
+        if self._sources:
+            parts.append(
+                np.stack(
+                    [
+                        np.asarray(self._sources, dtype=np.int64),
+                        np.asarray(self._targets, dtype=np.int64),
+                    ],
+                    axis=1,
+                )
+            )
+        if parts:
+            edges = np.concatenate(parts, axis=0)
+        else:
+            edges = np.zeros((0, 2), dtype=np.int64)
+        if num_vertices is None:
+            num_vertices = self._max_vertex + 1 if self._max_vertex >= 0 else 1
+        return Graph(
+            num_vertices, edges, directed=self._directed, name=self._name
+        )

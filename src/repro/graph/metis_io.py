@@ -1,0 +1,95 @@
+"""METIS graph-format IO.
+
+The METIS format is the de-facto interchange format of the partitioning
+community (KaHIP, KaFFPa, mt-metis and the original METIS all read it),
+so supporting it lets users partition their existing datasets with this
+library — and partition our stand-ins with external tools for
+comparison.
+
+Format: first line ``n m [fmt]``; line ``i+1`` lists the (1-indexed)
+neighbours of vertex ``i``. Only the unweighted variant (fmt 0/absent)
+is supported.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from .csr import Graph
+
+__all__ = ["read_metis_graph", "write_metis_graph"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def write_metis_graph(graph: Graph, path: PathLike) -> None:
+    """Write the graph's symmetric adjacency in METIS format."""
+    indptr, indices = graph.symmetric_csr()
+    num_edges = graph.undirected_edges().shape[0]
+    with open(path, "w") as handle:
+        handle.write(f"{graph.num_vertices} {num_edges}\n")
+        for v in range(graph.num_vertices):
+            nbrs = indices[indptr[v] : indptr[v + 1]]
+            handle.write(" ".join(str(u + 1) for u in nbrs) + "\n")
+
+
+def read_metis_graph(path: PathLike, name: str = "") -> Graph:
+    """Read an unweighted METIS graph file."""
+    with open(path) as handle:
+        header = handle.readline().split()
+        if len(header) < 2:
+            raise ValueError(f"{path}: malformed METIS header")
+        if len(header) >= 3 and header[2] not in ("0", "00", "000"):
+            raise ValueError(
+                f"{path}: weighted METIS graphs (fmt={header[2]}) are "
+                "not supported"
+            )
+        num_vertices = int(header[0])
+        declared_edges = int(header[1])
+        sources = []
+        targets = []
+        vertex = 0
+        for line in handle:
+            line = line.strip()
+            if line.startswith("%"):
+                continue  # comment lines do not count as vertices
+            if vertex >= num_vertices:
+                if line:
+                    raise ValueError(f"{path}: more lines than vertices")
+                continue
+            for field in line.split():
+                u = int(field) - 1
+                if not 0 <= u < num_vertices:
+                    raise ValueError(
+                        f"{path}: neighbour {field} out of range"
+                    )
+                if u > vertex:  # each undirected edge once
+                    sources.append(vertex)
+                    targets.append(u)
+            vertex += 1
+    if vertex != num_vertices:
+        raise ValueError(
+            f"{path}: header declares {num_vertices} vertices but "
+            f"{vertex} adjacency lines found"
+        )
+    edges = (
+        np.stack(
+            [
+                np.asarray(sources, dtype=np.int64),
+                np.asarray(targets, dtype=np.int64),
+            ],
+            axis=1,
+        )
+        if sources
+        else np.zeros((0, 2), dtype=np.int64)
+    )
+    graph = Graph(num_vertices, edges, directed=False, name=name)
+    if graph.num_edges != declared_edges:
+        raise ValueError(
+            f"{path}: header declares {declared_edges} edges but "
+            f"{graph.num_edges} were read"
+        )
+    return graph

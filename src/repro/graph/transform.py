@@ -1,0 +1,95 @@
+"""Graph transformations: component extraction, filtering, relabelling.
+
+Real pipelines rarely feed raw crawls to a partitioner; these helpers
+cover the standard preprocessing steps (the paper's datasets are already
+cleaned, but user-supplied edge lists often are not).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .csr import Graph
+
+__all__ = [
+    "largest_connected_component",
+    "filter_by_degree",
+    "relabel_compact",
+    "symmetrized",
+]
+
+
+def _component_labels(graph: Graph) -> np.ndarray:
+    """Connected-component label per vertex (on the symmetric view)."""
+    indptr, indices = graph.symmetric_csr()
+    labels = np.full(graph.num_vertices, -1, dtype=np.int64)
+    next_label = 0
+    for start in range(graph.num_vertices):
+        if labels[start] >= 0:
+            continue
+        stack = [start]
+        labels[start] = next_label
+        while stack:
+            v = stack.pop()
+            for u in indices[indptr[v] : indptr[v + 1]]:
+                u = int(u)
+                if labels[u] < 0:
+                    labels[u] = next_label
+                    stack.append(u)
+        next_label += 1
+    return labels
+
+
+def largest_connected_component(graph: Graph) -> Graph:
+    """Induced subgraph on the largest (weakly) connected component."""
+    labels = _component_labels(graph)
+    counts = np.bincount(labels)
+    keep = np.flatnonzero(labels == counts.argmax())
+    return graph.subgraph(keep)
+
+
+def filter_by_degree(
+    graph: Graph, min_degree: int = 1, max_degree: int | None = None
+) -> Graph:
+    """Induced subgraph on vertices within the given degree band.
+
+    One pass only: degrees are measured on the input graph, so vertices
+    can fall below ``min_degree`` in the result (iterate for a k-core).
+    """
+    degrees = graph.degrees()
+    mask = degrees >= min_degree
+    if max_degree is not None:
+        mask &= degrees <= max_degree
+    keep = np.flatnonzero(mask)
+    if keep.size == 0:
+        raise ValueError("degree filter removed every vertex")
+    return graph.subgraph(keep)
+
+
+def relabel_compact(
+    graph: Graph,
+) -> Tuple[Graph, np.ndarray]:
+    """Drop isolated vertices, relabelling the rest to ``0..n'-1``.
+
+    Returns the compacted graph and the array mapping new ids to the
+    original ids.
+    """
+    degrees = graph.degrees()
+    keep = np.flatnonzero(degrees > 0)
+    if keep.size == 0:
+        raise ValueError("graph has no edges to keep")
+    return graph.subgraph(keep), keep
+
+
+def symmetrized(graph: Graph) -> Graph:
+    """Undirected view of a directed graph (reciprocal arcs collapse)."""
+    if not graph.directed:
+        return graph
+    return Graph(
+        graph.num_vertices,
+        graph.undirected_edges(),
+        directed=False,
+        name=graph.name,
+    )

@@ -1,0 +1,185 @@
+"""Partition assignment containers.
+
+Two result types mirror the paper's two partitioning families:
+
+* :class:`EdgePartition` (vertex-cut): every *edge* belongs to exactly one
+  partition; vertices touching edges in several partitions are *replicated*.
+* :class:`VertexPartition` (edge-cut): every *vertex* belongs to exactly one
+  partition; edges whose endpoints differ are *cut*.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..graph import Graph
+
+__all__ = ["EdgePartition", "VertexPartition"]
+
+
+class EdgePartition:
+    """Result of edge partitioning (vertex-cut).
+
+    Parameters
+    ----------
+    graph:
+        The partitioned graph.
+    edges:
+        ``(m, 2)`` canonical undirected edges, in the order matched by
+        ``assignment`` (normally ``graph.undirected_edges()``).
+    assignment:
+        ``(m,)`` partition id per edge, values in ``[0, num_partitions)``.
+    num_partitions:
+        Number of partitions ``k``.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        edges: np.ndarray,
+        assignment: np.ndarray,
+        num_partitions: int,
+    ) -> None:
+        edges = np.asarray(edges, dtype=np.int64)
+        assignment = np.asarray(assignment, dtype=np.int32)
+        if edges.ndim != 2 or edges.shape[1] != 2:
+            raise ValueError("edges must be (m, 2)")
+        if assignment.shape[0] != edges.shape[0]:
+            raise ValueError("assignment length must equal number of edges")
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        if assignment.size and (
+            assignment.min() < 0 or assignment.max() >= num_partitions
+        ):
+            raise ValueError("assignment value out of range")
+        self.graph = graph
+        self.edges = edges
+        self.assignment = assignment
+        self.num_partitions = int(num_partitions)
+        self._replica_pairs: np.ndarray | None = None
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edges.shape[0])
+
+    def edge_counts(self) -> np.ndarray:
+        """Edges per partition, shape ``(k,)``."""
+        return np.bincount(self.assignment, minlength=self.num_partitions)
+
+    def replica_pairs(self) -> np.ndarray:
+        """Unique ``(partition, vertex)`` pairs — one row per vertex replica."""
+        if self._replica_pairs is None:
+            part = np.concatenate([self.assignment, self.assignment])
+            vert = np.concatenate([self.edges[:, 0], self.edges[:, 1]])
+            pairs = np.stack([part.astype(np.int64), vert], axis=1)
+            self._replica_pairs = np.unique(pairs, axis=0)
+        return self._replica_pairs
+
+    def vertex_counts(self) -> np.ndarray:
+        """Number of covered vertices per partition, shape ``(k,)``."""
+        pairs = self.replica_pairs()
+        return np.bincount(
+            pairs[:, 0].astype(np.int32), minlength=self.num_partitions
+        )
+
+    def copies_per_vertex(self) -> np.ndarray:
+        """Number of partitions each vertex is replicated to, shape ``(n,)``.
+
+        Vertices touching no edge have zero copies.
+        """
+        pairs = self.replica_pairs()
+        return np.bincount(pairs[:, 1], minlength=self.graph.num_vertices)
+
+    def partition_vertices(self, partition: int) -> np.ndarray:
+        """Sorted ids of vertices covered by ``partition``."""
+        pairs = self.replica_pairs()
+        return pairs[pairs[:, 0] == partition, 1]
+
+    def partition_edges(self, partition: int) -> np.ndarray:
+        """Edges assigned to ``partition``, shape ``(m_i, 2)``."""
+        return self.edges[self.assignment == partition]
+
+    def masters(self) -> np.ndarray:
+        """Master partition per vertex: the replica holding most of its edges.
+
+        Vertices with no edges get master ``vertex_id % k`` so every vertex
+        has an owner (DistGNN assigns each vertex's learnable state to one
+        machine).
+        """
+        n, k = self.graph.num_vertices, self.num_partitions
+        counts = np.zeros((n, k), dtype=np.int32) if n * k <= 50_000_000 else None
+        if counts is None:
+            raise MemoryError("graph too large for dense master computation")
+        flat_u = self.edges[:, 0] * k + self.assignment
+        flat_v = self.edges[:, 1] * k + self.assignment
+        np.add.at(counts.reshape(-1), flat_u, 1)
+        np.add.at(counts.reshape(-1), flat_v, 1)
+        owners = counts.argmax(axis=1)
+        isolated = counts.sum(axis=1) == 0
+        owners[isolated] = np.arange(n, dtype=np.int64)[isolated] % k
+        return owners.astype(np.int32)
+
+
+class VertexPartition:
+    """Result of vertex partitioning (edge-cut).
+
+    Parameters
+    ----------
+    graph:
+        The partitioned graph.
+    assignment:
+        ``(n,)`` partition id per vertex, values in ``[0, num_partitions)``.
+    num_partitions:
+        Number of partitions ``k``.
+    """
+
+    def __init__(
+        self, graph: Graph, assignment: np.ndarray, num_partitions: int
+    ) -> None:
+        assignment = np.asarray(assignment, dtype=np.int32)
+        if assignment.shape != (graph.num_vertices,):
+            raise ValueError("assignment must have one entry per vertex")
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        if assignment.size and (
+            assignment.min() < 0 or assignment.max() >= num_partitions
+        ):
+            raise ValueError("assignment value out of range")
+        self.graph = graph
+        self.assignment = assignment
+        self.num_partitions = int(num_partitions)
+
+    def vertex_counts(self) -> np.ndarray:
+        """Vertices per partition, shape ``(k,)``."""
+        return np.bincount(self.assignment, minlength=self.num_partitions)
+
+    def partition_vertices(self, partition: int) -> np.ndarray:
+        return np.flatnonzero(self.assignment == partition)
+
+    def cut_mask(self) -> np.ndarray:
+        """Boolean mask over ``graph.undirected_edges()``: True where cut."""
+        edges = self.graph.undirected_edges()
+        return self.assignment[edges[:, 0]] != self.assignment[edges[:, 1]]
+
+    def num_cut_edges(self) -> int:
+        return int(self.cut_mask().sum())
+
+    def local_edge_counts(self) -> np.ndarray:
+        """Per-partition count of fully-local (non-cut) undirected edges."""
+        edges = self.graph.undirected_edges()
+        local = self.assignment[edges[:, 0]] == self.assignment[edges[:, 1]]
+        return np.bincount(
+            self.assignment[edges[local, 0]], minlength=self.num_partitions
+        )
+
+    def partition_subgraphs(self) -> List[np.ndarray]:
+        """Vertex id arrays of each partition (convenience for engines)."""
+        order = np.argsort(self.assignment, kind="stable")
+        counts = self.vertex_counts()
+        bounds = np.concatenate([[0], np.cumsum(counts)])
+        return [
+            np.sort(order[bounds[i] : bounds[i + 1]])
+            for i in range(self.num_partitions)
+        ]

@@ -1,0 +1,94 @@
+"""Partitioner interfaces.
+
+Every partitioner in the study implements one of two abstract bases:
+
+* :class:`EdgePartitioner` — vertex-cut; produces an :class:`EdgePartition`.
+* :class:`VertexPartitioner` — edge-cut; produces a :class:`VertexPartition`.
+
+Both expose ``partition(graph, num_partitions, seed=0)`` and record the
+wall-clock partitioning time of the last run (used by the amortization
+analysis, Tables 4 and 5 of the paper).
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..graph import Graph
+from .assignment import EdgePartition, VertexPartition
+
+__all__ = ["Partitioner", "EdgePartitioner", "VertexPartitioner"]
+
+
+class Partitioner(abc.ABC):
+    """Common behaviour: naming, categories and timing."""
+
+    #: Short name as used in the paper's tables, e.g. ``"HDRF"``.
+    name: str = "base"
+    #: ``"vertex-cut"`` (edge partitioning) or ``"edge-cut"`` (vertex part.).
+    cut_type: str = ""
+    #: Paper's category: stateless/stateful streaming, hybrid, in-memory.
+    category: str = ""
+
+    def __init__(self) -> None:
+        self.last_partitioning_seconds: Optional[float] = None
+
+    def _check_args(self, graph: Graph, num_partitions: int) -> None:
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        if graph.num_vertices == 0:
+            raise ValueError("cannot partition an empty graph")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class EdgePartitioner(Partitioner):
+    """Vertex-cut partitioner: assigns every undirected edge to a partition."""
+
+    cut_type = "vertex-cut"
+
+    def partition(
+        self, graph: Graph, num_partitions: int, seed: int = 0
+    ) -> EdgePartition:
+        self._check_args(graph, num_partitions)
+        edges = graph.undirected_edges()
+        start = time.perf_counter()
+        assignment = self._assign(graph, edges, num_partitions, seed)
+        self.last_partitioning_seconds = time.perf_counter() - start
+        return EdgePartition(graph, edges, assignment, num_partitions)
+
+    @abc.abstractmethod
+    def _assign(
+        self,
+        graph: Graph,
+        edges: np.ndarray,
+        num_partitions: int,
+        seed: int,
+    ) -> np.ndarray:
+        """Return a partition id per row of ``edges``."""
+
+
+class VertexPartitioner(Partitioner):
+    """Edge-cut partitioner: assigns every vertex to a partition."""
+
+    cut_type = "edge-cut"
+
+    def partition(
+        self, graph: Graph, num_partitions: int, seed: int = 0
+    ) -> VertexPartition:
+        self._check_args(graph, num_partitions)
+        start = time.perf_counter()
+        assignment = self._assign(graph, num_partitions, seed)
+        self.last_partitioning_seconds = time.perf_counter() - start
+        return VertexPartition(graph, assignment, num_partitions)
+
+    @abc.abstractmethod
+    def _assign(
+        self, graph: Graph, num_partitions: int, seed: int
+    ) -> np.ndarray:
+        """Return a partition id per vertex."""

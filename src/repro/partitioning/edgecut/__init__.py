@@ -1,0 +1,17 @@
+"""Edge-cut (vertex partitioning) algorithms used with DistDGL."""
+
+from .bytegnn import ByteGnnPartitioner
+from .kahip import KahipPartitioner
+from .ldg import LdgPartitioner
+from .metis import MetisPartitioner
+from .random_vertex import RandomVertexPartitioner
+from .spinner import SpinnerPartitioner
+
+__all__ = [
+    "RandomVertexPartitioner",
+    "LdgPartitioner",
+    "SpinnerPartitioner",
+    "MetisPartitioner",
+    "ByteGnnPartitioner",
+    "KahipPartitioner",
+]

@@ -1,0 +1,171 @@
+"""ByteGNN-style block-based vertex partitioning.
+
+Zheng et al., VLDB 2022. ByteGNN partitions specifically for mini-batch
+GNN training: it grows a *block* around every training vertex via r-hop BFS
+(r = number of GNN layers), so a training vertex and the neighbourhood its
+mini-batches will sample tend to stay together, then assigns blocks to
+partitions, balancing *training vertices* (the unit of sampling work)
+rather than raw vertices.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from ...graph import Graph
+from ..base import VertexPartitioner
+
+__all__ = ["ByteGnnPartitioner"]
+
+
+class ByteGnnPartitioner(VertexPartitioner):
+    name = "ByteGNN"
+    category = "in-memory"
+
+    def __init__(
+        self,
+        train_vertices: Optional[np.ndarray] = None,
+        num_hops: int = 2,
+        train_fraction: float = 0.1,
+        slack: float = 1.1,
+    ) -> None:
+        """``train_vertices`` seeds the blocks; when omitted, a random
+        ``train_fraction`` sample is drawn (matching the paper's 10% split).
+        """
+        super().__init__()
+        self.train_vertices = (
+            None
+            if train_vertices is None
+            else np.asarray(train_vertices, dtype=np.int64)
+        )
+        self.num_hops = num_hops
+        self.train_fraction = train_fraction
+        self.slack = slack
+
+    def _assign(
+        self, graph: Graph, num_partitions: int, seed: int
+    ) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        train = self.train_vertices
+        if train is None:
+            size = max(int(self.train_fraction * graph.num_vertices), 1)
+            train = rng.choice(graph.num_vertices, size=size, replace=False)
+        block_of = self._grow_blocks(graph, train, rng)
+        return self._assign_blocks(
+            graph, block_of, train, num_partitions, rng
+        )
+
+    # ------------------------------------------------------------------
+    def _grow_blocks(
+        self, graph: Graph, train: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """r-hop BFS block per training vertex; leftovers join a neighbour.
+
+        Blocks are capped at twice the average share so one dense training
+        vertex cannot swallow the graph.
+        """
+        indptr, indices = graph.symmetric_csr()
+        n = graph.num_vertices
+        block_of = np.full(n, -1, dtype=np.int64)
+        cap = max(2 * n // max(train.size, 1), self.num_hops + 1)
+        for block_id, seed_vertex in enumerate(rng.permutation(train)):
+            seed_vertex = int(seed_vertex)
+            if block_of[seed_vertex] >= 0:
+                continue
+            block_of[seed_vertex] = block_id
+            size = 1
+            frontier = deque([(seed_vertex, 0)])
+            while frontier and size < cap:
+                v, depth = frontier.popleft()
+                if depth >= self.num_hops:
+                    continue
+                for u in indices[indptr[v] : indptr[v + 1]]:
+                    u = int(u)
+                    if block_of[u] >= 0 or size >= cap:
+                        continue
+                    block_of[u] = block_id
+                    size += 1
+                    frontier.append((u, depth + 1))
+        # Attach unclaimed vertices to an already-claimed neighbour; truly
+        # isolated leftovers become singleton blocks.
+        next_block = int(block_of.max()) + 1
+        for v in rng.permutation(np.flatnonzero(block_of < 0)):
+            v = int(v)
+            nbrs = indices[indptr[v] : indptr[v + 1]]
+            claimed = block_of[nbrs]
+            claimed = claimed[claimed >= 0]
+            if claimed.size:
+                block_of[v] = claimed[0]
+            else:
+                block_of[v] = next_block
+                next_block += 1
+        return block_of
+
+    def _assign_blocks(
+        self,
+        graph: Graph,
+        block_of: np.ndarray,
+        train: np.ndarray,
+        num_partitions: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Stream blocks largest-first onto partitions.
+
+        Score favours the partition with most edges into the block, with
+        hard caps on training vertices (the sampling workload) and total
+        vertices per partition.
+        """
+        num_blocks = int(block_of.max()) + 1
+        edges = graph.undirected_edges()
+        bu = block_of[edges[:, 0]]
+        bv = block_of[edges[:, 1]]
+        inter = bu != bv
+        # Block adjacency as (block, other_block, weight) triples.
+        key = np.concatenate(
+            [bu[inter] * num_blocks + bv[inter], bv[inter] * num_blocks + bu[inter]]
+        )
+        uniq, weight = np.unique(key, return_counts=True)
+        adj_src = uniq // num_blocks
+        adj_dst = uniq % num_blocks
+        order = np.argsort(adj_src, kind="stable")
+        adj_src, adj_dst, weight = adj_src[order], adj_dst[order], weight[order]
+        adj_indptr = np.zeros(num_blocks + 1, dtype=np.int64)
+        np.cumsum(np.bincount(adj_src, minlength=num_blocks), out=adj_indptr[1:])
+
+        block_size = np.bincount(block_of, minlength=num_blocks)
+        train_per_block = np.bincount(
+            block_of[train], minlength=num_blocks
+        )
+        cap_vertices = self.slack * graph.num_vertices / num_partitions
+        cap_train = max(self.slack * train.size / num_partitions, 1.0)
+
+        part_of_block = np.full(num_blocks, -1, dtype=np.int32)
+        # conn[p, b]: edge weight between partition p and unassigned block b.
+        conn = np.zeros((num_partitions, num_blocks), dtype=np.float64)
+        vertex_load = np.zeros(num_partitions, dtype=np.int64)
+        train_load = np.zeros(num_partitions, dtype=np.int64)
+
+        for block in np.argsort(-block_size, kind="stable"):
+            block = int(block)
+            score = conn[:, block] * (1.0 - vertex_load / cap_vertices)
+            blocked = (
+                (vertex_load + block_size[block] > cap_vertices)
+                | (train_load + train_per_block[block] > cap_train)
+            )
+            score[blocked] = -np.inf
+            if np.isinf(score).all():
+                target = int(vertex_load.argmin())
+            elif score.max() > 0:
+                target = int(score.argmax())
+            else:
+                eligible = np.flatnonzero(~blocked)
+                target = int(eligible[train_load[eligible].argmin()])
+            part_of_block[block] = target
+            vertex_load[target] += block_size[block]
+            train_load[target] += train_per_block[block]
+            lo, hi = adj_indptr[block], adj_indptr[block + 1]
+            conn[target, adj_dst[lo:hi]] += weight[lo:hi]
+        return part_of_block[block_of].astype(np.int32)

@@ -1,0 +1,305 @@
+"""Multilevel k-way partitioning machinery (METIS/KaHIP family).
+
+The multilevel scheme has three phases:
+
+1. *Coarsening*: repeatedly contract a heavy-edge matching until the graph
+   is small.
+2. *Initial partitioning*: greedy region growing on the coarsest graph.
+3. *Uncoarsening*: project the partition back level by level, running a
+   boundary refinement (Fiduccia-Mattheyses-style greedy gain moves) at
+   every level.
+
+Both our METIS-like and KaHIP-like partitioners drive this module; they
+differ in imbalance tolerance, refinement effort and outer repetitions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "WeightedGraph",
+    "coarsen",
+    "initial_partition",
+    "refine",
+    "rebalance",
+    "multilevel_partition",
+    "cut_weight",
+]
+
+
+@dataclass
+class WeightedGraph:
+    """Symmetric weighted graph in CSR form with vertex weights."""
+
+    num_vertices: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    eweights: np.ndarray
+    vweights: np.ndarray
+
+    @classmethod
+    def from_edges(
+        cls, num_vertices: int, edges: np.ndarray
+    ) -> "WeightedGraph":
+        """Unit-weight graph from canonical undirected edges."""
+        weights = np.ones(edges.shape[0], dtype=np.int64)
+        return cls.from_weighted_edges(
+            num_vertices,
+            edges,
+            weights,
+            np.ones(num_vertices, dtype=np.int64),
+        )
+
+    @classmethod
+    def from_weighted_edges(
+        cls,
+        num_vertices: int,
+        edges: np.ndarray,
+        eweights: np.ndarray,
+        vweights: np.ndarray,
+    ) -> "WeightedGraph":
+        src = np.concatenate([edges[:, 0], edges[:, 1]])
+        dst = np.concatenate([edges[:, 1], edges[:, 0]])
+        wgt = np.concatenate([eweights, eweights])
+        order = np.argsort(src, kind="stable")
+        src, dst, wgt = src[order], dst[order], wgt[order]
+        counts = np.bincount(src, minlength=num_vertices)
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(num_vertices, indptr, dst, wgt, vweights)
+
+    def neighbors(self, vertex: int) -> Tuple[np.ndarray, np.ndarray]:
+        lo, hi = self.indptr[vertex], self.indptr[vertex + 1]
+        return self.indices[lo:hi], self.eweights[lo:hi]
+
+    @property
+    def total_vertex_weight(self) -> int:
+        return int(self.vweights.sum())
+
+
+def coarsen(
+    graph: WeightedGraph, rng: np.random.Generator
+) -> Tuple[WeightedGraph, np.ndarray]:
+    """One level of heavy-edge-matching contraction.
+
+    Returns the coarse graph and the fine->coarse vertex mapping.
+    """
+    n = graph.num_vertices
+    match = np.full(n, -1, dtype=np.int64)
+    for v in rng.permutation(n):
+        v = int(v)
+        if match[v] >= 0:
+            continue
+        nbrs, wgts = graph.neighbors(v)
+        free = match[nbrs] < 0
+        candidates = nbrs[free]
+        if candidates.size == 0:
+            match[v] = v  # stays a singleton
+            continue
+        partner = int(candidates[np.argmax(wgts[free])])
+        if partner == v:
+            match[v] = v
+            continue
+        match[v] = partner
+        match[partner] = v
+    # Number coarse vertices: one id per matched pair / singleton.
+    coarse_of = np.full(n, -1, dtype=np.int64)
+    next_id = 0
+    for v in range(n):
+        if coarse_of[v] >= 0:
+            continue
+        coarse_of[v] = next_id
+        partner = match[v]
+        if partner != v and coarse_of[partner] < 0:
+            coarse_of[partner] = next_id
+        next_id += 1
+    coarse_vw = np.zeros(next_id, dtype=np.int64)
+    np.add.at(coarse_vw, coarse_of, graph.vweights)
+
+    # Contract edges: group by coarse endpoint pair, summing weights.
+    half = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.indptr))
+    cu = coarse_of[half]
+    cv = coarse_of[graph.indices]
+    keep = cu < cv  # each undirected edge once; drops intra-pair edges
+    key = cu[keep] * next_id + cv[keep]
+    uniq, inverse = np.unique(key, return_inverse=True)
+    weights = np.zeros(uniq.shape[0], dtype=np.int64)
+    np.add.at(weights, inverse, graph.eweights[keep])
+    edges = np.stack([uniq // next_id, uniq % next_id], axis=1)
+    coarse = WeightedGraph.from_weighted_edges(
+        next_id, edges, weights, coarse_vw
+    )
+    return coarse, coarse_of
+
+
+def initial_partition(
+    graph: WeightedGraph, num_partitions: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Greedy BFS region growing on the coarsest graph."""
+    n = graph.num_vertices
+    assignment = np.full(n, -1, dtype=np.int32)
+    target = graph.total_vertex_weight / num_partitions
+    unassigned = n
+    for part in range(num_partitions - 1):
+        load = 0
+        frontier: deque[int] = deque()
+        while load < target and unassigned > 0:
+            if not frontier:
+                pool = np.flatnonzero(assignment < 0)
+                frontier.append(int(pool[rng.integers(pool.size)]))
+            v = frontier.popleft()
+            if assignment[v] >= 0:
+                continue
+            assignment[v] = part
+            load += int(graph.vweights[v])
+            unassigned -= 1
+            nbrs, _ = graph.neighbors(v)
+            for u in nbrs[assignment[nbrs] < 0]:
+                frontier.append(int(u))
+    assignment[assignment < 0] = num_partitions - 1
+    return assignment
+
+
+def cut_weight(graph: WeightedGraph, assignment: np.ndarray) -> int:
+    """Total weight of edges whose endpoints differ (each edge once)."""
+    half = np.repeat(
+        np.arange(graph.num_vertices, dtype=np.int64),
+        np.diff(graph.indptr),
+    )
+    cut = assignment[half] != assignment[graph.indices]
+    return int(graph.eweights[cut].sum() // 2)
+
+
+def rebalance(
+    graph: WeightedGraph,
+    assignment: np.ndarray,
+    num_partitions: int,
+    max_load: float,
+    rng: np.random.Generator,
+) -> None:
+    """Force overweight partitions under ``max_load`` via cheapest moves."""
+    loads = np.zeros(num_partitions, dtype=np.int64)
+    np.add.at(loads, assignment, graph.vweights)
+    for part in range(num_partitions):
+        if loads[part] <= max_load:
+            continue
+        members = np.flatnonzero(assignment == part)
+        for v in rng.permutation(members):
+            if loads[part] <= max_load:
+                break
+            v = int(v)
+            nbrs, wgts = graph.neighbors(v)
+            ext = assignment[nbrs] != part
+            if ext.any():
+                options = assignment[nbrs[ext]]
+                weights = wgts[ext]
+                # Move toward the most-connected non-full partition.
+                scores = np.bincount(
+                    options, weights=weights, minlength=num_partitions
+                )
+                scores[loads >= max_load] = -1
+                target = int(scores.argmax())
+                if scores[target] < 0:
+                    target = int(loads.argmin())
+            else:
+                target = int(loads.argmin())
+            if target == part:
+                continue
+            assignment[v] = target
+            loads[part] -= graph.vweights[v]
+            loads[target] += graph.vweights[v]
+
+
+def refine(
+    graph: WeightedGraph,
+    assignment: np.ndarray,
+    num_partitions: int,
+    max_load: float,
+    passes: int,
+    rng: np.random.Generator,
+) -> int:
+    """Greedy boundary refinement; returns the number of moves made.
+
+    Each pass visits vertices in random order and moves a vertex to the
+    neighbouring partition with the highest positive gain (external minus
+    internal edge weight), subject to the balance cap. Zero-gain moves are
+    taken when they improve balance — this is the classic FM heuristic
+    without the full priority-queue machinery, which at our scales performs
+    equivalently.
+    """
+    loads = np.zeros(num_partitions, dtype=np.int64)
+    np.add.at(loads, assignment, graph.vweights)
+    total_moves = 0
+    for _ in range(passes):
+        moves = 0
+        for v in rng.permutation(graph.num_vertices):
+            v = int(v)
+            nbrs, wgts = graph.neighbors(v)
+            if nbrs.size == 0:
+                continue
+            parts = assignment[nbrs]
+            own = assignment[v]
+            if not (parts != own).any():
+                continue  # interior vertex
+            conn = np.bincount(
+                parts, weights=wgts, minlength=num_partitions
+            )
+            internal = conn[own]
+            conn[own] = -np.inf
+            vw = graph.vweights[v]
+            conn[loads + vw > max_load] = -np.inf
+            target = int(conn.argmax())
+            gain = conn[target] - internal
+            if gain > 0 or (
+                gain == 0 and loads[target] + vw < loads[own]
+            ):
+                assignment[v] = target
+                loads[own] -= vw
+                loads[target] += vw
+                moves += 1
+        total_moves += moves
+        if moves == 0:
+            break
+    return total_moves
+
+
+def multilevel_partition(
+    num_vertices: int,
+    edges: np.ndarray,
+    num_partitions: int,
+    epsilon: float,
+    refine_passes: int,
+    seed: int,
+    coarsest_size: int = 0,
+) -> np.ndarray:
+    """Full multilevel k-way partition of an unweighted undirected graph."""
+    rng = np.random.default_rng(seed)
+    graph = WeightedGraph.from_edges(num_vertices, edges)
+    if coarsest_size <= 0:
+        coarsest_size = max(30 * num_partitions, 200)
+
+    levels: List[Tuple[WeightedGraph, np.ndarray]] = []
+    current = graph
+    while current.num_vertices > coarsest_size:
+        coarse, mapping = coarsen(current, rng)
+        if coarse.num_vertices >= current.num_vertices * 0.95:
+            break  # matching stagnated (e.g. star graphs)
+        levels.append((current, mapping))
+        current = coarse
+
+    assignment = initial_partition(current, num_partitions, rng)
+    max_load = (1.0 + epsilon) * current.total_vertex_weight / num_partitions
+    rebalance(current, assignment, num_partitions, max_load, rng)
+    refine(current, assignment, num_partitions, max_load, refine_passes, rng)
+
+    for fine, mapping in reversed(levels):
+        assignment = assignment[mapping]
+        max_load = (1.0 + epsilon) * fine.total_vertex_weight / num_partitions
+        rebalance(fine, assignment, num_partitions, max_load, rng)
+        refine(fine, assignment, num_partitions, max_load, refine_passes, rng)
+    return assignment.astype(np.int32)

@@ -1,0 +1,29 @@
+"""Random (hash) vertex partitioning — the paper's edge-cut baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...graph import Graph
+from ..base import VertexPartitioner
+
+__all__ = ["RandomVertexPartitioner"]
+
+
+class RandomVertexPartitioner(VertexPartitioner):
+    """Assigns each vertex to a uniformly random partition.
+
+    Stateless streaming; perfect vertex balance in expectation and the
+    worst edge-cut of all partitioners (paper, Figure 12).
+    """
+
+    name = "Random"
+    category = "stateless streaming"
+
+    def _assign(
+        self, graph: Graph, num_partitions: int, seed: int
+    ) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        return rng.integers(
+            0, num_partitions, size=graph.num_vertices, dtype=np.int32
+        )

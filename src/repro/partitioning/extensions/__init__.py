@@ -1,0 +1,53 @@
+"""Extension partitioners beyond the paper's Table 2.
+
+The study's future-work section calls for "even more effective graph
+partitioning algorithms"; this package collects well-known algorithms
+from the paper's related-work universe so the ablation benchmarks can
+compare them against the studied twelve:
+
+===========  ==========  ====================================
+name         cut type    origin
+===========  ==========  ====================================
+fennel       edge-cut    Tsourakakis et al., WSDM 2014
+reldg        edge-cut    Nishimura & Ugander, KDD 2013 [33]
+ne           vertex-cut  Zhang et al., KDD 2017 [48]
+===========  ==========  ====================================
+"""
+
+from typing import Callable, Dict, Union
+
+from ..base import EdgePartitioner, VertexPartitioner
+from .fennel import FennelPartitioner
+from .ne import NePartitioner
+from .reldg import RestreamingLdgPartitioner
+
+__all__ = [
+    "FennelPartitioner",
+    "RestreamingLdgPartitioner",
+    "NePartitioner",
+    "EXTENSION_PARTITIONER_NAMES",
+    "make_extension_partitioner",
+]
+
+_FACTORIES: Dict[
+    str, Callable[[], Union[EdgePartitioner, VertexPartitioner]]
+] = {
+    "fennel": FennelPartitioner,
+    "reldg": RestreamingLdgPartitioner,
+    "ne": NePartitioner,
+}
+
+EXTENSION_PARTITIONER_NAMES = tuple(_FACTORIES)
+
+
+def make_extension_partitioner(
+    name: str,
+) -> Union[EdgePartitioner, VertexPartitioner]:
+    """Construct an extension partitioner by (case-insensitive) name."""
+    key = name.lower()
+    if key not in _FACTORIES:
+        raise KeyError(
+            f"unknown extension partitioner {name!r}; "
+            f"available: {sorted(_FACTORIES)}"
+        )
+    return _FACTORIES[key]()

@@ -1,0 +1,109 @@
+"""Persistence for partition assignments.
+
+Partitioning large graphs is expensive (Tables 4/5 are entirely about
+that cost), so assignments are first-class artifacts: a plain-text format
+with a metadata header, readable by other tools, re-loadable into the
+typed containers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from ..graph import Graph
+from .assignment import EdgePartition, VertexPartition
+
+__all__ = [
+    "save_vertex_partition",
+    "load_vertex_partition",
+    "save_edge_partition",
+    "load_edge_partition",
+]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_vertex_partition(
+    partition: VertexPartition, path: PathLike
+) -> None:
+    """One line per vertex: the partition id of vertex ``i`` on line i."""
+    with open(path, "w") as handle:
+        handle.write(
+            f"# vertex-partition k={partition.num_partitions} "
+            f"n={partition.graph.num_vertices}\n"
+        )
+        for part in partition.assignment:
+            handle.write(f"{part}\n")
+
+
+def load_vertex_partition(graph: Graph, path: PathLike) -> VertexPartition:
+    """Load an assignment written by :func:`save_vertex_partition`."""
+    num_partitions, values = _read(path, "vertex-partition")
+    if len(values) != graph.num_vertices:
+        raise ValueError(
+            f"file has {len(values)} entries but the graph has "
+            f"{graph.num_vertices} vertices"
+        )
+    return VertexPartition(
+        graph, np.asarray(values, dtype=np.int32), num_partitions
+    )
+
+
+def save_edge_partition(partition: EdgePartition, path: PathLike) -> None:
+    """One line per canonical undirected edge: ``u v partition``."""
+    with open(path, "w") as handle:
+        handle.write(
+            f"# edge-partition k={partition.num_partitions} "
+            f"m={partition.num_edges}\n"
+        )
+        for (u, v), part in zip(partition.edges, partition.assignment):
+            handle.write(f"{u} {v} {part}\n")
+
+
+def load_edge_partition(graph: Graph, path: PathLike) -> EdgePartition:
+    """Load an edge partition; edges are matched against the graph's
+    canonical edge order (the file may list them in any order)."""
+    num_partitions, rows = _read(path, "edge-partition", columns=3)
+    edges = graph.undirected_edges()
+    assignment = np.full(edges.shape[0], -1, dtype=np.int32)
+    # Index canonical edges for the match.
+    n = graph.num_vertices
+    keys = edges[:, 0] * n + edges[:, 1]
+    order = np.argsort(keys)
+    for u, v, part in rows:
+        lo, hi = (u, v) if u <= v else (v, u)
+        key = lo * n + hi
+        pos = np.searchsorted(keys[order], key)
+        if pos >= order.size or keys[order[pos]] != key:
+            raise ValueError(f"edge ({u}, {v}) is not in the graph")
+        assignment[order[pos]] = part
+    if (assignment < 0).any():
+        missing = int((assignment < 0).sum())
+        raise ValueError(f"{missing} graph edges missing from the file")
+    return EdgePartition(graph, edges, assignment, num_partitions)
+
+
+def _read(path: PathLike, expected_kind: str, columns: int = 1):
+    with open(path) as handle:
+        header = handle.readline().strip()
+        if not header.startswith(f"# {expected_kind}"):
+            raise ValueError(
+                f"{path}: expected a '{expected_kind}' header, "
+                f"got {header!r}"
+            )
+        num_partitions = int(header.split("k=")[1].split()[0])
+        rows = []
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = [int(x) for x in line.split()]
+            if len(fields) != columns:
+                raise ValueError(
+                    f"{path}: expected {columns} columns, got {len(fields)}"
+                )
+            rows.append(fields[0] if columns == 1 else tuple(fields))
+    return num_partitions, rows

@@ -1,0 +1,15 @@
+"""Vertex-cut (edge partitioning) algorithms used with DistGNN."""
+
+from .dbh import DbhPartitioner
+from .hdrf import HdrfPartitioner
+from .hep import HepPartitioner
+from .random_edge import RandomEdgePartitioner
+from .twops import TwoPsLPartitioner
+
+__all__ = [
+    "RandomEdgePartitioner",
+    "DbhPartitioner",
+    "HdrfPartitioner",
+    "TwoPsLPartitioner",
+    "HepPartitioner",
+]

@@ -1,0 +1,43 @@
+"""High-Degree (are) Replicated First — HDRF.
+
+Petroni et al., CIKM 2015. Stateful streaming vertex-cut: each incoming
+edge is placed on the partition maximising a score that (a) prefers
+partitions already holding the edge's endpoints, weighted so that the
+*lower*-degree endpoint dominates the decision (replicate hubs, keep
+low-degree vertices whole), and (b) penalises imbalance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...graph import Graph
+from ..base import EdgePartitioner
+from .streaming import HdrfState
+
+__all__ = ["HdrfPartitioner"]
+
+
+class HdrfPartitioner(EdgePartitioner):
+    name = "HDRF"
+    category = "stateful streaming"
+
+    def __init__(self, lambda_balance: float = 1.1) -> None:
+        super().__init__()
+        self.lambda_balance = lambda_balance
+
+    def _assign(
+        self,
+        graph: Graph,
+        edges: np.ndarray,
+        num_partitions: int,
+        seed: int,
+    ) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(edges.shape[0])
+        state = HdrfState(
+            graph.num_vertices, num_partitions, self.lambda_balance
+        )
+        assignment = np.empty(edges.shape[0], dtype=np.int32)
+        assignment[order] = state.place_edges(edges[order])
+        return assignment

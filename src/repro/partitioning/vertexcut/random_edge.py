@@ -1,0 +1,34 @@
+"""Random (hash) edge partitioning — the paper's vertex-cut baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...graph import Graph
+from ..base import EdgePartitioner
+
+__all__ = ["RandomEdgePartitioner"]
+
+
+class RandomEdgePartitioner(EdgePartitioner):
+    """Assigns each edge to a uniformly random partition.
+
+    Stateless streaming: the assignment of an edge depends on nothing but
+    the edge itself. Produces near-perfect edge balance and the worst
+    replication factor of all partitioners (paper, Figure 2).
+    """
+
+    name = "Random"
+    category = "stateless streaming"
+
+    def _assign(
+        self,
+        graph: Graph,
+        edges: np.ndarray,
+        num_partitions: int,
+        seed: int,
+    ) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        return rng.integers(
+            0, num_partitions, size=edges.shape[0], dtype=np.int32
+        )

@@ -1,0 +1,83 @@
+"""Shared stateful-streaming machinery for vertex-cut partitioners.
+
+:class:`HdrfState` implements the HDRF scoring rule (Petroni et al., CIKM
+2015). It is used directly by :class:`~.hdrf.HdrfPartitioner` and re-used by
+HEP's streaming phase for high-degree edges, seeded with the state produced
+by the in-memory phase.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["HdrfState"]
+
+
+class HdrfState:
+    """Mutable state for HDRF-style streaming edge assignment.
+
+    Parameters
+    ----------
+    num_vertices, num_partitions:
+        Graph and partitioning dimensions.
+    lambda_balance:
+        Weight of the balance term (paper default 1.1: mild balancing).
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        num_partitions: int,
+        lambda_balance: float = 1.1,
+    ) -> None:
+        self.num_partitions = num_partitions
+        self.lambda_balance = lambda_balance
+        # membership[v, p] == True iff v already has an edge on partition p.
+        self.membership = np.zeros(
+            (num_vertices, num_partitions), dtype=bool
+        )
+        self.partial_degree = np.zeros(num_vertices, dtype=np.int64)
+        self.loads = np.zeros(num_partitions, dtype=np.int64)
+
+    def seed_from(
+        self, edges: np.ndarray, assignment: np.ndarray
+    ) -> None:
+        """Absorb an existing partial assignment (HEP's in-memory phase)."""
+        if edges.size == 0:
+            return
+        self.membership[edges[:, 0], assignment] = True
+        self.membership[edges[:, 1], assignment] = True
+        np.add.at(self.partial_degree, edges[:, 0], 1)
+        np.add.at(self.partial_degree, edges[:, 1], 1)
+        self.loads += np.bincount(assignment, minlength=self.num_partitions)
+
+    def place_edge(self, u: int, v: int) -> int:
+        """Score all partitions for edge ``(u, v)``, place it, return pid."""
+        self.partial_degree[u] += 1
+        self.partial_degree[v] += 1
+        du = self.partial_degree[u]
+        dv = self.partial_degree[v]
+        theta_u = du / (du + dv)
+        theta_v = 1.0 - theta_u
+        g_u = self.membership[u] * (2.0 - theta_u)  # 1 + (1 - theta)
+        g_v = self.membership[v] * (2.0 - theta_v)
+        max_load = self.loads.max()
+        min_load = self.loads.min()
+        balance = (
+            self.lambda_balance
+            * (max_load - self.loads)
+            / (1e-9 + max_load - min_load)
+        )
+        score = g_u + g_v + balance
+        best = int(score.argmax())
+        self.membership[u, best] = True
+        self.membership[v, best] = True
+        self.loads[best] += 1
+        return best
+
+    def place_edges(self, edges: np.ndarray) -> np.ndarray:
+        """Stream ``edges`` (in given order) and return their assignment."""
+        assignment = np.empty(edges.shape[0], dtype=np.int32)
+        for i, (u, v) in enumerate(edges):
+            assignment[i] = self.place_edge(int(u), int(v))
+        return assignment

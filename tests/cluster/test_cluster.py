@@ -1,0 +1,64 @@
+"""Tests for the Cluster facade."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, OutOfMemoryError
+from repro.costmodel import CostModel
+
+
+def test_compute_phase_updates_machines_and_timeline():
+    cluster = Cluster(3)
+    duration = cluster.run_compute_phase("fwd", np.array([1.0, 2.0, 0.5]))
+    assert duration == 2.0
+    assert cluster.machines[1].compute_seconds == 2.0
+    assert cluster.timeline.total_seconds == 2.0
+
+
+def test_comm_phase_records_traffic():
+    cluster = Cluster(2)
+    cluster.run_comm_phase(
+        "sync", np.array([1000.0, 0.0]), np.array([0.0, 1000.0])
+    )
+    assert cluster.fabric.total_bytes == 1000
+    assert cluster.machines[0].bytes_sent == 1000
+    assert cluster.machines[1].bytes_received == 1000
+
+
+def test_comm_phase_bisection_floor():
+    """Evenly spread traffic is bounded by aggregate fabric bandwidth."""
+    cm = CostModel()
+    cluster = Cluster(4, cm)
+    sent = np.full(4, 1000.0)
+    duration = cluster.run_comm_phase("sync", sent, sent)
+    floor = 2.0 * 4000.0 / 4
+    assert duration == pytest.approx(cm.transfer_seconds(floor, 1))
+
+
+def test_comm_phase_dominant_port_wins():
+    cm = CostModel()
+    cluster = Cluster(4, cm)
+    sent = np.array([10000.0, 0.0, 0.0, 0.0])
+    duration = cluster.run_comm_phase("sync", sent, np.zeros(4))
+    assert duration == pytest.approx(cm.transfer_seconds(10000.0, 1))
+
+
+def test_memory_budget_enforced():
+    cm = CostModel(memory_budget_bytes=1000)
+    cluster = Cluster(2, cm)
+    cluster.allocate(1, "features", 2000)
+    with pytest.raises(OutOfMemoryError) as err:
+        cluster.check_memory_budget()
+    assert err.value.machine_id == 1
+
+
+def test_memory_balance():
+    cluster = Cluster(2)
+    cluster.allocate(0, "a", 100)
+    cluster.allocate(1, "a", 300)
+    assert cluster.memory_utilization_balance() == pytest.approx(1.5)
+
+
+def test_needs_at_least_one_machine():
+    with pytest.raises(ValueError):
+        Cluster(0)

@@ -1,0 +1,62 @@
+"""Failure/straggler injection via heterogeneous machine speeds."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.distgnn import DistGnnEngine
+from repro.partitioning import HdrfPartitioner
+
+
+def test_slow_machine_stretches_phase():
+    cluster = Cluster(4, machine_speeds=np.array([1.0, 1.0, 0.5, 1.0]))
+    duration = cluster.run_compute_phase("fwd", np.full(4, 1.0))
+    assert duration == pytest.approx(2.0)  # the half-speed machine
+
+
+def test_uniform_speeds_are_default():
+    a = Cluster(3)
+    b = Cluster(3, machine_speeds=np.ones(3))
+    assert a.run_compute_phase("x", np.array([1.0, 2.0, 3.0])) == (
+        b.run_compute_phase("x", np.array([1.0, 2.0, 3.0]))
+    )
+
+
+def test_invalid_speeds_rejected():
+    with pytest.raises(ValueError):
+        Cluster(2, machine_speeds=np.array([1.0]))
+    with pytest.raises(ValueError):
+        Cluster(2, machine_speeds=np.array([1.0, 0.0]))
+
+
+def test_straggler_injection_slows_training(tiny_or):
+    """A degraded machine hurts the barrier-synchronised epoch even when
+    the partitioning itself is balanced."""
+    partition = HdrfPartitioner().partition(tiny_or, 4, seed=0)
+    healthy = DistGnnEngine(partition, 64, 64, 2)
+    degraded = DistGnnEngine(
+        partition, 64, 64, 2,
+        machine_speeds=np.array([1.0, 1.0, 1.0, 0.25]),
+    )
+    assert (
+        degraded.simulate_epoch().epoch_seconds
+        > healthy.simulate_epoch().epoch_seconds
+    )
+
+
+def test_straggler_only_affects_compute(tiny_or):
+    """Communication phases are network-bound, not CPU-bound."""
+    partition = HdrfPartitioner().partition(tiny_or, 4, seed=0)
+    healthy = DistGnnEngine(partition, 64, 64, 2)
+    degraded = DistGnnEngine(
+        partition, 64, 64, 2,
+        machine_speeds=np.array([1.0, 1.0, 1.0, 0.25]),
+    )
+    healthy.simulate_epoch()
+    degraded.simulate_epoch()
+    h_phases = healthy.cluster.timeline.phase_totals()
+    d_phases = degraded.cluster.timeline.phase_totals()
+    assert d_phases["forward-l0"] > h_phases["forward-l0"]
+    assert d_phases["forward-sync-l0"] == pytest.approx(
+        h_phases["forward-sync-l0"]
+    )

@@ -1,0 +1,44 @@
+"""Tests for Machine and MemoryLedger."""
+
+import pytest
+
+from repro.cluster import Machine, MemoryLedger
+
+
+class TestMemoryLedger:
+    def test_allocate_accumulates(self):
+        ledger = MemoryLedger()
+        ledger.allocate("features", 100)
+        ledger.allocate("features", 50)
+        assert ledger.total_bytes == 150
+        assert ledger.by_category() == {"features": 150}
+
+    def test_peak_tracks_high_watermark(self):
+        ledger = MemoryLedger()
+        ledger.allocate("a", 100)
+        ledger.free("a", 60)
+        ledger.allocate("a", 10)
+        assert ledger.total_bytes == 50
+        assert ledger.peak_bytes == 100
+
+    def test_free_more_than_held_rejected(self):
+        ledger = MemoryLedger()
+        ledger.allocate("a", 10)
+        with pytest.raises(ValueError):
+            ledger.free("a", 20)
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryLedger().allocate("a", -5)
+
+
+class TestMachine:
+    def test_compute_accumulates(self):
+        machine = Machine(0)
+        machine.add_compute(1.5)
+        machine.add_compute(0.5)
+        assert machine.compute_seconds == 2.0
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ValueError):
+            Machine(0).add_compute(-1.0)

@@ -1,0 +1,49 @@
+"""Tests for the network fabric."""
+
+import numpy as np
+
+from repro.cluster import NetworkFabric
+from repro.costmodel import CostModel
+
+
+def make_fabric(k=4):
+    return NetworkFabric(k, CostModel())
+
+
+def test_point_to_point_accounting():
+    fabric = make_fabric()
+    fabric.transfer(0, 1, 1000)
+    fabric.transfer(0, 2, 500)
+    assert fabric.sent[0] == 1500
+    assert fabric.received[1] == 1000
+    assert fabric.total_bytes == 1500
+
+
+def test_local_transfer_free():
+    fabric = make_fabric()
+    fabric.transfer(2, 2, 1e9)
+    assert fabric.total_bytes == 0
+
+
+def test_bulk_transfer():
+    fabric = make_fabric()
+    fabric.transfer_bulk(
+        np.array([10.0, 0, 0, 0]), np.array([0, 10.0, 0, 0])
+    )
+    assert fabric.sent[0] == 10
+    assert fabric.received[1] == 10
+
+
+def test_phase_seconds_busiest_port():
+    fabric = make_fabric()
+    cm = fabric.cost_model
+    sent = np.array([1e6, 0, 0, 0])
+    recv = np.array([0, 1e6, 0, 0])
+    expected = cm.transfer_seconds(1e6, 1)
+    assert fabric.phase_seconds(sent, recv) == expected
+
+
+def test_phase_seconds_zero_traffic():
+    fabric = make_fabric()
+    zero = np.zeros(4)
+    assert fabric.phase_seconds(zero, zero) == 0.0

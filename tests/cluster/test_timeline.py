@@ -1,0 +1,41 @@
+"""Tests for the BSP timeline."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Timeline
+
+
+def test_phase_duration_is_straggler():
+    timeline = Timeline()
+    duration = timeline.add_phase("fwd", np.array([1.0, 3.0, 2.0]))
+    assert duration == 3.0
+    assert timeline.total_seconds == 3.0
+
+
+def test_phase_totals_accumulate_by_name():
+    timeline = Timeline()
+    timeline.add_phase("fwd", np.array([1.0, 2.0]))
+    timeline.add_phase("fwd", np.array([2.0, 1.0]))
+    timeline.add_phase("bwd", np.array([5.0, 0.0]))
+    totals = timeline.phase_totals()
+    assert totals == {"fwd": 4.0, "bwd": 5.0}
+    assert timeline.straggler_phase_totals() == totals
+
+
+def test_per_machine_totals():
+    timeline = Timeline()
+    timeline.add_phase("a", np.array([1.0, 2.0]))
+    timeline.add_phase("b", np.array([3.0, 1.0]))
+    assert timeline.per_machine_totals().tolist() == [4.0, 3.0]
+
+
+def test_empty_timeline():
+    timeline = Timeline()
+    assert timeline.total_seconds == 0.0
+    assert timeline.per_machine_totals().size == 0
+
+
+def test_negative_times_rejected():
+    with pytest.raises(ValueError):
+        Timeline().add_phase("x", np.array([-1.0]))

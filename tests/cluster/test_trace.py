@@ -1,0 +1,69 @@
+"""Tests for Chrome trace export."""
+
+import json
+
+import numpy as np
+
+from repro.cluster import (
+    Timeline,
+    save_chrome_trace,
+    timeline_to_chrome_trace,
+)
+
+
+def make_timeline():
+    timeline = Timeline()
+    timeline.add_phase("forward", np.array([1.0, 2.0]))
+    timeline.add_phase("sync", np.array([0.5, 0.25]))
+    return timeline
+
+
+def test_trace_is_valid_json():
+    payload = json.loads(timeline_to_chrome_trace(make_timeline()))
+    assert "traceEvents" in payload
+
+
+def test_event_count_and_threads():
+    payload = json.loads(timeline_to_chrome_trace(make_timeline()))
+    events = [e for e in payload["traceEvents"] if e.get("ph") == "X"]
+    assert len(events) == 4  # 2 phases x 2 machines
+    assert {e["tid"] for e in events} == {0, 1}
+
+
+def test_barrier_semantics_in_timestamps():
+    """The second phase starts when the slowest machine of the first is
+    done (2.0s -> 2e6 us)."""
+    payload = json.loads(timeline_to_chrome_trace(make_timeline()))
+    sync_events = [
+        e for e in payload["traceEvents"] if e.get("name") == "sync"
+    ]
+    assert all(e["ts"] == 2e6 for e in sync_events)
+
+
+def test_durations_microseconds():
+    payload = json.loads(timeline_to_chrome_trace(make_timeline()))
+    forward = [
+        e for e in payload["traceEvents"] if e.get("name") == "forward"
+    ]
+    assert sorted(e["dur"] for e in forward) == [1e6, 2e6]
+
+
+def test_save_roundtrip(tmp_path):
+    path = tmp_path / "trace.json"
+    save_chrome_trace(make_timeline(), path)
+    payload = json.loads(path.read_text())
+    assert payload["traceEvents"]
+
+
+def test_engine_timeline_exports(tiny_or):
+    from repro.distgnn import DistGnnEngine
+    from repro.partitioning import RandomEdgePartitioner
+
+    partition = RandomEdgePartitioner().partition(tiny_or, 4, seed=0)
+    engine = DistGnnEngine(partition, 32, 32, 2)
+    engine.simulate_epoch()
+    payload = json.loads(
+        timeline_to_chrome_trace(engine.cluster.timeline)
+    )
+    names = {e.get("name") for e in payload["traceEvents"]}
+    assert "forward-l0" in names

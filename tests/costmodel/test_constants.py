@@ -1,0 +1,59 @@
+"""Tests for the cost model conversions."""
+
+import pytest
+
+from repro.costmodel import DEFAULT_COST_MODEL, CostModel
+
+
+def test_compute_seconds_linear():
+    cm = CostModel(flops_per_second=1e9)
+    assert cm.compute_seconds(2e9) == pytest.approx(2.0)
+
+
+def test_transfer_seconds_includes_latency():
+    cm = CostModel(network_bandwidth=1e6, network_latency=0.01)
+    assert cm.transfer_seconds(1e6, num_messages=2) == pytest.approx(1.02)
+
+
+def test_transfer_zero_is_free():
+    assert CostModel().transfer_seconds(0, 0) == 0.0
+
+
+def test_feature_bytes():
+    cm = CostModel(float_bytes=4)
+    assert cm.feature_bytes(100, 64) == 100 * 64 * 4
+
+
+def test_allreduce_single_machine_free():
+    assert CostModel().allreduce_seconds(1e9, 1) == 0.0
+
+
+def test_allreduce_scales_with_payload():
+    cm = CostModel()
+    small = cm.allreduce_seconds(1e3, 8)
+    large = cm.allreduce_seconds(1e6, 8)
+    assert large > small
+
+
+def test_allreduce_volume_factor():
+    """Ring all-reduce moves ~2x the payload per machine."""
+    cm = CostModel(network_latency=0.0)
+    seconds = cm.allreduce_seconds(1e6, 4)
+    expected = 2.0 * 1e6 * 3 / 4 / cm.network_bandwidth
+    assert seconds == pytest.approx(expected)
+
+
+def test_default_instance_is_commodity_cluster():
+    cm = DEFAULT_COST_MODEL
+    # Communication of a vertex's features must be expensive relative to
+    # the flops spent on it - the regime the whole study lives in.
+    bytes_per_vertex = cm.feature_bytes(1, 512)
+    flops_per_vertex = 2 * 512 * 64
+    assert cm.transfer_seconds(bytes_per_vertex) > cm.compute_seconds(
+        flops_per_vertex
+    )
+
+
+def test_memory_seconds():
+    cm = CostModel(memory_bandwidth=1e9)
+    assert cm.memory_seconds(5e8) == pytest.approx(0.5)

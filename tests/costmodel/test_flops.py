@@ -1,0 +1,44 @@
+"""Tests for flop counting."""
+
+from repro.costmodel import (
+    aggregation_bytes,
+    gat_layer_flops,
+    gcn_layer_flops,
+    gemm_flops,
+    sage_layer_flops,
+)
+
+
+def test_gemm_flops():
+    assert gemm_flops(10, 20, 30) == 2 * 10 * 20 * 30
+
+
+def test_sage_has_two_transforms():
+    """SAGE (self + neighbour GEMM) costs ~2x GCN's single GEMM."""
+    sage = sage_layer_flops(100, 0, 64, 64)
+    gcn = gcn_layer_flops(100, 0, 64, 64)
+    assert sage == 2 * gcn
+
+
+def test_aggregation_scales_with_edges():
+    assert sage_layer_flops(10, 2000, 8, 8) > sage_layer_flops(
+        10, 1000, 8, 8
+    )
+
+
+def test_gat_heavier_than_sage_per_edge():
+    """GAT's attention math makes it the most expensive layer (the paper
+    relies on this in Figure 25)."""
+    gat = gat_layer_flops(100, 500, 5000, 64, 64)
+    sage = sage_layer_flops(100, 5000, 64, 64)
+    assert gat > sage
+
+
+def test_gat_scales_with_heads():
+    one = gat_layer_flops(10, 50, 100, 16, 16, num_heads=1)
+    four = gat_layer_flops(10, 50, 100, 16, 16, num_heads=4)
+    assert four > 2 * one
+
+
+def test_aggregation_bytes():
+    assert aggregation_bytes(100, 64, 4) == 2 * 100 * 64 * 4

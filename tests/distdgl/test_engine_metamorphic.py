@@ -1,0 +1,79 @@
+"""Metamorphic tests: DistDGL measured costs must move the right way."""
+
+import pytest
+
+from repro.distdgl import DistDglEngine
+from repro.graph import load_dataset, random_split
+from repro.partitioning import RandomVertexPartitioner
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("OR", "tiny")
+
+
+@pytest.fixture(scope="module")
+def split(graph):
+    return random_split(graph, seed=7)
+
+
+@pytest.fixture(scope="module")
+def partition(graph):
+    return RandomVertexPartitioner().partition(graph, 4, seed=0)
+
+
+def epoch(partition, split, **kw):
+    defaults = dict(
+        feature_size=32, hidden_dim=32, num_layers=2,
+        global_batch_size=32, seed=1,
+    )
+    defaults.update(kw)
+    return DistDglEngine(partition, split, **defaults).run_epoch()
+
+
+def test_bigger_batch_fewer_steps(partition, split):
+    small = epoch(partition, split, global_batch_size=16)
+    large = epoch(partition, split, global_batch_size=64)
+    assert len(large.steps) < len(small.steps)
+
+
+def test_larger_fanout_samples_more(partition, split):
+    narrow = epoch(partition, split, fanouts=(2, 2))
+    wide = epoch(partition, split, fanouts=(10, 10))
+    assert (
+        wide.remote_input_vertices + wide.local_input_vertices
+        > narrow.remote_input_vertices + narrow.local_input_vertices
+    )
+    assert (
+        wide.phase_seconds()["sample"] > narrow.phase_seconds()["sample"]
+    )
+
+
+def test_larger_features_more_bytes(partition, split):
+    small = epoch(partition, split, feature_size=16)
+    large = epoch(partition, split, feature_size=256)
+    assert large.network_bytes > small.network_bytes
+
+
+def test_more_layers_more_inputs(partition, split):
+    shallow = epoch(partition, split, num_layers=2)
+    deep = epoch(partition, split, num_layers=4)
+    total_shallow = (
+        shallow.remote_input_vertices + shallow.local_input_vertices
+    )
+    total_deep = deep.remote_input_vertices + deep.local_input_vertices
+    assert total_deep > total_shallow
+
+
+def test_seed_changes_sampling_but_not_structure(partition, split):
+    a = epoch(partition, split, seed=1)
+    b = epoch(partition, split, seed=2)
+    assert len(a.steps) == len(b.steps)
+    assert a.remote_input_vertices != b.remote_input_vertices
+
+
+def test_same_seed_reproducible(partition, split):
+    a = epoch(partition, split, seed=5)
+    b = epoch(partition, split, seed=5)
+    assert a.epoch_seconds == b.epoch_seconds
+    assert a.remote_input_vertices == b.remote_input_vertices

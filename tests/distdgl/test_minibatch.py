@@ -1,0 +1,75 @@
+"""Tests for real distributed mini-batch training."""
+
+import numpy as np
+import pytest
+
+from repro.distdgl import DistributedMiniBatchTrainer
+from repro.graph import random_split
+from repro.partitioning import MetisPartitioner, RandomVertexPartitioner
+
+
+@pytest.fixture
+def problem(tiny_or, rng):
+    labels = rng.integers(0, 4, size=tiny_or.num_vertices)
+    features = rng.normal(size=(tiny_or.num_vertices, 8)) * 0.3
+    features[np.arange(tiny_or.num_vertices), labels] += 2.0
+    split = random_split(tiny_or, seed=1)
+    return features, labels, split
+
+
+def test_training_learns(tiny_or, problem):
+    features, labels, split = problem
+    partition = MetisPartitioner().partition(tiny_or, 4, seed=0)
+    trainer = DistributedMiniBatchTrainer(
+        partition, split, features, labels,
+        hidden_dim=16, num_layers=2, global_batch_size=64, seed=0,
+    )
+    losses = trainer.train(8)
+    assert losses[-1] < 0.7 * losses[0]
+    assert trainer.evaluate(split.test) > 0.5
+
+
+@pytest.mark.parametrize("arch", ["sage", "gcn", "gat"])
+def test_all_architectures_train(tiny_or, problem, arch):
+    features, labels, split = problem
+    partition = RandomVertexPartitioner().partition(tiny_or, 2, seed=0)
+    trainer = DistributedMiniBatchTrainer(
+        partition, split, features, labels, arch=arch,
+        hidden_dim=16, num_layers=2, global_batch_size=64, seed=0,
+    )
+    losses = trainer.train(5)
+    assert np.isfinite(losses).all()
+    assert losses[-1] < losses[0]
+
+
+def test_deterministic_given_seed(tiny_or, problem):
+    features, labels, split = problem
+    partition = RandomVertexPartitioner().partition(tiny_or, 4, seed=0)
+    runs = []
+    for _ in range(2):
+        trainer = DistributedMiniBatchTrainer(
+            partition, split, features, labels,
+            hidden_dim=8, num_layers=2, seed=5,
+        )
+        runs.append(trainer.train(2))
+    assert np.allclose(runs[0], runs[1])
+
+
+def test_worker_count_changes_sampling_but_still_learns(tiny_or, problem):
+    features, labels, split = problem
+    partition = RandomVertexPartitioner().partition(tiny_or, 8, seed=0)
+    trainer = DistributedMiniBatchTrainer(
+        partition, split, features, labels,
+        hidden_dim=16, num_layers=2, global_batch_size=64, seed=0,
+    )
+    losses = trainer.train(8)
+    assert losses[-1] < losses[0]
+
+
+def test_validates_shapes(tiny_or, problem):
+    features, labels, split = problem
+    partition = RandomVertexPartitioner().partition(tiny_or, 2, seed=0)
+    with pytest.raises(ValueError):
+        DistributedMiniBatchTrainer(
+            partition, split, features[:5], labels
+        )

@@ -1,0 +1,51 @@
+"""Tests for the amortization analysis (paper Tables 4/5)."""
+
+import pytest
+
+from repro.costmodel import CostModel
+from repro.experiments import (
+    TrainingParams,
+    amortization_table,
+    epochs_to_amortize,
+    run_distgnn_grid,
+)
+
+
+class TestEpochsToAmortize:
+    def test_hand_computed(self):
+        cm = CostModel(partitioning_time_scale=1.0)
+        # 10s investment, 2s saved per epoch -> 5 epochs.
+        assert epochs_to_amortize(10.0, 5.0, 3.0, cm) == pytest.approx(5.0)
+
+    def test_scale_factor_applied(self):
+        cm = CostModel(partitioning_time_scale=2.0)
+        assert epochs_to_amortize(10.0, 5.0, 3.0, cm) == pytest.approx(10.0)
+
+    def test_slowdown_returns_none(self):
+        assert epochs_to_amortize(10.0, 3.0, 5.0) is None
+        assert epochs_to_amortize(10.0, 3.0, 3.0) is None
+
+
+class TestAmortizationTable:
+    def test_table_from_records(self, tiny_or):
+        params = TrainingParams(feature_size=32, hidden_dim=32, num_layers=2)
+        records = run_distgnn_grid(
+            tiny_or, ["random", "dbh", "hep100"], [4], [params]
+        )
+        table = amortization_table(records)
+        assert "OR" in table
+        assert set(table["OR"]) == {"dbh", "hep100"}
+        for result in table["OR"].values():
+            assert result.epochs is None or result.epochs > 0
+
+    def test_random_excluded(self, tiny_or):
+        params = TrainingParams(feature_size=32, hidden_dim=32, num_layers=2)
+        records = run_distgnn_grid(tiny_or, ["random", "dbh"], [4], [params])
+        table = amortization_table(records)
+        assert "random" not in table["OR"]
+
+    def test_formatted_output(self):
+        from repro.experiments import AmortizationResult
+
+        assert AmortizationResult("OR", "x", None).formatted() == "no"
+        assert AmortizationResult("OR", "x", 3.5).formatted() == "3.50"

@@ -1,0 +1,45 @@
+"""Tests for the partition cache."""
+
+from repro.experiments import (
+    cached_edge_partition,
+    cached_vertex_partition,
+    clear_cache,
+)
+
+
+def test_edge_cache_hit_returns_same_object(tiny_or):
+    clear_cache()
+    a, seconds_a = cached_edge_partition(tiny_or, "dbh", 4, seed=0)
+    b, seconds_b = cached_edge_partition(tiny_or, "dbh", 4, seed=0)
+    assert a is b
+    assert seconds_a == seconds_b
+
+
+def test_different_k_different_entry(tiny_or):
+    clear_cache()
+    a, _ = cached_edge_partition(tiny_or, "dbh", 4, seed=0)
+    b, _ = cached_edge_partition(tiny_or, "dbh", 8, seed=0)
+    assert a is not b
+    assert b.num_partitions == 8
+
+
+def test_vertex_cache(tiny_or):
+    clear_cache()
+    a, seconds = cached_vertex_partition(tiny_or, "ldg", 4, seed=0)
+    b, _ = cached_vertex_partition(tiny_or, "ldg", 4, seed=0)
+    assert a is b
+    assert seconds > 0
+
+
+def test_clear_cache(tiny_or):
+    a, _ = cached_edge_partition(tiny_or, "dbh", 4, seed=0)
+    clear_cache()
+    b, _ = cached_edge_partition(tiny_or, "dbh", 4, seed=0)
+    assert a is not b
+
+
+def test_name_case_insensitive(tiny_or):
+    clear_cache()
+    a, _ = cached_edge_partition(tiny_or, "DBH", 4, seed=0)
+    b, _ = cached_edge_partition(tiny_or, "dbh", 4, seed=0)
+    assert a is b

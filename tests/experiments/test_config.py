@@ -1,0 +1,53 @@
+"""Tests for the sweep configuration."""
+
+from repro.experiments import (
+    BATCH_SIZE_SCALE,
+    FEATURE_SIZES,
+    HIDDEN_DIMENSIONS,
+    LAYER_COUNTS,
+    MACHINE_COUNTS,
+    PAPER_BATCH_SIZES,
+    TrainingParams,
+    parameter_grid,
+    reduced_grid,
+    scaled_batch_size,
+)
+
+
+def test_table3_values():
+    assert HIDDEN_DIMENSIONS == (16, 64, 512)
+    assert FEATURE_SIZES == (16, 64, 512)
+    assert LAYER_COUNTS == (2, 3, 4)
+    assert MACHINE_COUNTS == (4, 8, 16, 32)
+
+
+def test_full_grid_is_27_configs():
+    grid = list(parameter_grid())
+    assert len(grid) == 27
+    assert len(set(grid)) == 27
+
+
+def test_reduced_grid_covers_every_value():
+    grid = list(reduced_grid())
+    assert {p.feature_size for p in grid} == set(FEATURE_SIZES)
+    assert {p.hidden_dim for p in grid} == set(HIDDEN_DIMENSIONS)
+    assert {p.num_layers for p in grid} == set(LAYER_COUNTS)
+    assert len(grid) < 27  # it is actually reduced
+
+
+def test_params_with_changes():
+    base = TrainingParams()
+    changed = base.with_(feature_size=512)
+    assert changed.feature_size == 512
+    assert changed.hidden_dim == base.hidden_dim
+    assert base.feature_size == 64  # frozen original
+
+
+def test_label_readable():
+    assert "f64" in TrainingParams().label()
+
+
+def test_batch_size_scaling():
+    assert scaled_batch_size(1024) == 1024 // BATCH_SIZE_SCALE
+    assert scaled_batch_size(1) == 1  # never zero
+    assert len(PAPER_BATCH_SIZES) == 7

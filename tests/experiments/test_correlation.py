@@ -1,0 +1,41 @@
+"""Tests for correlation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import pearson, r_squared
+
+
+def test_perfect_linear_correlation():
+    x = [1.0, 2.0, 3.0, 4.0]
+    y = [2.0, 4.0, 6.0, 8.0]
+    assert r_squared(x, y) == pytest.approx(1.0)
+    assert pearson(x, y) == pytest.approx(1.0)
+
+
+def test_negative_correlation_r2_still_one():
+    x = [1.0, 2.0, 3.0]
+    y = [3.0, 2.0, 1.0]
+    assert pearson(x, y) == pytest.approx(-1.0)
+    assert r_squared(x, y) == pytest.approx(1.0)
+
+
+def test_noise_lowers_r2():
+    rng = np.random.default_rng(0)
+    x = np.linspace(0, 1, 100)
+    y = x + rng.normal(0, 1.0, size=100)
+    assert r_squared(x, y) < 0.9
+
+
+def test_independent_series_near_zero():
+    rng = np.random.default_rng(0)
+    assert r_squared(rng.normal(size=500), rng.normal(size=500)) < 0.05
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        pearson([1.0], [2.0])
+    with pytest.raises(ValueError):
+        pearson([1.0, 2.0], [1.0, 2.0, 3.0])
+    with pytest.raises(ValueError):
+        pearson([1.0, 1.0], [1.0, 2.0])

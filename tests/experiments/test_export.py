@@ -1,0 +1,52 @@
+"""Tests for record export/import."""
+
+import pytest
+
+from repro.experiments import (
+    TrainingParams,
+    load_records,
+    records_to_json,
+    run_distdgl,
+    run_distgnn,
+    save_records,
+)
+
+
+@pytest.fixture
+def records(tiny_or, tiny_or_split):
+    params = TrainingParams(feature_size=32, hidden_dim=32, num_layers=2)
+    return [
+        run_distgnn(tiny_or, "dbh", 4, params),
+        run_distdgl(tiny_or, "metis", 4, params, split=tiny_or_split),
+    ]
+
+
+def test_roundtrip(tmp_path, records):
+    path = tmp_path / "records.json"
+    save_records(records, path)
+    loaded = load_records(path)
+    assert len(loaded) == 2
+    assert loaded[0].partitioner == "dbh"
+    assert loaded[0].epoch_seconds == records[0].epoch_seconds
+    assert loaded[0].params == records[0].params
+    assert loaded[1].phase_seconds == records[1].phase_seconds
+
+
+def test_json_is_valid(records):
+    import json
+
+    payload = json.loads(records_to_json(records))
+    assert payload[0]["kind"] == "distgnn"
+    assert payload[1]["kind"] == "distdgl"
+
+
+def test_unknown_kind_rejected(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('[{"kind": "mystery", "data": {}}]')
+    with pytest.raises(ValueError):
+        load_records(path)
+
+
+def test_unsupported_type_rejected():
+    with pytest.raises(TypeError):
+        records_to_json([object()])

@@ -1,0 +1,57 @@
+"""Sanity checks on the transcribed paper numbers."""
+
+from repro.experiments.paper_reference import (
+    DISTDGL_BATCH_SIZE_SPEEDUPS,
+    DISTDGL_HIDDEN_DIM_SPEEDUPS,
+    DISTDGL_MAX_SPEEDUPS,
+    DISTGNN_MAX_SPEEDUP,
+    DISTGNN_OR_MEAN_SPEEDUPS,
+    DISTGNN_RF_PCT_OF_RANDOM,
+    DISTGNN_SCALEOUT_SPEEDUPS,
+    TABLE_4_AMORTIZATION,
+    TABLE_5_AMORTIZATION,
+)
+
+
+def test_headline_speedups_present():
+    # Paper abstract: speedups up to 10.4 (DistGNN) and ~3.5 (DistDGL).
+    assert max(DISTGNN_MAX_SPEEDUP.values()) == 10.41
+    assert max(DISTDGL_MAX_SPEEDUPS.values()) == 3.47
+
+
+def test_distgnn_or_speedups_monotone_in_machines():
+    """Section 4.3: effectiveness increases with the machine count."""
+    for name in ("dbh", "hdrf", "hep10"):
+        assert (
+            DISTGNN_OR_MEAN_SPEEDUPS[(name, 8)]
+            <= DISTGNN_OR_MEAN_SPEEDUPS[(name, 32)]
+        )
+
+
+def test_scaleout_ordering():
+    for name, (at4, at32) in DISTGNN_SCALEOUT_SPEEDUPS.items():
+        assert at32 > at4, name
+    for name, (at4, at32) in DISTGNN_RF_PCT_OF_RANDOM.items():
+        assert at32 < at4, name
+
+
+def test_table4_dbh_fastest():
+    for graph, row in TABLE_4_AMORTIZATION.items():
+        values = [v for v in row.values() if v is not None]
+        assert row["dbh"] == min(values), graph
+
+
+def test_table5_kahip_slowest_where_defined():
+    for graph, row in TABLE_5_AMORTIZATION.items():
+        defined = {k: v for k, v in row.items() if v is not None}
+        assert max(defined, key=defined.get) in ("kahip", "spinner"), graph
+
+
+def test_hidden_dim_decreases_effectiveness():
+    for name, (at16, at512) in DISTDGL_HIDDEN_DIM_SPEEDUPS.items():
+        assert at512 < at16, name
+
+
+def test_batch_size_increases_effectiveness():
+    for name, (small, large) in DISTDGL_BATCH_SIZE_SPEEDUPS.items():
+        assert large > small, name

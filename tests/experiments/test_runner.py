@@ -1,0 +1,70 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro.experiments import (
+    TrainingParams,
+    run_distdgl,
+    run_distdgl_grid,
+    run_distgnn,
+    run_distgnn_grid,
+    speedup_vs_random,
+)
+
+
+@pytest.fixture
+def params():
+    return TrainingParams(feature_size=32, hidden_dim=32, num_layers=2)
+
+
+class TestDistGnnRunner:
+    def test_record_fields(self, tiny_or, params):
+        record = run_distgnn(tiny_or, "hdrf", 4, params)
+        assert record.graph == "OR"
+        assert record.partitioner == "hdrf"
+        assert record.epoch_seconds > 0
+        assert record.replication_factor > 1
+        assert record.partitioning_seconds > 0
+        assert record.total_memory_bytes > 0
+        assert len(record.memory_per_machine) == 4
+
+    def test_grid_size(self, tiny_or, params):
+        records = run_distgnn_grid(
+            tiny_or, ["random", "dbh"], [2, 4], [params]
+        )
+        assert len(records) == 4
+
+    def test_speedups_vs_random(self, tiny_or, params):
+        records = run_distgnn_grid(
+            tiny_or, ["random", "hep100"], [4], [params]
+        )
+        speedups = speedup_vs_random(records)
+        hep_key = ("OR", "hep100", 4, params)
+        assert speedups[hep_key] > 1.0
+        assert speedups[("OR", "random", 4, params)] == pytest.approx(1.0)
+
+
+class TestDistDglRunner:
+    def test_record_fields(self, tiny_or, tiny_or_split, params):
+        record = run_distdgl(
+            tiny_or, "metis", 4, params, split=tiny_or_split
+        )
+        assert record.epoch_seconds > 0
+        assert set(record.phase_seconds) == {
+            "sample", "fetch", "forward", "backward", "update",
+        }
+        assert record.remote_input_vertices > 0
+        assert 0 < record.edge_cut < 1
+
+    def test_grid(self, tiny_or, tiny_or_split, params):
+        records = run_distdgl_grid(
+            tiny_or, ["random", "metis"], [4], [params],
+            split=tiny_or_split,
+        )
+        assert len(records) == 2
+        speedups = speedup_vs_random(records)
+        assert len(speedups) == 2
+
+    def test_default_split_generated(self, tiny_or, params):
+        record = run_distdgl(tiny_or, "random", 2, params)
+        assert record.epoch_seconds > 0

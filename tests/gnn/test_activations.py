@@ -1,0 +1,58 @@
+"""Tests for activation functions and their gradients."""
+
+import numpy as np
+import pytest
+
+from repro.gnn.activations import (
+    leaky_relu,
+    leaky_relu_grad,
+    relu,
+    relu_grad,
+    softmax,
+)
+
+
+def test_relu_values():
+    x = np.array([-2.0, 0.0, 3.0])
+    assert relu(x).tolist() == [0.0, 0.0, 3.0]
+
+
+def test_relu_grad_masks_negatives():
+    x = np.array([-1.0, 2.0])
+    up = np.array([5.0, 5.0])
+    assert relu_grad(x, up).tolist() == [0.0, 5.0]
+
+
+def test_leaky_relu_slope():
+    x = np.array([-10.0, 10.0])
+    out = leaky_relu(x, slope=0.1)
+    assert out.tolist() == [-1.0, 10.0]
+
+
+def test_leaky_relu_grad_finite_difference():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=20)
+    up = rng.normal(size=20)
+    eps = 1e-6
+    numeric = (leaky_relu(x + eps) - leaky_relu(x - eps)) / (2 * eps) * up
+    analytic = leaky_relu_grad(x, up)
+    assert np.allclose(numeric, analytic, atol=1e-6)
+
+
+def test_softmax_rows_sum_to_one():
+    rng = np.random.default_rng(0)
+    probs = softmax(rng.normal(size=(5, 7)), axis=1)
+    assert np.allclose(probs.sum(axis=1), 1.0)
+    assert (probs > 0).all()
+
+
+def test_softmax_shift_invariant():
+    x = np.array([[1.0, 2.0, 3.0]])
+    assert np.allclose(softmax(x), softmax(x + 100.0))
+
+
+def test_softmax_numerically_stable_for_large_logits():
+    x = np.array([[1000.0, 0.0]])
+    probs = softmax(x)
+    assert np.isfinite(probs).all()
+    assert probs[0, 0] == pytest.approx(1.0)

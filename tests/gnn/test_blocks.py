@@ -1,0 +1,42 @@
+"""Tests for message-flow blocks."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import Block, full_graph_block
+
+
+def test_block_validation_num_dst():
+    with pytest.raises(ValueError):
+        Block(np.arange(3), 5, np.zeros(0, np.int64), np.zeros(0, np.int64))
+
+
+def test_block_validation_edge_ranges():
+    with pytest.raises(ValueError):
+        Block(np.arange(3), 2, np.array([5]), np.array([0]))
+    with pytest.raises(ValueError):
+        Block(np.arange(3), 2, np.array([0]), np.array([2]))
+
+
+def test_block_counts():
+    block = Block(
+        np.array([7, 8, 9, 10]), 2, np.array([2, 3, 3]), np.array([0, 0, 1])
+    )
+    assert block.num_src == 4
+    assert block.num_edges == 3
+    assert block.in_degrees().tolist() == [2, 1]
+
+
+def test_full_graph_block_covers_all_messages(two_cliques):
+    block = full_graph_block(two_cliques)
+    assert block.num_dst == 8
+    assert block.num_src == 8
+    # Every undirected edge contributes two messages.
+    assert block.num_edges == 2 * two_cliques.num_edges
+
+
+def test_full_graph_block_edges_match_adjacency(two_cliques):
+    block = full_graph_block(two_cliques)
+    # Messages into vertex 3 come exactly from its neighbours.
+    senders = block.edge_src[block.edge_dst == 3]
+    assert sorted(block.src_ids[senders].tolist()) == [0, 1, 2, 4]

@@ -1,0 +1,64 @@
+"""Tests for softmax cross-entropy."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import accuracy, softmax_cross_entropy
+
+
+def test_perfect_prediction_low_loss():
+    logits = np.array([[10.0, -10.0], [-10.0, 10.0]])
+    loss, _ = softmax_cross_entropy(logits, np.array([0, 1]))
+    assert loss < 1e-6
+
+
+def test_uniform_prediction_log_k():
+    logits = np.zeros((4, 3))
+    loss, _ = softmax_cross_entropy(logits, np.array([0, 1, 2, 0]))
+    assert loss == pytest.approx(np.log(3))
+
+
+def test_gradient_finite_difference():
+    rng = np.random.default_rng(0)
+    logits = rng.normal(size=(5, 4))
+    labels = rng.integers(0, 4, size=5)
+    _, grad = softmax_cross_entropy(logits.copy(), labels)
+    eps = 1e-6
+    for i in range(5):
+        for j in range(4):
+            lp, lm = logits.copy(), logits.copy()
+            lp[i, j] += eps
+            lm[i, j] -= eps
+            fp, _ = softmax_cross_entropy(lp, labels)
+            fm, _ = softmax_cross_entropy(lm, labels)
+            assert grad[i, j] == pytest.approx(
+                (fp - fm) / (2 * eps), abs=1e-5
+            )
+
+
+def test_gradient_rows_sum_to_zero():
+    rng = np.random.default_rng(1)
+    logits = rng.normal(size=(6, 3))
+    _, grad = softmax_cross_entropy(logits, rng.integers(0, 3, size=6))
+    assert np.allclose(grad.sum(axis=1), 0.0)
+
+
+def test_empty_batch():
+    loss, grad = softmax_cross_entropy(
+        np.zeros((0, 3)), np.zeros(0, dtype=np.int64)
+    )
+    assert loss == 0.0
+    assert grad.shape == (0, 3)
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        softmax_cross_entropy(np.zeros(3), np.zeros(3, dtype=np.int64))
+    with pytest.raises(ValueError):
+        softmax_cross_entropy(np.zeros((3, 2)), np.zeros(2, dtype=np.int64))
+
+
+def test_accuracy():
+    logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+    assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+    assert accuracy(np.zeros((0, 2)), np.zeros(0, dtype=np.int64)) == 0.0

@@ -1,0 +1,71 @@
+"""Tests for the multi-head GAT layer."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import Block
+from repro.gnn.layers import GatLayer, MultiHeadGatLayer
+
+
+@pytest.fixture
+def block():
+    return Block(
+        src_ids=np.arange(6),
+        num_dst=3,
+        edge_src=np.array([3, 4, 5, 0, 1, 2, 5]),
+        edge_dst=np.array([0, 0, 1, 1, 2, 2, 2]),
+    )
+
+
+def test_output_shape(block, rng):
+    layer = MultiHeadGatLayer(4, 8, num_heads=4, seed=0)
+    out = layer.forward(block, rng.normal(size=(6, 4)))
+    assert out.shape == (3, 8)
+
+
+def test_one_head_matches_single_gat(block, rng):
+    multi = MultiHeadGatLayer(4, 3, num_heads=1, seed=7)
+    single = GatLayer(4, 3, seed=7 + 101 * 0)
+    x = rng.normal(size=(6, 4))
+    assert np.allclose(multi.forward(block, x), single.forward(block, x))
+
+
+def test_gradient_check(block, rng):
+    layer = MultiHeadGatLayer(4, 6, num_heads=2, seed=1)
+    x = rng.normal(size=(6, 4))
+    upstream = rng.normal(size=(3, 6))
+    layer.zero_grad()
+    layer.forward(block, x)
+    analytic = layer.backward(upstream)
+    eps = 1e-6
+    numeric = np.zeros_like(x)
+    for i in range(6):
+        for j in range(4):
+            xp, xm = x.copy(), x.copy()
+            xp[i, j] += eps
+            xm[i, j] -= eps
+            fp = (layer.forward(block, xp) * upstream).sum()
+            fm = (layer.forward(block, xm) * upstream).sum()
+            numeric[i, j] = (fp - fm) / (2 * eps)
+    assert np.allclose(analytic, numeric, atol=1e-5)
+
+
+def test_param_dict_exposes_all_heads():
+    layer = MultiHeadGatLayer(4, 8, num_heads=4)
+    assert layer.num_params == 4 * GatLayer(4, 2).num_params
+    assert any(name.startswith("h3_") for name in layer.params)
+
+
+def test_invalid_configuration_rejected():
+    with pytest.raises(ValueError):
+        MultiHeadGatLayer(4, 7, num_heads=2)  # 7 not divisible
+    with pytest.raises(ValueError):
+        MultiHeadGatLayer(4, 8, num_heads=0)
+
+
+def test_zero_grad_clears_heads(block, rng):
+    layer = MultiHeadGatLayer(4, 4, num_heads=2, seed=0)
+    layer.forward(block, rng.normal(size=(6, 4)))
+    layer.backward(rng.normal(size=(3, 4)))
+    layer.zero_grad()
+    assert all((g == 0).all() for g in layer.grads.values())

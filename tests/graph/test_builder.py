@@ -1,0 +1,60 @@
+"""Tests for GraphBuilder."""
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphBuilder
+
+
+def test_add_edge_and_build():
+    builder = GraphBuilder()
+    builder.add_edge(0, 1)
+    builder.add_edge(1, 2)
+    g = builder.build()
+    assert g.num_vertices == 3
+    assert g.num_edges == 2
+
+
+def test_add_edges_iterable():
+    builder = GraphBuilder(directed=True, name="d")
+    builder.add_edges([(0, 1), (1, 0)])
+    g = builder.build()
+    assert g.directed
+    assert g.name == "d"
+    assert g.num_edges == 2
+
+
+def test_add_edge_array_bulk():
+    builder = GraphBuilder()
+    builder.add_edge_array(np.array([[0, 1], [2, 3]]))
+    builder.add_edge(3, 4)
+    assert builder.num_pending_edges == 3
+    g = builder.build()
+    assert g.num_vertices == 5
+
+
+def test_explicit_vertex_count():
+    builder = GraphBuilder()
+    builder.add_edge(0, 1)
+    g = builder.build(num_vertices=10)
+    assert g.num_vertices == 10
+
+
+def test_negative_id_rejected():
+    builder = GraphBuilder()
+    with pytest.raises(ValueError):
+        builder.add_edge(-1, 0)
+    with pytest.raises(ValueError):
+        builder.add_edge_array(np.array([[-1, 2]]))
+
+
+def test_empty_build():
+    g = GraphBuilder().build()
+    assert g.num_vertices == 1
+    assert g.num_edges == 0
+
+
+def test_duplicate_edges_deduped_at_build():
+    builder = GraphBuilder()
+    builder.add_edges([(0, 1), (1, 0), (0, 1)])
+    assert builder.build().num_edges == 1

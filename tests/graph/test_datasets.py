@@ -1,0 +1,55 @@
+"""Tests for the dataset registry."""
+
+import pytest
+
+from repro.graph import DATASET_KEYS, dataset_specs, load_dataset
+
+
+def test_all_five_keys_present():
+    assert set(DATASET_KEYS) == {"HW", "DI", "EN", "EU", "OR"}
+    assert set(dataset_specs()) == set(DATASET_KEYS)
+
+
+def test_specs_match_paper_table1_direction():
+    specs = dataset_specs()
+    assert not specs["HW"].directed  # Hollywood undirected
+    assert specs["DI"].directed
+    assert specs["EN"].directed
+    assert specs["EU"].directed
+    assert not specs["OR"].directed  # Orkut undirected
+
+
+@pytest.mark.parametrize("key", DATASET_KEYS)
+def test_tiny_scale_loads(key):
+    g = load_dataset(key, "tiny")
+    assert g.num_vertices > 100
+    assert g.num_edges > 100
+    assert g.name == key
+
+
+def test_cache_returns_same_object():
+    a = load_dataset("DI", "tiny")
+    b = load_dataset("DI", "tiny")
+    assert a is b
+
+
+def test_case_insensitive():
+    assert load_dataset("di", "tiny") is load_dataset("DI", "tiny")
+
+
+def test_unknown_key_rejected():
+    with pytest.raises(KeyError):
+        load_dataset("XX")
+
+
+def test_unknown_scale_rejected():
+    with pytest.raises(ValueError):
+        load_dataset("OR", "huge")
+
+
+def test_structural_profiles():
+    """Category fingerprints: road is sparse, collaboration is dense."""
+    road = load_dataset("DI", "tiny")
+    collab = load_dataset("HW", "tiny")
+    assert road.degrees().mean() < 10
+    assert collab.degrees().mean() > 3 * road.degrees().mean()

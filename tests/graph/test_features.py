@@ -1,0 +1,78 @@
+"""Tests for synthetic classification tasks."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import Adam, build_model, full_graph_block, softmax_cross_entropy
+from repro.graph import planted_community_task
+
+
+def test_shapes_and_classes(tiny_or):
+    task = planted_community_task(tiny_or, num_classes=6, feature_size=12)
+    assert task.features.shape == (tiny_or.num_vertices, 12)
+    assert task.labels.shape == (tiny_or.num_vertices,)
+    assert task.num_classes == 6
+    assert task.feature_size == 12
+
+
+def test_block_labels_are_contiguous(tiny_or):
+    task = planted_community_task(tiny_or, num_classes=4)
+    # Non-decreasing label over vertex id == contiguous blocks.
+    assert (np.diff(task.labels) >= 0).all()
+    assert set(np.unique(task.labels)) == {0, 1, 2, 3}
+
+
+def test_random_labels_cover_classes(tiny_or):
+    task = planted_community_task(
+        tiny_or, num_classes=4, label_mode="random", seed=1
+    )
+    assert len(np.unique(task.labels)) == 4
+    assert (np.diff(task.labels) < 0).any()  # not sorted
+
+
+def test_deterministic(tiny_or):
+    a = planted_community_task(tiny_or, seed=3)
+    b = planted_community_task(tiny_or, seed=3)
+    assert np.array_equal(a.features, b.features)
+
+
+def test_signal_is_learnable(tiny_or):
+    task = planted_community_task(
+        tiny_or, num_classes=4, feature_size=8, signal=2.0, noise=0.3
+    )
+    model = build_model("sage", 8, 16, 4, 2, seed=0)
+    optimizer = Adam(lr=0.02)
+    block = full_graph_block(tiny_or)
+    first = last = None
+    for _ in range(20):
+        model.zero_grad()
+        logits = model.forward([block, block], task.features)
+        loss, grad = softmax_cross_entropy(logits, task.labels)
+        model.backward(grad)
+        optimizer.step(model.parameters())
+        first = loss if first is None else first
+        last = loss
+    assert last < 0.5 * first
+
+
+def test_more_classes_than_features_wraps(tiny_or):
+    task = planted_community_task(
+        tiny_or, num_classes=10, feature_size=4
+    )
+    assert task.num_classes == 10
+
+
+def test_validation():
+    import numpy as np
+
+    from repro.graph import Graph
+
+    g = Graph(4, np.array([[0, 1]]))
+    with pytest.raises(ValueError):
+        planted_community_task(g, num_classes=1)
+    with pytest.raises(ValueError):
+        planted_community_task(g, feature_size=0)
+    with pytest.raises(ValueError):
+        planted_community_task(g, label_mode="weird")
+    with pytest.raises(ValueError):
+        planted_community_task(g, noise=-1.0)

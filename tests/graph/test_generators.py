@@ -1,0 +1,130 @@
+"""Tests for the synthetic generators: determinism and structural shape."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    affiliation_graph,
+    graph_stats,
+    powerlaw_cluster_graph,
+    preferential_attachment_graph,
+    rmat_graph,
+    road_network_graph,
+    web_host_graph,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda s: rmat_graph(9, 3000, seed=s),
+            lambda s: powerlaw_cluster_graph(400, 5, seed=s),
+            lambda s: affiliation_graph(300, 150, seed=s),
+            lambda s: road_network_graph(15, 15, seed=s),
+            lambda s: preferential_attachment_graph(400, seed=s),
+            lambda s: web_host_graph(400, seed=s),
+        ],
+    )
+    def test_same_seed_same_graph(self, factory):
+        a, b = factory(3), factory(3)
+        assert a.num_vertices == b.num_vertices
+        assert np.array_equal(a.edges, b.edges)
+
+    def test_different_seed_different_graph(self):
+        a = powerlaw_cluster_graph(400, 5, seed=1)
+        b = powerlaw_cluster_graph(400, 5, seed=2)
+        assert not np.array_equal(a.edges, b.edges)
+
+
+class TestRmat:
+    def test_size_and_direction(self):
+        g = rmat_graph(9, 4000, seed=0)
+        assert g.num_vertices == 512
+        assert g.directed
+        assert g.num_edges <= 4000
+
+    def test_skewed_degrees(self):
+        g = rmat_graph(10, 8000, seed=0)
+        degrees = g.degrees()
+        assert degrees.max() > 8 * degrees.mean()
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat_graph(5, 100, a=0.6, b=0.3, c=0.3)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            rmat_graph(0, 100)
+
+
+class TestPowerlawCluster:
+    def test_high_clustering(self):
+        g = powerlaw_cluster_graph(600, 6, triangle_prob=0.8, seed=0)
+        assert graph_stats(g).clustering > 0.1
+
+    def test_undirected(self):
+        assert not powerlaw_cluster_graph(100, 3, seed=0).directed
+
+    def test_too_few_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            powerlaw_cluster_graph(5, 10)
+
+    def test_bad_triangle_prob_rejected(self):
+        with pytest.raises(ValueError):
+            powerlaw_cluster_graph(100, 3, triangle_prob=1.5)
+
+
+class TestAffiliation:
+    def test_dense_and_clustered(self):
+        g = affiliation_graph(400, 300, mean_group_size=8, seed=0)
+        stats = graph_stats(g)
+        assert stats.mean_degree > 5
+        assert stats.clustering > 0.3  # cliques everywhere
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            affiliation_graph(1, 10)
+
+
+class TestRoadNetwork:
+    def test_low_degree(self):
+        g = road_network_graph(30, 30, seed=0)
+        assert g.directed
+        assert g.degrees().mean() < 10
+        assert g.degrees().max() <= 16
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            road_network_graph(1, 5)
+
+
+class TestPreferentialAttachment:
+    def test_heavy_in_degree_tail(self):
+        g = preferential_attachment_graph(800, mean_out_degree=8, seed=0)
+        assert g.directed
+        degrees = g.degrees()
+        assert degrees.max() > 6 * degrees.mean()
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            preferential_attachment_graph(2)
+
+
+class TestCommunityStructure:
+    """The planted communities must be discoverable - this is what the
+    study's in-memory partitioners exploit."""
+
+    def test_intra_community_edges_dominate(self):
+        g = powerlaw_cluster_graph(
+            600, 6, community_mean_size=60, inter_fraction=0.1, seed=0
+        )
+        # Community ids are contiguous blocks of ~60; a coarse proxy:
+        block = g.edges // 60
+        same = (block[:, 0] == block[:, 1]).mean()
+        assert same > 0.5
+
+    def test_web_host_locality(self):
+        g = web_host_graph(800, host_mean_size=50, seed=0)
+        block = g.edges // 50
+        assert (block[:, 0] == block[:, 1]).mean() > 0.4

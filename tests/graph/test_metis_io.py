@@ -1,0 +1,77 @@
+"""Tests for METIS-format IO."""
+
+import numpy as np
+import pytest
+
+from repro.graph.metis_io import read_metis_graph, write_metis_graph
+
+
+def test_roundtrip(two_cliques, tmp_path):
+    path = tmp_path / "g.metis"
+    write_metis_graph(two_cliques, path)
+    loaded = read_metis_graph(path)
+    assert loaded.num_vertices == two_cliques.num_vertices
+    assert loaded.num_edges == two_cliques.num_edges
+    assert np.array_equal(
+        loaded.undirected_edges(), two_cliques.undirected_edges()
+    )
+
+
+def test_roundtrip_generated(tiny_or, tmp_path):
+    path = tmp_path / "or.metis"
+    write_metis_graph(tiny_or, path)
+    loaded = read_metis_graph(path)
+    assert loaded.num_edges == tiny_or.num_edges
+
+
+def test_header_format(two_cliques, tmp_path):
+    path = tmp_path / "g.metis"
+    write_metis_graph(two_cliques, path)
+    header = path.read_text().splitlines()[0]
+    assert header == "8 13"
+
+
+def test_isolated_vertices_survive(tmp_path):
+    from repro.graph import Graph
+
+    g = Graph(5, np.array([[0, 1]]))
+    path = tmp_path / "iso.metis"
+    write_metis_graph(g, path)
+    loaded = read_metis_graph(path)
+    assert loaded.num_vertices == 5
+    assert loaded.num_edges == 1
+
+
+def test_comments_skipped(tmp_path):
+    path = tmp_path / "c.metis"
+    path.write_text("3 2\n% a comment\n2\n1 3\n2\n")
+    g = read_metis_graph(path)
+    assert g.num_edges == 2
+
+
+def test_weighted_rejected(tmp_path):
+    path = tmp_path / "w.metis"
+    path.write_text("2 1 1\n2 5\n1 5\n")
+    with pytest.raises(ValueError, match="not supported"):
+        read_metis_graph(path)
+
+
+def test_edge_count_mismatch_rejected(tmp_path):
+    path = tmp_path / "bad.metis"
+    path.write_text("3 5\n2\n1 3\n2\n")
+    with pytest.raises(ValueError, match="declares 5 edges"):
+        read_metis_graph(path)
+
+
+def test_vertex_count_mismatch_rejected(tmp_path):
+    path = tmp_path / "bad2.metis"
+    path.write_text("4 2\n2\n1 3\n2\n")
+    with pytest.raises(ValueError, match="4 vertices"):
+        read_metis_graph(path)
+
+
+def test_out_of_range_neighbor_rejected(tmp_path):
+    path = tmp_path / "bad3.metis"
+    path.write_text("2 1\n9\n1\n")
+    with pytest.raises(ValueError, match="out of range"):
+        read_metis_graph(path)

@@ -1,0 +1,37 @@
+"""Tests for graph statistics."""
+
+from repro.graph import Graph, graph_stats
+from repro.graph.stats import clustering_sample, degree_skew
+
+
+def test_clique_clustering_is_one(two_cliques):
+    sub = two_cliques.subgraph([0, 1, 2])  # a triangle
+    assert clustering_sample(sub) == 1.0
+
+
+def test_path_clustering_is_zero(path_graph):
+    assert clustering_sample(path_graph) == 0.0
+
+
+def test_star_skew(star_graph):
+    # Hub degree 19, mean degree 2*19/20 = 1.9 -> skew = 10.
+    assert abs(degree_skew(star_graph) - 10.0) < 1e-9
+
+
+def test_stats_bundle(two_cliques):
+    stats = graph_stats(two_cliques)
+    assert stats.num_vertices == 8
+    assert stats.num_edges == 13
+    assert stats.max_degree == 4
+    assert 0.5 < stats.clustering <= 1.0
+    assert "|V|" in stats.as_row()
+
+
+def test_edgeless_graph():
+    import numpy as np
+
+    g = Graph(3, np.zeros((0, 2), dtype=np.int64))
+    stats = graph_stats(g)
+    assert stats.mean_degree == 0.0
+    assert stats.clustering == 0.0
+    assert stats.degree_skew == 0.0

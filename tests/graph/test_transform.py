@@ -1,0 +1,73 @@
+"""Tests for graph transformations."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    filter_by_degree,
+    largest_connected_component,
+    relabel_compact,
+    symmetrized,
+)
+
+
+@pytest.fixture
+def two_components():
+    """A triangle (0-2) and a 5-path (3-7), disconnected."""
+    return Graph.from_edge_list(
+        [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (5, 6), (6, 7)]
+    )
+
+
+def test_largest_component(two_components):
+    lcc = largest_connected_component(two_components)
+    assert lcc.num_vertices == 5  # the path wins
+    assert lcc.num_edges == 4
+
+
+def test_largest_component_of_connected_graph(two_cliques):
+    lcc = largest_connected_component(two_cliques)
+    assert lcc.num_vertices == two_cliques.num_vertices
+    assert lcc.num_edges == two_cliques.num_edges
+
+
+def test_filter_by_degree_min(star_graph):
+    filtered = filter_by_degree(star_graph, min_degree=2)
+    assert filtered.num_vertices == 1  # only the hub has degree >= 2
+
+
+def test_filter_by_degree_max(star_graph):
+    filtered = filter_by_degree(star_graph, min_degree=1, max_degree=1)
+    assert filtered.num_vertices == 19  # leaves only
+    assert filtered.num_edges == 0  # hub removed, so no edges survive
+
+
+def test_filter_all_removed_rejected(path_graph):
+    with pytest.raises(ValueError):
+        filter_by_degree(path_graph, min_degree=100)
+
+
+def test_relabel_compact():
+    g = Graph(10, np.array([[2, 7], [7, 9]]))
+    compact, mapping = relabel_compact(g)
+    assert compact.num_vertices == 3
+    assert mapping.tolist() == [2, 7, 9]
+    assert compact.num_edges == 2
+
+
+def test_relabel_compact_empty_rejected():
+    g = Graph(4, np.zeros((0, 2), dtype=np.int64))
+    with pytest.raises(ValueError):
+        relabel_compact(g)
+
+
+def test_symmetrized_collapses_reciprocal():
+    g = Graph(3, np.array([[0, 1], [1, 0], [1, 2]]), directed=True)
+    sym = symmetrized(g)
+    assert not sym.directed
+    assert sym.num_edges == 2
+
+
+def test_symmetrized_noop_on_undirected(two_cliques):
+    assert symmetrized(two_cliques) is two_cliques

@@ -1,0 +1,128 @@
+"""End-to-end integration: dataset -> partition -> engines -> findings.
+
+These tests assert the paper's *qualitative* findings survive the whole
+pipeline at test scale (the benchmarks assert them at full scale).
+"""
+
+import numpy as np
+import pytest
+
+from repro.distdgl import DistDglEngine, DistributedMiniBatchTrainer
+from repro.distgnn import DistGnnEngine, DistributedFullBatchTrainer
+from repro.experiments import (
+    TrainingParams,
+    amortization_table,
+    r_squared,
+    run_distgnn_grid,
+)
+from repro.graph import load_dataset, random_split
+from repro.partitioning import (
+    make_edge_partitioner,
+    make_vertex_partitioner,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("OR", "tiny")
+
+
+@pytest.fixture(scope="module")
+def split(graph):
+    return random_split(graph, seed=7)
+
+
+def test_finding1_partitioning_speeds_up_training(graph, split):
+    """RQ-1: partitioning reduces training time in both systems."""
+    rnd_ep = make_edge_partitioner("random").partition(graph, 8, seed=0)
+    hep_ep = make_edge_partitioner("hep100").partition(graph, 8, seed=0)
+    t_rnd = DistGnnEngine(rnd_ep, 64, 64, 3).simulate_epoch().epoch_seconds
+    t_hep = DistGnnEngine(hep_ep, 64, 64, 3).simulate_epoch().epoch_seconds
+    assert t_hep < t_rnd
+
+    rnd_vp = make_vertex_partitioner("random").partition(graph, 4, seed=0)
+    met_vp = make_vertex_partitioner("metis").partition(graph, 4, seed=0)
+    t_rnd2 = DistDglEngine(
+        rnd_vp, split, feature_size=256, seed=0
+    ).run_epoch().epoch_seconds
+    t_met = DistDglEngine(
+        met_vp, split, feature_size=256, seed=0
+    ).run_epoch().epoch_seconds
+    assert t_met < t_rnd2
+
+
+def test_finding2_rf_correlates_with_memory_and_traffic(graph):
+    """RQ-2: replication factor tracks memory and network (R^2 >= 0.95)."""
+    params = TrainingParams(feature_size=64, hidden_dim=64, num_layers=3)
+    records = run_distgnn_grid(
+        graph,
+        ["random", "dbh", "hdrf", "2ps-l", "hep10", "hep100"],
+        [8],
+        [params],
+    )
+    rf = [r.replication_factor for r in records]
+    assert r_squared(rf, [r.network_bytes for r in records]) > 0.95
+    assert r_squared(rf, [r.total_memory_bytes for r in records]) > 0.95
+
+
+def test_finding3_feature_size_raises_effectiveness(graph, split):
+    """RQ-3 (DistDGL): bigger features -> partitioning matters more."""
+    speedups = {}
+    for fs in (16, 512):
+        times = {}
+        for name in ("random", "metis"):
+            part = make_vertex_partitioner(name).partition(graph, 4, seed=0)
+            times[name] = DistDglEngine(
+                part, split, feature_size=fs, seed=0
+            ).run_epoch().epoch_seconds
+        speedups[fs] = times["random"] / times["metis"]
+    assert speedups[512] > speedups[16] * 0.98  # at least not worse
+
+
+def test_finding4_scaleout_helps_distgnn(graph):
+    """RQ-4 (DistGNN): effectiveness grows with machine count."""
+    speedups = []
+    for k in (4, 16):
+        t = {}
+        for name in ("random", "hep100"):
+            part = make_edge_partitioner(name).partition(graph, k, seed=0)
+            t[name] = DistGnnEngine(part, 64, 64, 3).simulate_epoch().epoch_seconds
+        speedups.append(t["random"] / t["hep100"])
+    assert speedups[1] > speedups[0]
+
+
+def test_finding5_amortization(graph):
+    """RQ-5: partitioning time amortizes within a plausible epoch count."""
+    params = TrainingParams(feature_size=64, hidden_dim=64, num_layers=3)
+    records = run_distgnn_grid(
+        graph, ["random", "dbh", "hep100"], [8], [params]
+    )
+    table = amortization_table(records)["OR"]
+    assert table["dbh"].epochs is not None
+    assert table["hep100"].epochs is not None
+
+
+def test_real_training_pipeline_full_and_minibatch(graph, split):
+    """Both executable trainers learn the same synthetic task."""
+    rng = np.random.default_rng(0)
+    labels = rng.integers(0, 4, size=graph.num_vertices)
+    features = rng.normal(size=(graph.num_vertices, 8)) * 0.3
+    features[np.arange(graph.num_vertices), labels] += 2.0
+
+    ep = make_edge_partitioner("hdrf").partition(graph, 4, seed=0)
+    full = DistributedFullBatchTrainer(
+        ep, features, labels, split.train_mask(graph.num_vertices),
+        hidden_dim=16, num_layers=2,
+    )
+    full_losses = full.train(15)
+    assert full_losses[-1] < full_losses[0]
+
+    vp = make_vertex_partitioner("metis").partition(graph, 4, seed=0)
+    mini = DistributedMiniBatchTrainer(
+        vp, split, features, labels,
+        hidden_dim=16, num_layers=2, global_batch_size=64, seed=0,
+    )
+    mini_losses = mini.train(6)
+    assert mini_losses[-1] < mini_losses[0]
+    assert full.evaluate(split.test) > 0.4
+    assert mini.evaluate(split.test) > 0.4

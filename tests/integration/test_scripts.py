@@ -1,0 +1,50 @@
+"""Smoke tests for the orchestration scripts."""
+
+import importlib.util
+import json
+import os
+
+SCRIPTS_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "scripts"
+)
+
+
+def load_script(name):
+    path = os.path.abspath(os.path.join(SCRIPTS_DIR, name))
+    spec = importlib.util.spec_from_file_location(
+        f"script_{name.removesuffix('.py')}", path
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_full_sweep_quick(tmp_path, capsys):
+    sweep = load_script("run_full_sweep.py")
+    code = sweep.main(
+        [
+            "--quick", "--graphs", "OR", "--machines", "4",
+            "--scale", "tiny", "--out", str(tmp_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "mean speedup over Random" in out
+    for name in ("sweep_distgnn.json", "sweep_distdgl.json"):
+        payload = json.loads((tmp_path / name).read_text())
+        assert len(payload) > 0
+        assert payload[0]["data"]["graph"] == "OR"
+
+
+def test_sweep_records_reloadable(tmp_path):
+    from repro.experiments import load_records
+
+    sweep = load_script("run_full_sweep.py")
+    sweep.main(
+        [
+            "--quick", "--graphs", "OR", "--machines", "4",
+            "--scale", "tiny", "--out", str(tmp_path),
+        ]
+    )
+    records = load_records(tmp_path / "sweep_distgnn.json")
+    assert all(r.epoch_seconds > 0 for r in records)

@@ -1,0 +1,102 @@
+"""Tests for partitioning quality metrics against hand-computed values."""
+
+import numpy as np
+import pytest
+
+from repro.partitioning import (
+    EdgePartition,
+    VertexPartition,
+    edge_balance,
+    edge_cut_ratio,
+    edge_partition_quality,
+    replication_factor,
+    training_vertex_balance,
+    vertex_balance,
+    vertex_balance_vertex_cut,
+    vertex_partition_quality,
+)
+
+
+@pytest.fixture
+def split_cliques(two_cliques):
+    edges = two_cliques.undirected_edges()
+    in_a = (edges < 4).all(axis=1)
+    return EdgePartition(
+        two_cliques, edges, np.where(in_a, 0, 1).astype(np.int32), 2
+    )
+
+
+class TestVertexCutMetrics:
+    def test_replication_factor_hand_value(self, split_cliques):
+        # 9 replicas over 8 vertices.
+        assert replication_factor(split_cliques) == pytest.approx(9 / 8)
+
+    def test_rf_of_single_partition_is_one(self, two_cliques):
+        edges = two_cliques.undirected_edges()
+        part = EdgePartition(
+            two_cliques, edges, np.zeros(len(edges), dtype=np.int32), 1
+        )
+        assert replication_factor(part) == 1.0
+
+    def test_rf_ignores_isolated_vertices(self, two_cliques):
+        # Same graph embedded in a larger vertex space.
+        from repro.graph import Graph
+
+        g = Graph(20, two_cliques.edges)
+        edges = g.undirected_edges()
+        part = EdgePartition(
+            g, edges, np.zeros(len(edges), dtype=np.int32), 2
+        )
+        assert replication_factor(part) == 1.0
+
+    def test_edge_balance(self, split_cliques):
+        # 6 vs 7 edges -> max/mean = 7 / 6.5
+        assert edge_balance(split_cliques) == pytest.approx(7 / 6.5)
+
+    def test_vertex_balance(self, split_cliques):
+        assert vertex_balance_vertex_cut(split_cliques) == pytest.approx(
+            5 / 4.5
+        )
+
+    def test_quality_bundle(self, split_cliques):
+        q = edge_partition_quality(split_cliques)
+        assert q.replication_factor == pytest.approx(9 / 8)
+        assert "RF=" in q.as_row()
+
+
+class TestEdgeCutMetrics:
+    @pytest.fixture
+    def halves(self, two_cliques):
+        return VertexPartition(
+            two_cliques,
+            np.array([0, 0, 0, 0, 1, 1, 1, 1], dtype=np.int32),
+            2,
+        )
+
+    def test_cut_ratio_hand_value(self, halves):
+        assert edge_cut_ratio(halves) == pytest.approx(1 / 13)
+
+    def test_worst_case_cut(self, two_cliques):
+        # Alternating assignment cuts everything inside the cliques.
+        alternating = VertexPartition(
+            two_cliques,
+            np.arange(8, dtype=np.int32) % 2,
+            2,
+        )
+        assert edge_cut_ratio(alternating) > 0.5
+
+    def test_vertex_balance_perfect(self, halves):
+        assert vertex_balance(halves) == 1.0
+
+    def test_training_vertex_balance(self, halves):
+        train = np.array([0, 1, 4])
+        # Partition 0 holds 2, partition 1 holds 1 -> 2 / 1.5
+        assert training_vertex_balance(halves, train) == pytest.approx(
+            2 / 1.5
+        )
+
+    def test_quality_bundle(self, halves):
+        q = vertex_partition_quality(halves, np.array([0, 4]))
+        assert q.edge_cut == pytest.approx(1 / 13)
+        assert q.vertex_balance == 1.0
+        assert "cut=" in q.as_row()

@@ -1,0 +1,74 @@
+"""Tests for partition persistence."""
+
+import numpy as np
+import pytest
+
+from repro.partitioning import (
+    HdrfPartitioner,
+    MetisPartitioner,
+    load_edge_partition,
+    load_vertex_partition,
+    save_edge_partition,
+    save_vertex_partition,
+)
+
+
+def test_vertex_partition_roundtrip(tiny_or, tmp_path):
+    original = MetisPartitioner().partition(tiny_or, 4, seed=0)
+    path = tmp_path / "vp.txt"
+    save_vertex_partition(original, path)
+    loaded = load_vertex_partition(tiny_or, path)
+    assert np.array_equal(loaded.assignment, original.assignment)
+    assert loaded.num_partitions == 4
+
+
+def test_vertex_partition_wrong_graph_rejected(tiny_or, tiny_di, tmp_path):
+    original = MetisPartitioner().partition(tiny_or, 4, seed=0)
+    path = tmp_path / "vp.txt"
+    save_vertex_partition(original, path)
+    with pytest.raises(ValueError):
+        load_vertex_partition(tiny_di, path)
+
+
+def test_edge_partition_roundtrip(tiny_or, tmp_path):
+    original = HdrfPartitioner().partition(tiny_or, 4, seed=0)
+    path = tmp_path / "ep.txt"
+    save_edge_partition(original, path)
+    loaded = load_edge_partition(tiny_or, path)
+    assert np.array_equal(loaded.assignment, original.assignment)
+
+
+def test_edge_partition_shuffled_file_ok(tiny_or, tmp_path):
+    """The loader matches edges by endpoints, not by line order."""
+    original = HdrfPartitioner().partition(tiny_or, 4, seed=0)
+    path = tmp_path / "ep.txt"
+    save_edge_partition(original, path)
+    lines = path.read_text().splitlines()
+    shuffled = [lines[0]] + list(reversed(lines[1:]))
+    path.write_text("\n".join(shuffled) + "\n")
+    loaded = load_edge_partition(tiny_or, path)
+    assert np.array_equal(loaded.assignment, original.assignment)
+
+
+def test_edge_partition_missing_edge_rejected(tiny_or, tmp_path):
+    original = HdrfPartitioner().partition(tiny_or, 4, seed=0)
+    path = tmp_path / "ep.txt"
+    save_edge_partition(original, path)
+    lines = path.read_text().splitlines()
+    path.write_text("\n".join(lines[:-1]) + "\n")  # drop last edge
+    with pytest.raises(ValueError, match="missing"):
+        load_edge_partition(tiny_or, path)
+
+
+def test_unknown_edge_rejected(tiny_or, tmp_path):
+    path = tmp_path / "ep.txt"
+    path.write_text("# edge-partition k=2 m=1\n0 0 1\n")
+    with pytest.raises(ValueError, match="not in the graph"):
+        load_edge_partition(tiny_or, path)
+
+
+def test_wrong_header_rejected(tiny_or, tmp_path):
+    path = tmp_path / "x.txt"
+    path.write_text("# something-else k=2\n0\n")
+    with pytest.raises(ValueError, match="header"):
+        load_vertex_partition(tiny_or, path)

@@ -1,0 +1,87 @@
+"""Tests for the vertex-cut refinement passes used by HEP."""
+
+import numpy as np
+import pytest
+
+from repro.partitioning import EdgePartition, replication_factor
+from repro.partitioning.vertexcut.refine import (
+    coalesce_vertex_moves,
+    refine_edge_assignment,
+)
+
+
+def _rf(graph, edges, assignment, k):
+    return replication_factor(EdgePartition(graph, edges, assignment, k))
+
+
+@pytest.fixture
+def scattered_cliques(two_cliques):
+    """Clique edges deliberately scattered over 2 partitions."""
+    edges = two_cliques.undirected_edges()
+    rng = np.random.default_rng(0)
+    return edges, rng.integers(0, 2, size=len(edges)).astype(np.int32)
+
+
+def test_refine_never_worsens_rf(two_cliques, scattered_cliques):
+    edges, assignment = scattered_cliques
+    before = _rf(two_cliques, edges, assignment.copy(), 2)
+    refine_edge_assignment(
+        edges, assignment, np.arange(len(edges)),
+        two_cliques.num_vertices, 2, cap=9, sweeps=3,
+    )
+    after = _rf(two_cliques, edges, assignment, 2)
+    assert after <= before
+
+
+def test_refine_respects_cap(two_cliques, scattered_cliques):
+    edges, assignment = scattered_cliques
+    refine_edge_assignment(
+        edges, assignment, np.arange(len(edges)),
+        two_cliques.num_vertices, 2, cap=8, sweeps=3,
+    )
+    assert np.bincount(assignment, minlength=2).max() <= 8
+
+
+def test_refine_returns_move_count(two_cliques, scattered_cliques):
+    edges, assignment = scattered_cliques
+    moves = refine_edge_assignment(
+        edges, assignment, np.arange(len(edges)),
+        two_cliques.num_vertices, 2, cap=9, sweeps=3,
+    )
+    assert moves >= 0
+
+
+def test_refine_only_touches_given_edges(two_cliques, scattered_cliques):
+    edges, assignment = scattered_cliques
+    frozen = assignment[:5].copy()
+    refine_edge_assignment(
+        edges, assignment, np.arange(5, len(edges)),
+        two_cliques.num_vertices, 2, cap=13, sweeps=3,
+    )
+    assert np.array_equal(assignment[:5], frozen)
+
+
+def test_coalesce_reduces_rf_on_split_vertex(two_cliques):
+    """A vertex with edges spread over two partitions gets consolidated."""
+    edges = two_cliques.undirected_edges()
+    # Put vertex 0's three edges on different partitions.
+    assignment = np.zeros(len(edges), dtype=np.int32)
+    touching_zero = np.flatnonzero((edges == 0).any(axis=1))
+    assignment[touching_zero[0]] = 1
+    before = _rf(two_cliques, edges, assignment.copy(), 2)
+    moved = coalesce_vertex_moves(
+        edges, assignment, np.arange(len(edges)),
+        two_cliques.num_vertices, 2, cap=13, sweeps=2,
+    )
+    after = _rf(two_cliques, edges, assignment, 2)
+    assert moved >= 1
+    assert after < before
+
+
+def test_coalesce_respects_cap(two_cliques, scattered_cliques):
+    edges, assignment = scattered_cliques
+    coalesce_vertex_moves(
+        edges, assignment, np.arange(len(edges)),
+        two_cliques.num_vertices, 2, cap=8, sweeps=2,
+    )
+    assert np.bincount(assignment, minlength=2).max() <= 8

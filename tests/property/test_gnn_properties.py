@@ -1,0 +1,95 @@
+"""Property-based tests for the GNN substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gnn import (
+    Block,
+    GatLayer,
+    GcnLayer,
+    SageLayer,
+    softmax_cross_entropy,
+)
+from repro.gnn.activations import softmax
+
+
+@st.composite
+def random_blocks(draw):
+    """Arbitrary valid blocks with features."""
+    num_dst = draw(st.integers(min_value=1, max_value=8))
+    extra_src = draw(st.integers(min_value=0, max_value=8))
+    num_src = num_dst + extra_src
+    num_edges = draw(st.integers(min_value=0, max_value=20))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    edge_src = rng.integers(0, num_src, size=num_edges)
+    edge_dst = rng.integers(0, num_dst, size=num_edges)
+    dim_in = draw(st.integers(min_value=1, max_value=6))
+    x = rng.normal(size=(num_src, dim_in))
+    return Block(
+        src_ids=np.arange(num_src),
+        num_dst=num_dst,
+        edge_src=edge_src,
+        edge_dst=edge_dst,
+    ), x
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=random_blocks())
+def test_layers_produce_finite_output(case):
+    block, x = case
+    for layer_type in (SageLayer, GcnLayer, GatLayer):
+        layer = layer_type(x.shape[1], 3, seed=0)
+        out = layer.forward(block, x)
+        assert out.shape == (block.num_dst, 3)
+        assert np.isfinite(out).all()
+        dx = layer.backward(np.ones_like(out))
+        assert dx.shape == x.shape
+        assert np.isfinite(dx).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=random_blocks())
+def test_backward_matches_directional_derivative(case):
+    """<analytic grad, direction> == finite-difference along direction."""
+    block, x = case
+    layer = SageLayer(x.shape[1], 2, seed=1)
+    rng = np.random.default_rng(0)
+    upstream = rng.normal(size=(block.num_dst, 2))
+    direction = rng.normal(size=x.shape)
+    layer.forward(block, x)
+    analytic = float((layer.backward(upstream) * direction).sum())
+    eps = 1e-6
+    fp = float((layer.forward(block, x + eps * direction) * upstream).sum())
+    fm = float((layer.forward(block, x - eps * direction) * upstream).sum())
+    numeric = (fp - fm) / (2 * eps)
+    assert abs(analytic - numeric) < 1e-4 * max(1.0, abs(numeric))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=20),
+    cols=st.integers(min_value=2, max_value=10),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_softmax_is_distribution(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    probs = softmax(rng.normal(size=(rows, cols)) * 10, axis=1)
+    assert np.allclose(probs.sum(axis=1), 1.0)
+    assert (probs >= 0).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=20),
+    cols=st.integers(min_value=2, max_value=10),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_cross_entropy_nonnegative_and_grad_sums_zero(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    logits = rng.normal(size=(rows, cols)) * 5
+    labels = rng.integers(0, cols, size=rows)
+    loss, grad = softmax_cross_entropy(logits, labels)
+    assert loss >= 0.0
+    assert np.allclose(grad.sum(axis=1), 0.0, atol=1e-12)

@@ -1,0 +1,90 @@
+"""Property-based tests for the graph substrate and sampler."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import Graph, random_split
+from repro.gnn import sample_blocks
+
+
+@st.composite
+def edge_lists(draw):
+    n = draw(st.integers(min_value=2, max_value=50))
+    m = draw(st.integers(min_value=1, max_value=150))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    edges = rng.integers(0, n, size=(m, 2))
+    return n, edges[edges[:, 0] != edges[:, 1]]
+
+
+@settings(max_examples=50, deadline=None)
+@given(case=edge_lists())
+def test_degree_sum_equals_twice_edges(case):
+    n, edges = case
+    graph = Graph(n, edges)
+    assert graph.degrees().sum() == 2 * graph.num_edges
+
+
+@settings(max_examples=50, deadline=None)
+@given(case=edge_lists())
+def test_symmetric_csr_is_symmetric(case):
+    n, edges = case
+    graph = Graph(n, edges)
+    indptr, indices = graph.symmetric_csr()
+    for v in range(min(n, 10)):
+        for u in indices[indptr[v] : indptr[v + 1]]:
+            back = indices[indptr[u] : indptr[u + 1]]
+            assert v in back
+
+
+@settings(max_examples=50, deadline=None)
+@given(case=edge_lists())
+def test_undirected_edges_canonical_and_unique(case):
+    n, edges = case
+    graph = Graph(n, edges)
+    und = graph.undirected_edges()
+    assert (und[:, 0] <= und[:, 1]).all()
+    assert len(np.unique(und, axis=0)) == len(und)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    case=edge_lists(),
+    train=st.floats(min_value=0.05, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_split_partitions_vertices(case, train, seed):
+    n, edges = case
+    graph = Graph(n, edges)
+    split = random_split(graph, train, 0.1, seed=seed)
+    combined = np.sort(
+        np.concatenate([split.train, split.valid, split.test])
+    )
+    assert np.array_equal(combined, np.arange(n))
+
+
+@settings(max_examples=30, deadline=None)
+@given(case=edge_lists(), seed=st.integers(min_value=0, max_value=100))
+def test_sampler_blocks_chain(case, seed):
+    """Sampled blocks always chain: layer i's dst == layer i+1's src
+    prefix, edges reference valid local indices, and all sampled edges
+    exist in the graph."""
+    n, edges = case
+    if len(edges) == 0:
+        return
+    graph = Graph(n, edges)
+    rng = np.random.default_rng(seed)
+    degrees = graph.degrees()
+    seeds = np.flatnonzero(degrees > 0)[:5]
+    if seeds.size == 0:
+        return
+    mb = sample_blocks(graph, seeds, (3, 3), rng)
+    for outer, inner in zip(mb.blocks[:-1], mb.blocks[1:]):
+        assert np.array_equal(outer.src_ids[: outer.num_dst], inner.src_ids)
+    indptr, indices = graph.symmetric_csr()
+    for block in mb.blocks:
+        for s, d in zip(block.edge_src, block.edge_dst):
+            src = int(block.src_ids[s])
+            dst = int(block.src_ids[d])
+            assert src in indices[indptr[dst] : indptr[dst + 1]]

@@ -1,0 +1,142 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+def run(argv, capsys):
+    code = main(argv)
+    return code, capsys.readouterr().out
+
+
+def test_datasets(capsys):
+    code, out = run(["datasets"], capsys)
+    assert code == 0
+    for key in ("HW", "DI", "EN", "EU", "OR"):
+        assert key in out
+    assert "Hollywood-2011" in out
+
+
+def test_partition_edge_cut(capsys, tmp_path):
+    output = tmp_path / "assignment.txt"
+    code, out = run(
+        [
+            "partition", "--graph", "OR", "--scale", "tiny",
+            "--cut", "edge-cut", "--algorithm", "ldg",
+            "-k", "4", "--output", str(output),
+        ],
+        capsys,
+    )
+    assert code == 0
+    assert "LDG" in out
+    assert "cut=" in out
+    assignment = np.loadtxt(output, dtype=int)
+    assert assignment.min() >= 0 and assignment.max() < 4
+
+
+def test_partition_vertex_cut(capsys):
+    code, out = run(
+        [
+            "partition", "--graph", "OR", "--scale", "tiny",
+            "--cut", "vertex-cut", "--algorithm", "dbh", "-k", "4",
+        ],
+        capsys,
+    )
+    assert code == 0
+    assert "DBH" in out
+    assert "RF=" in out
+
+
+def test_distgnn(capsys):
+    code, out = run(
+        [
+            "distgnn", "--graph", "OR", "--scale", "tiny",
+            "--partitioner", "hdrf", "-k", "4",
+            "--feature-size", "32", "--hidden-dim", "32",
+            "--num-layers", "2",
+        ],
+        capsys,
+    )
+    assert code == 0
+    assert "speedup vs Random" in out
+    assert "replication factor" in out
+
+
+def test_distdgl(capsys):
+    code, out = run(
+        [
+            "distdgl", "--graph", "OR", "--scale", "tiny",
+            "--partitioner", "metis", "-k", "4",
+            "--feature-size", "32", "--batch-size", "32",
+        ],
+        capsys,
+    )
+    assert code == 0
+    assert "phase: fetch" in out
+    assert "edge-cut ratio" in out
+
+
+def test_amortize(capsys):
+    code, out = run(
+        [
+            "amortize", "--graph", "OR", "--scale", "tiny",
+            "-k", "4", "--epochs", "50", "--feature-size", "32",
+        ],
+        capsys,
+    )
+    assert code == 0
+    assert "amortizes after" in out
+    assert "hep100" in out
+
+
+def test_edge_list_input(capsys, tmp_path):
+    path = tmp_path / "g.txt"
+    rng = np.random.default_rng(0)
+    edges = rng.integers(0, 60, size=(300, 2))
+    edges = edges[edges[:, 0] != edges[:, 1]]
+    path.write_text(
+        "\n".join(f"{u} {v}" for u, v in edges) + "\n"
+    )
+    code, out = run(
+        [
+            "partition", "--edge-list", str(path),
+            "--cut", "edge-cut", "--algorithm", "random", "-k", "2",
+        ],
+        capsys,
+    )
+    assert code == 0
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_module_entry_point():
+    """python -m repro works (argparse wiring via __main__)."""
+    import subprocess
+    import sys
+
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "datasets"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0
+    assert "OR" in result.stdout
+
+
+def test_recommend(capsys):
+    code, out = run(
+        [
+            "recommend", "--graph", "OR", "--scale", "tiny",
+            "-k", "4", "--epochs", "20", "--feature-size", "32",
+        ],
+        capsys,
+    )
+    assert code == 0
+    assert "best =" in out
+    assert "hep100" in out

@@ -1,0 +1,61 @@
+"""Public-API hygiene: everything exported is importable and documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.graph",
+    "repro.partitioning",
+    "repro.partitioning.extensions",
+    "repro.cluster",
+    "repro.costmodel",
+    "repro.gnn",
+    "repro.distgnn",
+    "repro.distdgl",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, module_name
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    assert hasattr(module, "__all__"), module_name
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module_name}.{name}"
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_public_callables_documented(module_name):
+    """Every exported class and function carries a docstring."""
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name in module.__all__:
+        obj = getattr(module, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not inspect.getdoc(obj):
+                undocumented.append(name)
+    assert not undocumented, f"{module_name}: {undocumented}"
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_no_accidental_exports(module_name):
+    """__all__ entries never start with an underscore."""
+    module = importlib.import_module(module_name)
+    assert all(not name.startswith("_") for name in module.__all__)
+
+
+def test_version_string():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)
