@@ -1,0 +1,203 @@
+"""Microbenchmark suite for the partitioning and sampling kernels.
+
+Times every registered partitioner (plus the streaming extensions) on
+the standard small-scale synthetic graphs at ``k=32``, the HDRF
+vectorised kernel against its retained scalar reference on the largest
+graph (verifying bit-identical assignments), and the neighbourhood
+sampling kernel. Results are written to ``BENCH_partitioning.json`` at
+the repo root; the committed copy is the perf baseline that
+``scripts/check_perf.py`` gates future changes against.
+
+Usage::
+
+    python scripts/bench_perf.py [--out FILE] [--repeats N] [--quick]
+
+``--quick`` runs a single repeat per kernel (used by the perf gate);
+the committed baseline should be produced with the default repeats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro.gnn.sampling import default_fanouts, sample_blocks
+from repro.graph import DATASET_KEYS, load_dataset
+from repro.partitioning import (
+    EDGE_PARTITIONER_NAMES,
+    VERTEX_PARTITIONER_NAMES,
+    HdrfPartitioner,
+    make_edge_partitioner,
+    make_vertex_partitioner,
+)
+from repro.partitioning.extensions.fennel import FennelPartitioner
+from repro.partitioning.extensions.reldg import RestreamingLdgPartitioner
+
+#: Machine count for all partitioner timings (the paper's largest).
+BENCH_K = 32
+#: The largest standard synthetic graph (by edges) — HDRF's 5x
+#: speedup acceptance bar is measured here.
+LARGEST_GRAPH = "HW"
+
+
+def _time(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_partitioners(graphs: dict, repeats: int) -> dict:
+    """Time every partitioner on every graph at ``k=BENCH_K``."""
+    results: dict = {}
+    extension_factories = {
+        "fennel": FennelPartitioner,
+        "reldg": RestreamingLdgPartitioner,
+    }
+    for key, graph in graphs.items():
+        # Warm the cached adjacency views so timings isolate the kernels.
+        graph.undirected_edges()
+        graph.symmetric_csr()
+        graph.degrees()
+        for name in EDGE_PARTITIONER_NAMES:
+            seconds = _time(
+                lambda: make_edge_partitioner(name).partition(
+                    graph, BENCH_K, seed=0
+                ),
+                repeats,
+            )
+            results[f"{key}/{name}"] = {"seconds": seconds}
+        for name in VERTEX_PARTITIONER_NAMES:
+            seconds = _time(
+                lambda: make_vertex_partitioner(name).partition(
+                    graph, BENCH_K, seed=0
+                ),
+                repeats,
+            )
+            results[f"{key}/{name}"] = {"seconds": seconds}
+        for name, factory in extension_factories.items():
+            seconds = _time(
+                lambda: factory().partition(graph, BENCH_K, seed=0),
+                repeats,
+            )
+            results[f"{key}/{name}"] = {"seconds": seconds}
+    return results
+
+
+def bench_hdrf_reference(graph, repeats: int) -> dict:
+    """Vectorised vs scalar-reference HDRF on the largest graph."""
+    graph.undirected_edges()
+    reference = HdrfPartitioner(vectorised=False).partition(
+        graph, BENCH_K, seed=0
+    )
+    vectorised = HdrfPartitioner().partition(graph, BENCH_K, seed=0)
+    identical = bool(
+        np.array_equal(reference.assignment, vectorised.assignment)
+    )
+    ref_seconds = _time(
+        lambda: HdrfPartitioner(vectorised=False).partition(
+            graph, BENCH_K, seed=0
+        ),
+        repeats,
+    )
+    vec_seconds = _time(
+        lambda: HdrfPartitioner().partition(graph, BENCH_K, seed=0),
+        repeats,
+    )
+    return {
+        "graph": graph.name,
+        "k": BENCH_K,
+        "reference_seconds": ref_seconds,
+        "vectorised_seconds": vec_seconds,
+        "speedup": ref_seconds / vec_seconds,
+        "identical": identical,
+    }
+
+
+def bench_sampling(graph, repeats: int) -> dict:
+    """Time one 3-layer fan-out sampling pass over a large seed batch."""
+    graph.symmetric_csr()
+    rng = np.random.default_rng(0)
+    seeds = rng.choice(graph.num_vertices, size=1024, replace=False)
+    fanouts = default_fanouts(3)
+
+    def run():
+        sample_blocks(graph, seeds, fanouts, np.random.default_rng(1))
+
+    return {
+        "graph": graph.name,
+        "batch": int(seeds.size),
+        "fanouts": list(fanouts),
+        "seconds": _time(run, repeats),
+    }
+
+
+def run_bench(repeats: int) -> dict:
+    graphs = {
+        key: load_dataset(key, "small", seed=0) for key in DATASET_KEYS
+    }
+    report = {
+        "schema": 1,
+        "k": BENCH_K,
+        "scale": "small",
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "kernels": bench_partitioners(graphs, repeats),
+        "hdrf_vs_reference": bench_hdrf_reference(
+            graphs[LARGEST_GRAPH], repeats
+        ),
+        "sampling": bench_sampling(graphs[LARGEST_GRAPH], repeats),
+    }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        default=os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "BENCH_partitioning.json",
+        ),
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--quick", action="store_true", help="single repeat per kernel"
+    )
+    args = parser.parse_args(argv)
+    repeats = 1 if args.quick else args.repeats
+
+    report = run_bench(repeats)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    hdrf = report["hdrf_vs_reference"]
+    print(f"wrote {args.out}")
+    print(
+        f"HDRF on {hdrf['graph']} (k={hdrf['k']}): "
+        f"{hdrf['reference_seconds']:.3f}s -> "
+        f"{hdrf['vectorised_seconds']:.3f}s "
+        f"({hdrf['speedup']:.1f}x, identical={hdrf['identical']})"
+    )
+    slowest = sorted(
+        report["kernels"].items(),
+        key=lambda item: -item[1]["seconds"],
+    )[:5]
+    print("slowest kernels:")
+    for name, entry in slowest:
+        print(f"  {name}: {entry['seconds']:.3f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""Perf regression gate.
+
+Runs a fresh (quick) ``bench_perf`` pass and compares every kernel
+timing against the committed baseline ``BENCH_partitioning.json``.
+Fails (exit code 1) when any kernel is more than ``--threshold`` times
+slower than the baseline — the default 2x tolerates machine-to-machine
+variance while catching real regressions.
+
+Opt-in from pytest via the ``perf`` marker::
+
+    PYTHONPATH=src python -m pytest -m perf tests/test_perf_gate.py
+
+Usage::
+
+    python scripts/check_perf.py [--baseline FILE] [--threshold 2.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from bench_perf import run_bench  # noqa: E402
+
+
+#: Kernels faster than this are dominated by call overhead and timer
+#: noise; the ratio test is applied against at least this much time.
+MIN_GATED_SECONDS = 0.01
+
+
+def compare(
+    baseline: dict,
+    fresh: dict,
+    threshold: float,
+    floor: float = MIN_GATED_SECONDS,
+) -> list:
+    """Return a list of human-readable regression descriptions."""
+    regressions = []
+
+    def check(name: str, old: float, new: float) -> None:
+        if new > threshold * max(old, floor):
+            regressions.append(
+                f"{name}: {old:.4f}s -> {new:.4f}s "
+                f"({new / old:.1f}x > {threshold:.1f}x threshold)"
+            )
+
+    for name, entry in baseline.get("kernels", {}).items():
+        fresh_entry = fresh["kernels"].get(name)
+        if fresh_entry is None:
+            regressions.append(f"{name}: kernel missing from fresh run")
+            continue
+        check(name, entry["seconds"], fresh_entry["seconds"])
+    base_sampling = baseline.get("sampling")
+    if base_sampling:
+        check(
+            "sampling",
+            base_sampling["seconds"],
+            fresh["sampling"]["seconds"],
+        )
+    hdrf = fresh.get("hdrf_vs_reference", {})
+    if not hdrf.get("identical", False):
+        regressions.append(
+            "hdrf_vs_reference: vectorised and reference assignments differ"
+        )
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(_REPO_ROOT, "BENCH_partitioning.json"),
+    )
+    parser.add_argument("--threshold", type=float, default=2.0)
+    args = parser.parse_args(argv)
+
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}; run scripts/bench_perf.py")
+        return 1
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+
+    fresh = run_bench(repeats=1)
+    regressions = compare(baseline, fresh, args.threshold)
+    if regressions:
+        print("perf regressions detected:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print(
+        f"perf gate passed: {len(baseline.get('kernels', {}))} kernels "
+        f"within {args.threshold:.1f}x of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,10 +9,12 @@ graph and system — and writes ``sweep_distgnn.json`` /
 Usage::
 
     python scripts/run_full_sweep.py [--quick] [--graphs OR,EU]
-        [--machines 4,32] [--out DIR]
+        [--machines 4,32] [--out DIR] [--workers N]
 
 ``--quick`` restricts to the corner-covering reduced grid (the same one
-the benchmarks use).
+the benchmarks use). ``--workers N`` fans the (machines, partitioner)
+grid cells out over N processes (0 = one per CPU); results are identical
+to the serial run.
 """
 
 from __future__ import annotations
@@ -26,8 +28,8 @@ from repro.experiments import (
     MACHINE_COUNTS,
     parameter_grid,
     reduced_grid,
-    run_distdgl_grid,
-    run_distgnn_grid,
+    run_distdgl_grid_parallel,
+    run_distgnn_grid_parallel,
     save_records,
     speedup_summary,
 )
@@ -50,6 +52,10 @@ def parse_args(argv):
                         choices=("tiny", "small", "medium"))
     parser.add_argument("--out", default=".")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="processes for the grid fan-out (0 = one per CPU, 1 = serial)",
+    )
     return parser.parse_args(argv)
 
 
@@ -63,6 +69,7 @@ def main(argv=None) -> int:
         f"configs={len(grid)} scale={args.scale}"
     )
 
+    workers = args.workers if args.workers > 0 else None
     distgnn_records = []
     distdgl_records = []
     for key in graphs:
@@ -70,17 +77,17 @@ def main(argv=None) -> int:
         split = random_split(graph, seed=args.seed)
         start = time.time()
         distgnn_records.extend(
-            run_distgnn_grid(
+            run_distgnn_grid_parallel(
                 graph, EDGE_PARTITIONER_NAMES, machines, grid,
-                seed=args.seed,
+                seed=args.seed, workers=workers,
             )
         )
         print(f"{key}: DistGNN grid done in {time.time() - start:.0f}s")
         start = time.time()
         distdgl_records.extend(
-            run_distdgl_grid(
+            run_distdgl_grid_parallel(
                 graph, VERTEX_PARTITIONER_NAMES, machines, grid,
-                split=split, seed=args.seed,
+                split=split, seed=args.seed, workers=workers,
             )
         )
         print(f"{key}: DistDGL grid done in {time.time() - start:.0f}s")

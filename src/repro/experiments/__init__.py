@@ -26,6 +26,7 @@ from .config import (
     scaled_batch_size,
 )
 from .correlation import pearson, r_squared
+from .parallel import run_distdgl_grid_parallel, run_distgnn_grid_parallel
 from .records import DistDglRecord, DistGnnRecord
 from .report import format_series, format_table, print_series, print_table
 from .runner import (
@@ -56,6 +57,8 @@ __all__ = [
     "run_distgnn_grid",
     "run_distdgl",
     "run_distdgl_grid",
+    "run_distgnn_grid_parallel",
+    "run_distdgl_grid_parallel",
     "speedup_vs_random",
     "epochs_to_amortize",
     "amortization_table",

@@ -20,7 +20,7 @@ from ..partitioning import (
 
 __all__ = ["cached_edge_partition", "cached_vertex_partition", "clear_cache"]
 
-_CacheKey = Tuple[str, str, int, int, int]
+_CacheKey = Tuple[str, str, str, int, int]
 _Entry = Tuple[Union[EdgePartition, VertexPartition], float]
 
 _CACHE: Dict[_CacheKey, _Entry] = {}
@@ -29,7 +29,10 @@ _CACHE: Dict[_CacheKey, _Entry] = {}
 def _key(
     family: str, name: str, graph: Graph, k: int, seed: int
 ) -> _CacheKey:
-    return (family, name.lower(), id(graph), k, seed)
+    # Key on the graph's content fingerprint, not id(graph): ids are
+    # recycled after garbage collection, which could silently serve a
+    # partition of a *different* graph to a later experiment.
+    return (family, name.lower(), graph.fingerprint(), k, seed)
 
 
 def cached_edge_partition(

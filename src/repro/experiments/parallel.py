@@ -1,0 +1,131 @@
+"""Process-parallel grid runners.
+
+The serial grid in :mod:`.runner` iterates ``machines x partitioners x
+params``; each ``(machines, partitioner)`` pair — one *cell* — shares a
+single cached partition across all its parameter configurations, and
+cells are completely independent of each other. The runners here fan the
+cells out over a :class:`~concurrent.futures.ProcessPoolExecutor`: each
+worker computes its cell's partition exactly once (the partition cache
+is per process) and runs the cell's parameter grid serially, so no
+partition is ever computed twice and no partition is shipped between
+processes. Every simulation is deterministic given its seed, so the
+parallel runners return record-for-record the same results as the
+serial ones (equivalence-tested), in the same order.
+
+``workers=None`` lets the executor pick (CPU count); ``workers<=1``
+falls back to the serial runner in-process.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, List, Optional, Sequence
+
+from ..costmodel import DEFAULT_COST_MODEL, CostModel
+from ..graph import Graph, VertexSplit, random_split
+from .config import TrainingParams
+from .records import DistDglRecord, DistGnnRecord
+from .runner import (
+    run_distdgl,
+    run_distdgl_grid,
+    run_distgnn,
+    run_distgnn_grid,
+)
+
+__all__ = ["run_distgnn_grid_parallel", "run_distdgl_grid_parallel"]
+
+
+def _distgnn_cell(
+    graph: Graph,
+    partitioner: str,
+    num_machines: int,
+    grid: Sequence[TrainingParams],
+    seed: int,
+    cost_model: CostModel,
+) -> List[DistGnnRecord]:
+    """One (machines, partitioner) cell of the DistGNN grid."""
+    return [
+        run_distgnn(graph, partitioner, num_machines, params, seed, cost_model)
+        for params in grid
+    ]
+
+
+def _distdgl_cell(
+    graph: Graph,
+    partitioner: str,
+    num_machines: int,
+    grid: Sequence[TrainingParams],
+    split: VertexSplit,
+    seed: int,
+    cost_model: CostModel,
+) -> List[DistDglRecord]:
+    """One (machines, partitioner) cell of the DistDGL grid."""
+    return [
+        run_distdgl(
+            graph, partitioner, num_machines, params, split=split,
+            seed=seed, cost_model=cost_model,
+        )
+        for params in grid
+    ]
+
+
+def run_distgnn_grid_parallel(
+    graph: Graph,
+    partitioners: Sequence[str],
+    machine_counts: Sequence[int],
+    grid: Iterable[TrainingParams],
+    seed: int = 0,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    workers: Optional[int] = None,
+) -> List[DistGnnRecord]:
+    """Parallel :func:`~.runner.run_distgnn_grid` (same records, same order)."""
+    grid = list(grid)
+    if workers is not None and workers <= 1:
+        return run_distgnn_grid(
+            graph, partitioners, machine_counts, grid, seed, cost_model
+        )
+    records: List[DistGnnRecord] = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(
+                _distgnn_cell, graph, name, k, grid, seed, cost_model
+            )
+            for k in machine_counts
+            for name in partitioners
+        ]
+        for future in futures:
+            records.extend(future.result())
+    return records
+
+
+def run_distdgl_grid_parallel(
+    graph: Graph,
+    partitioners: Sequence[str],
+    machine_counts: Sequence[int],
+    grid: Iterable[TrainingParams],
+    split: Optional[VertexSplit] = None,
+    seed: int = 0,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+    workers: Optional[int] = None,
+) -> List[DistDglRecord]:
+    """Parallel :func:`~.runner.run_distdgl_grid` (same records, same order)."""
+    if split is None:
+        split = random_split(graph, seed=seed)
+    grid = list(grid)
+    if workers is not None and workers <= 1:
+        return run_distdgl_grid(
+            graph, partitioners, machine_counts, grid,
+            split=split, seed=seed, cost_model=cost_model,
+        )
+    records: List[DistDglRecord] = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(
+                _distdgl_cell, graph, name, k, grid, split, seed, cost_model
+            )
+            for k in machine_counts
+            for name in partitioners
+        ]
+        for future in futures:
+            records.extend(future.result())
+    return records

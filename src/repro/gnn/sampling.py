@@ -128,14 +128,13 @@ def _sample_layer(
         small_idx = np.flatnonzero(small)
         take = degrees[small_idx]
         starts = indptr[frontier[small_idx]]
-        if take.sum():
-            ends = starts + take
-            offsets = np.concatenate(
-                [np.arange(s, e) for s, e in zip(starts, ends)]
-            )
-        else:
-            offsets = np.zeros(0, dtype=np.int64)
-        src_parts.append(indices[offsets.astype(np.int64)])
+        # Expand the per-vertex CSR ranges in one batch: repeat each
+        # start `take` times and add the within-range offset
+        # (a global arange minus each range's cumulative start).
+        total = int(take.sum())
+        within = np.arange(total) - np.repeat(np.cumsum(take) - take, take)
+        offsets = np.repeat(starts, take) + within
+        src_parts.append(indices[offsets])
         dst_parts.append(np.repeat(small_idx, take))
     # High-degree vertices: `fanout` draws with replacement, deduplicated
     # per (dst, src) pair - vectorised across the whole frontier.
@@ -147,7 +146,11 @@ def _sample_layer(
         sampled = indices[indptr[frontier[big_idx]][:, None] + draws]
         dst = np.repeat(big_idx, fanout)
         src = sampled.ravel()
-        pair = dst * (indices.max() + 2) + src
+        # Injective (dst, src) key: src < |V|, so |V| as multiplier
+        # suffices — no O(E) indices.max() scan, and no overflow risk
+        # from a needlessly larger base.
+        num_vertices = indptr.shape[0] - 1
+        pair = dst * num_vertices + src
         _, keep = np.unique(pair, return_index=True)
         src_parts.append(src[keep])
         dst_parts.append(dst[keep])

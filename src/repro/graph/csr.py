@@ -11,6 +11,7 @@ Vertex ids are dense integers ``0 .. num_vertices - 1``.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
@@ -78,6 +79,8 @@ class Graph:
         self._sym_indices: Optional[np.ndarray] = None
         self._out_indptr: Optional[np.ndarray] = None
         self._out_indices: Optional[np.ndarray] = None
+        self._undirected_edges: Optional[np.ndarray] = None
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -165,14 +168,33 @@ class Graph:
         Edge partitioners operate on undirected edges; for directed inputs
         reciprocal arc pairs collapse into one undirected edge.
         """
-        lo = np.minimum(self._edges[:, 0], self._edges[:, 1])
-        hi = np.maximum(self._edges[:, 0], self._edges[:, 1])
-        pairs = np.stack([lo, hi], axis=1)
-        return np.unique(pairs, axis=0)
+        if self._undirected_edges is None:
+            lo = np.minimum(self._edges[:, 0], self._edges[:, 1])
+            hi = np.maximum(self._edges[:, 0], self._edges[:, 1])
+            pairs = np.stack([lo, hi], axis=1)
+            self._undirected_edges = np.unique(pairs, axis=0)
+        return self._undirected_edges
 
     def iter_edges(self) -> Iterator[Tuple[int, int]]:
         for u, v in self._edges:
             yield int(u), int(v)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the graph structure.
+
+        Identifies the graph by value (vertex count, directedness, edge
+        array) rather than by object identity, so caches keyed on it stay
+        correct across garbage collection and process boundaries. Cached
+        after the first call; the graph is immutable.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha1()
+            digest.update(
+                f"{self._num_vertices}:{int(self._directed)}:".encode()
+            )
+            digest.update(np.ascontiguousarray(self._edges).tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Derived graphs

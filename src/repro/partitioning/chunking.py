@@ -1,0 +1,37 @@
+"""Chunk schedule shared by the vectorised streaming kernels.
+
+Streaming partitioners (HDRF, LDG, Fennel, reLDG, HEP's tail phase)
+process their stream in chunks: per-stream-element state (partition
+loads / the balance or penalty term) is frozen at the start of each
+chunk so the chunk body can be scored with numpy batch operations. The
+schedule ramps up geometrically from :data:`MIN_CHUNK` so the early
+stream — where balance is the only signal — still reacts quickly, and
+the transient staleness introduced later is bounded by the final chunk
+size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+__all__ = ["DEFAULT_CHUNK", "MIN_CHUNK", "chunk_spans"]
+
+#: Default ceiling of the chunk-size ramp.
+DEFAULT_CHUNK = 1024
+#: First chunk of the ramp (kept small so early balance stays tight).
+MIN_CHUNK = 32
+
+
+def chunk_spans(
+    total: int, chunk_size: int = DEFAULT_CHUNK
+) -> Iterator[Tuple[int, int]]:
+    """Yield ``(start, stop)`` spans ramping from MIN_CHUNK to chunk_size."""
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    size = min(MIN_CHUNK, chunk_size)
+    start = 0
+    while start < total:
+        stop = min(start + size, total)
+        yield start, stop
+        start = stop
+        size = min(size * 2, chunk_size)

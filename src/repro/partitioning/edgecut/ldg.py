@@ -3,7 +3,8 @@
 Stanton and Kliot, KDD 2012. Vertices arrive in a stream; each is placed on
 the partition holding most of its already-seen neighbours, discounted by a
 linear load penalty ``1 - |P_i| / capacity``. Stateful streaming: keeps the
-current assignment and partition sizes.
+current assignment and partition sizes. The inner loop is the shared
+chunk-vectorised kernel in :mod:`.streaming`.
 """
 
 from __future__ import annotations
@@ -12,6 +13,8 @@ import numpy as np
 
 from ...graph import Graph
 from ..base import VertexPartitioner
+from ..chunking import DEFAULT_CHUNK
+from .streaming import VertexStreamState
 
 __all__ = ["LdgPartitioner"]
 
@@ -20,34 +23,32 @@ class LdgPartitioner(VertexPartitioner):
     name = "LDG"
     category = "stateful streaming"
 
-    def __init__(self, slack: float = 1.1) -> None:
+    def __init__(
+        self,
+        slack: float = 1.1,
+        chunk_size: int = DEFAULT_CHUNK,
+        vectorised: bool = True,
+    ) -> None:
         super().__init__()
         self.slack = slack
+        self.chunk_size = chunk_size
+        # ``vectorised=False`` runs the retained scalar reference kernel
+        # (identical output; used by equivalence tests and benchmarks).
+        self.vectorised = vectorised
 
     def _assign(
         self, graph: Graph, num_partitions: int, seed: int
     ) -> np.ndarray:
         rng = np.random.default_rng(seed)
         indptr, indices = graph.symmetric_csr()
-        capacity = self.slack * graph.num_vertices / num_partitions
-        assignment = np.full(graph.num_vertices, -1, dtype=np.int32)
-        sizes = np.zeros(num_partitions, dtype=np.int64)
-        for v in rng.permutation(graph.num_vertices):
-            v = int(v)
-            nbrs = indices[indptr[v] : indptr[v + 1]]
-            placed = assignment[nbrs]
-            placed = placed[placed >= 0]
-            if placed.size:
-                counts = np.bincount(placed, minlength=num_partitions)
-            else:
-                counts = np.zeros(num_partitions, dtype=np.int64)
-            score = counts * (1.0 - sizes / capacity)
-            # Full partitions are never eligible.
-            score[sizes >= capacity] = -np.inf
-            best = int(score.argmax())
-            if score[best] <= 0:
-                open_parts = np.flatnonzero(sizes < capacity)
-                best = int(open_parts[sizes[open_parts].argmin()])
-            assignment[v] = best
-            sizes[best] += 1
-        return assignment
+        state = VertexStreamState(
+            indptr,
+            indices,
+            num_partitions,
+            capacity=self.slack * graph.num_vertices / num_partitions,
+            mode="ldg",
+            chunk_size=self.chunk_size,
+        )
+        place = state.place if self.vectorised else state.place_reference
+        place(rng.permutation(graph.num_vertices))
+        return state.assignment

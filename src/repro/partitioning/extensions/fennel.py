@@ -9,7 +9,8 @@ balance penalty: vertex ``v`` goes to the partition maximising
 with ``gamma = 1.5`` and ``alpha = sqrt(k) * m / n^1.5`` (the authors'
 defaults). Not part of the paper's Table 2 — included as an extension for
 the ablation study comparing the studied set against further streaming
-partitioners.
+partitioners. The inner loop is the shared chunk-vectorised kernel in
+:mod:`..edgecut.streaming`.
 """
 
 from __future__ import annotations
@@ -18,6 +19,8 @@ import numpy as np
 
 from ...graph import Graph
 from ..base import VertexPartitioner
+from ..chunking import DEFAULT_CHUNK
+from ..edgecut.streaming import VertexStreamState
 
 __all__ = ["FennelPartitioner"]
 
@@ -26,12 +29,20 @@ class FennelPartitioner(VertexPartitioner):
     name = "Fennel"
     category = "stateful streaming"
 
-    def __init__(self, gamma: float = 1.5, slack: float = 1.1) -> None:
+    def __init__(
+        self,
+        gamma: float = 1.5,
+        slack: float = 1.1,
+        chunk_size: int = DEFAULT_CHUNK,
+        vectorised: bool = True,
+    ) -> None:
         super().__init__()
         if gamma <= 1.0:
             raise ValueError("gamma must exceed 1")
         self.gamma = gamma
         self.slack = slack
+        self.chunk_size = chunk_size
+        self.vectorised = vectorised
 
     def _assign(
         self, graph: Graph, num_partitions: int, seed: int
@@ -40,23 +51,16 @@ class FennelPartitioner(VertexPartitioner):
         indptr, indices = graph.symmetric_csr()
         n, k = graph.num_vertices, num_partitions
         m = graph.num_edges
-        alpha = np.sqrt(k) * m / max(n, 1) ** self.gamma
-        capacity = self.slack * n / k
-        assignment = np.full(n, -1, dtype=np.int32)
-        sizes = np.zeros(k, dtype=np.float64)
-        for v in rng.permutation(n):
-            v = int(v)
-            nbrs = indices[indptr[v] : indptr[v + 1]]
-            placed = assignment[nbrs]
-            placed = placed[placed >= 0]
-            neighbors = (
-                np.bincount(placed, minlength=k)
-                if placed.size
-                else np.zeros(k)
-            )
-            penalty = alpha * self.gamma * sizes ** (self.gamma - 1.0)
-            score = neighbors - penalty
-            score[sizes >= capacity] = -np.inf
-            assignment[v] = int(score.argmax())
-            sizes[assignment[v]] += 1
-        return assignment
+        state = VertexStreamState(
+            indptr,
+            indices,
+            k,
+            capacity=self.slack * n / k,
+            mode="fennel",
+            alpha=np.sqrt(k) * m / max(n, 1) ** self.gamma,
+            gamma=self.gamma,
+            chunk_size=self.chunk_size,
+        )
+        place = state.place if self.vectorised else state.place_reference
+        place(rng.permutation(n))
+        return state.assignment

@@ -5,7 +5,9 @@ greedy placement repeatedly: after the first pass, every further pass
 re-streams the vertices and reassigns them using the *previous* pass's
 assignment as neighbour context, monotonically improving the cut while
 keeping the streaming memory profile. An extension beyond the paper's
-Table 2, used by the ablation benchmarks.
+Table 2, used by the ablation benchmarks. The inner loop is the shared
+chunk-vectorised kernel in :mod:`..edgecut.streaming`, called with
+``vacate=True`` on restreaming passes.
 """
 
 from __future__ import annotations
@@ -14,6 +16,8 @@ import numpy as np
 
 from ...graph import Graph
 from ..base import VertexPartitioner
+from ..chunking import DEFAULT_CHUNK
+from ..edgecut.streaming import VertexStreamState
 
 __all__ = ["RestreamingLdgPartitioner"]
 
@@ -22,42 +26,38 @@ class RestreamingLdgPartitioner(VertexPartitioner):
     name = "reLDG"
     category = "stateful streaming"
 
-    def __init__(self, passes: int = 5, slack: float = 1.1) -> None:
+    def __init__(
+        self,
+        passes: int = 5,
+        slack: float = 1.1,
+        chunk_size: int = DEFAULT_CHUNK,
+        vectorised: bool = True,
+    ) -> None:
         super().__init__()
         if passes < 1:
             raise ValueError("need at least one pass")
         self.passes = passes
         self.slack = slack
+        self.chunk_size = chunk_size
+        self.vectorised = vectorised
 
     def _assign(
         self, graph: Graph, num_partitions: int, seed: int
     ) -> np.ndarray:
         rng = np.random.default_rng(seed)
         indptr, indices = graph.symmetric_csr()
-        n, k = graph.num_vertices, num_partitions
-        capacity = self.slack * n / k
-        assignment = np.full(n, -1, dtype=np.int32)
-        sizes = np.zeros(k, dtype=np.float64)
-        for _ in range(self.passes):
-            for v in rng.permutation(n):
-                v = int(v)
-                if assignment[v] >= 0:
-                    # Restream: vacate the old slot before re-placing.
-                    sizes[assignment[v]] -= 1
-                nbrs = indices[indptr[v] : indptr[v + 1]]
-                placed = assignment[nbrs]
-                placed = placed[placed >= 0]
-                counts = (
-                    np.bincount(placed, minlength=k)
-                    if placed.size
-                    else np.zeros(k)
-                )
-                score = counts * (1.0 - sizes / capacity)
-                score[sizes >= capacity] = -np.inf
-                best = int(score.argmax())
-                if score[best] <= 0:
-                    open_parts = np.flatnonzero(sizes < capacity)
-                    best = int(open_parts[sizes[open_parts].argmin()])
-                assignment[v] = best
-                sizes[best] += 1
-        return assignment
+        n = graph.num_vertices
+        state = VertexStreamState(
+            indptr,
+            indices,
+            num_partitions,
+            capacity=self.slack * n / num_partitions,
+            mode="ldg",
+            chunk_size=self.chunk_size,
+        )
+        place = state.place if self.vectorised else state.place_reference
+        for pass_index in range(self.passes):
+            # Restreaming passes vacate each vertex's old slot before
+            # re-placing it against the previous pass's assignment.
+            place(rng.permutation(n), vacate=pass_index > 0)
+        return state.assignment

@@ -13,7 +13,7 @@ import numpy as np
 
 from ...graph import Graph
 from ..base import EdgePartitioner
-from .streaming import HdrfState
+from .streaming import DEFAULT_CHUNK, HdrfState
 
 __all__ = ["HdrfPartitioner"]
 
@@ -22,9 +22,18 @@ class HdrfPartitioner(EdgePartitioner):
     name = "HDRF"
     category = "stateful streaming"
 
-    def __init__(self, lambda_balance: float = 1.1) -> None:
+    def __init__(
+        self,
+        lambda_balance: float = 1.1,
+        chunk_size: int = DEFAULT_CHUNK,
+        vectorised: bool = True,
+    ) -> None:
         super().__init__()
         self.lambda_balance = lambda_balance
+        self.chunk_size = chunk_size
+        # ``vectorised=False`` runs the retained scalar reference kernel
+        # (identical output; used by equivalence tests and benchmarks).
+        self.vectorised = vectorised
 
     def _assign(
         self,
@@ -36,8 +45,16 @@ class HdrfPartitioner(EdgePartitioner):
         rng = np.random.default_rng(seed)
         order = rng.permutation(edges.shape[0])
         state = HdrfState(
-            graph.num_vertices, num_partitions, self.lambda_balance
+            graph.num_vertices,
+            num_partitions,
+            self.lambda_balance,
+            chunk_size=self.chunk_size,
+        )
+        place = (
+            state.place_edges
+            if self.vectorised
+            else state.place_edges_reference
         )
         assignment = np.empty(edges.shape[0], dtype=np.int32)
-        assignment[order] = state.place_edges(edges[order])
+        assignment[order] = place(edges[order])
         return assignment

@@ -31,12 +31,18 @@ __all__ = ["HepPartitioner"]
 class HepPartitioner(EdgePartitioner):
     category = "hybrid"
 
-    def __init__(self, tau: float = 10.0, balance_cap: float = 1.1) -> None:
+    def __init__(
+        self,
+        tau: float = 10.0,
+        balance_cap: float = 1.1,
+        vectorised: bool = True,
+    ) -> None:
         super().__init__()
         if tau <= 0:
             raise ValueError("tau must be positive")
         self.tau = tau
         self.balance_cap = balance_cap
+        self.vectorised = vectorised
         self.name = f"HEP{int(tau)}"
 
     def _assign(
@@ -105,7 +111,12 @@ class HepPartitioner(EdgePartitioner):
         state.seed_from(edges[placed], assignment[placed])
         order = rng.permutation(stream_ids.shape[0])
         streamed = stream_ids[order]
-        assignment[streamed] = state.place_edges(edges[streamed])
+        place = (
+            state.place_edges
+            if self.vectorised
+            else state.place_edges_reference
+        )
+        assignment[streamed] = place(edges[streamed])
         return assignment
 
 

@@ -5,6 +5,7 @@ from repro.experiments import (
     cached_vertex_partition,
     clear_cache,
 )
+from repro.graph import Graph
 
 
 def test_edge_cache_hit_returns_same_object(tiny_or):
@@ -43,3 +44,33 @@ def test_name_case_insensitive(tiny_or):
     a, _ = cached_edge_partition(tiny_or, "DBH", 4, seed=0)
     b, _ = cached_edge_partition(tiny_or, "dbh", 4, seed=0)
     assert a is b
+
+
+def test_keyed_by_content_not_identity():
+    """Two distinct Graph objects with identical content share an entry;
+    a graph with different edges gets its own — id() recycling after
+    garbage collection can no longer alias cache slots."""
+    clear_cache()
+    edges = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]
+    g1 = Graph.from_edge_list(edges, num_vertices=4)
+    g2 = Graph.from_edge_list(edges, num_vertices=4)
+    a, _ = cached_edge_partition(g1, "dbh", 2, seed=0)
+    b, _ = cached_edge_partition(g2, "dbh", 2, seed=0)
+    assert g1 is not g2
+    assert a is b
+
+    g3 = Graph.from_edge_list(edges[:-1], num_vertices=4)
+    c, _ = cached_edge_partition(g3, "dbh", 2, seed=0)
+    assert c is not a
+
+
+def test_fingerprint_stable_and_content_sensitive():
+    edges = [(0, 1), (1, 2)]
+    g1 = Graph.from_edge_list(edges, num_vertices=3)
+    g2 = Graph.from_edge_list(edges, num_vertices=3)
+    assert g1.fingerprint() == g1.fingerprint()
+    assert g1.fingerprint() == g2.fingerprint()
+    bigger = Graph.from_edge_list(edges, num_vertices=4)
+    directed = Graph.from_edge_list(edges, num_vertices=3, directed=True)
+    assert bigger.fingerprint() != g1.fingerprint()
+    assert directed.fingerprint() != g1.fingerprint()

@@ -1,0 +1,80 @@
+"""The parallel grid runners must reproduce the serial runs exactly."""
+
+import numpy as np
+
+from repro.experiments import (
+    reduced_grid,
+    run_distdgl_grid,
+    run_distdgl_grid_parallel,
+    run_distgnn_grid,
+    run_distgnn_grid_parallel,
+)
+from repro.graph import random_split
+
+EDGE_NAMES = ["random", "hdrf"]
+VERTEX_NAMES = ["random", "ldg"]
+MACHINES = [2, 4]
+
+
+def _grid():
+    return list(reduced_grid())[:2]
+
+
+class TestDistGnnParallel:
+    def test_records_equal_serial(self, tiny_or):
+        serial = run_distgnn_grid(
+            tiny_or, EDGE_NAMES, MACHINES, _grid(), seed=0
+        )
+        parallel = run_distgnn_grid_parallel(
+            tiny_or, EDGE_NAMES, MACHINES, _grid(), seed=0, workers=2
+        )
+        assert parallel == serial
+
+    def test_workers_one_is_serial(self, tiny_or):
+        serial = run_distgnn_grid(
+            tiny_or, EDGE_NAMES, [2], _grid(), seed=0
+        )
+        inline = run_distgnn_grid_parallel(
+            tiny_or, EDGE_NAMES, [2], _grid(), seed=0, workers=1
+        )
+        assert inline == serial
+
+
+class TestDistDglParallel:
+    def test_records_equal_serial(self, tiny_or):
+        split = random_split(tiny_or, seed=0)
+        serial = run_distdgl_grid(
+            tiny_or, VERTEX_NAMES, MACHINES, _grid(),
+            split=split, seed=0,
+        )
+        parallel = run_distdgl_grid_parallel(
+            tiny_or, VERTEX_NAMES, MACHINES, _grid(),
+            split=split, seed=0, workers=2,
+        )
+        assert parallel == serial
+
+    def test_default_split_matches(self, tiny_or):
+        """Both runners must derive the same default split from the seed."""
+        serial = run_distdgl_grid(
+            tiny_or, VERTEX_NAMES, [2], _grid(), seed=3
+        )
+        parallel = run_distdgl_grid_parallel(
+            tiny_or, VERTEX_NAMES, [2], _grid(), seed=3, workers=2
+        )
+        assert parallel == serial
+
+
+def test_record_order_is_serial_order(tiny_or):
+    """Records come back in machines x partitioners x params order even
+    when cells finish out of order."""
+    records = run_distgnn_grid_parallel(
+        tiny_or, EDGE_NAMES, MACHINES, _grid(), seed=0, workers=4
+    )
+    expected = [
+        (k, name)
+        for k in MACHINES
+        for name in EDGE_NAMES
+        for _ in _grid()
+    ]
+    got = [(r.num_machines, r.partitioner) for r in records]
+    assert got == expected

@@ -1,0 +1,33 @@
+"""Opt-in perf gate: ``pytest -m perf``.
+
+Deselected by default (see ``addopts`` in pyproject.toml) so tier-1
+stays fast; CI jobs that track the perf trajectory opt in explicitly.
+The gate re-times every kernel and compares against the committed
+``BENCH_partitioning.json`` baseline via ``scripts/check_perf.py``.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.perf
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def test_no_kernel_regressed_beyond_threshold():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(_REPO_ROOT, "src")
+    result = subprocess.run(
+        [
+            sys.executable,
+            os.path.join(_REPO_ROOT, "scripts", "check_perf.py"),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=_REPO_ROOT,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
