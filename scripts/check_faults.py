@@ -1,0 +1,173 @@
+"""Fault-sweep correctness gate.
+
+Three invariants the fault-injection subsystem must never lose:
+
+1. **Determinism** — the same seeded :class:`FaultConfig` produces
+   bit-identical records across repeated runs.
+2. **Serial == parallel** — fanning a fault sweep's grid cells out over
+   worker processes changes nothing: the fault plan is a pure function
+   of (config, cluster size, epochs), never of scheduling.
+3. **Checkpoint arithmetic** — a crash at epoch ``e`` under checkpoint
+   interval ``c`` re-executes exactly ``e mod c`` epochs (each at its
+   original cost) plus a restore, and nothing else.
+
+Opt-in from pytest via the ``faults`` marker::
+
+    PYTHONPATH=src python -m pytest -m faults tests/test_faults_gate.py
+
+Usage::
+
+    python scripts/check_faults.py [--epochs 5] [--seed 13]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.cluster import FaultEvent, FaultPlan, RecoveryPolicy
+from repro.distgnn import DistGnnEngine
+from repro.experiments import (
+    FaultConfig,
+    clear_cache,
+    reduced_grid,
+    run_distdgl_grid,
+    run_distdgl_grid_parallel,
+    run_distgnn_grid,
+    run_distgnn_grid_parallel,
+)
+from repro.graph import load_dataset, random_split
+from repro.partitioning import RandomEdgePartitioner
+
+
+def check_determinism(graph, split, config, epochs) -> list:
+    """Invariant 1: repeated seeded sweeps are record-identical."""
+    failures = []
+    grid = list(reduced_grid())[:1]
+    kwargs = dict(fault_config=config, num_epochs=epochs)
+    first = run_distgnn_grid(graph, ["random", "hdrf"], [4], grid, **kwargs)
+    second = run_distgnn_grid(graph, ["random", "hdrf"], [4], grid, **kwargs)
+    if first != second:
+        failures.append("DistGNN fault sweep is not run-to-run deterministic")
+    first = run_distdgl_grid(
+        graph, ["random", "metis"], [4], grid, split=split, **kwargs
+    )
+    second = run_distdgl_grid(
+        graph, ["random", "metis"], [4], grid, split=split, **kwargs
+    )
+    if first != second:
+        failures.append("DistDGL fault sweep is not run-to-run deterministic")
+    return failures
+
+
+def check_serial_vs_parallel(graph, split, config, epochs) -> list:
+    """Invariant 2: process fan-out does not change fault records."""
+    failures = []
+    grid = list(reduced_grid())[:2]
+    kwargs = dict(fault_config=config, num_epochs=epochs)
+    serial = run_distgnn_grid(
+        graph, ["random", "hdrf"], [2, 4], grid, **kwargs
+    )
+    parallel = run_distgnn_grid_parallel(
+        graph, ["random", "hdrf"], [2, 4], grid, workers=2, **kwargs
+    )
+    if serial != parallel:
+        failures.append("DistGNN fault records differ serial vs parallel")
+    if not any(r.crashes or r.slowdowns or r.lost_messages for r in serial):
+        failures.append("DistGNN fault sweep injected no faults at all")
+    serial = run_distdgl_grid(
+        graph, ["random", "metis"], [2, 4], grid, split=split, **kwargs
+    )
+    parallel = run_distdgl_grid_parallel(
+        graph, ["random", "metis"], [2, 4], grid, split=split, workers=2,
+        **kwargs,
+    )
+    if serial != parallel:
+        failures.append("DistDGL fault records differ serial vs parallel")
+    return failures
+
+
+def check_checkpoint_arithmetic(graph) -> list:
+    """Invariant 3: crash at epoch e, interval c => replay e mod c."""
+    failures = []
+    crash_epoch, interval, total_epochs = 5, 3, 7
+    partition = RandomEdgePartitioner().partition(graph, 4, seed=0)
+
+    baseline = DistGnnEngine(partition, feature_size=16, hidden_dim=16,
+                             num_layers=2)
+    epoch_seconds = baseline.simulate_epoch().epoch_seconds
+
+    engine = DistGnnEngine(partition, feature_size=16, hidden_dim=16,
+                           num_layers=2)
+    plan = FaultPlan(
+        (FaultEvent("crash", epoch=crash_epoch, machine=1),)
+    )
+    engine.simulate_training(
+        total_epochs, fault_plan=plan,
+        recovery=RecoveryPolicy(checkpoint_every=interval),
+    )
+    expected_replays = crash_epoch % interval
+    if engine.fault_summary.reexecuted_epochs != expected_replays:
+        failures.append(
+            f"crash at epoch {crash_epoch} with c={interval} re-executed "
+            f"{engine.fault_summary.reexecuted_epochs} epochs, expected "
+            f"{expected_replays}"
+        )
+    totals = engine.cluster.timeline.phase_totals()
+    replay_seconds = sum(
+        v for name, v in totals.items() if name.startswith("replay:")
+    )
+    if not np.isclose(replay_seconds, expected_replays * epoch_seconds):
+        failures.append(
+            f"replay charged {replay_seconds:.6f}s, expected "
+            f"{expected_replays} x {epoch_seconds:.6f}s"
+        )
+    if totals.get("fault-restore", 0.0) <= 0.0:
+        failures.append("crash recovery charged no restore time")
+    timeline = engine.cluster.timeline
+    accounted = (
+        total_epochs * epoch_seconds
+        + timeline.recovery_seconds()
+        + timeline.checkpoint_seconds()
+    )
+    if not np.isclose(timeline.total_seconds, accounted):
+        failures.append(
+            f"timeline total {timeline.total_seconds:.6f}s != base + "
+            f"recovery + checkpoints = {accounted:.6f}s"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=13)
+    args = parser.parse_args(argv)
+
+    clear_cache()
+    graph = load_dataset("OR", "tiny", seed=0)
+    split = random_split(graph, seed=0)
+    config = FaultConfig(crash_rate=0.15, slowdown_rate=0.1, loss_rate=0.1,
+                         checkpoint_every=2, seed=args.seed)
+
+    failures = []
+    failures += check_determinism(graph, split, config, args.epochs)
+    failures += check_serial_vs_parallel(graph, split, config, args.epochs)
+    failures += check_checkpoint_arithmetic(graph)
+
+    if failures:
+        print("fault gate failures:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(
+        "fault gate passed: deterministic, serial == parallel, "
+        "checkpoint arithmetic exact"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,11 +10,16 @@ Usage::
 
     python scripts/run_full_sweep.py [--quick] [--graphs OR,EU]
         [--machines 4,32] [--out DIR] [--workers N]
+        [--fault-rate P] [--epochs E] [--checkpoint-every C]
 
 ``--quick`` restricts to the corner-covering reduced grid (the same one
 the benchmarks use). ``--workers N`` fans the (machines, partitioner)
 grid cells out over N processes (0 = one per CPU); results are identical
-to the serial run.
+to the serial run. A non-zero ``--fault-rate`` / ``--slowdown-rate`` /
+``--loss-rate`` turns the sweep into a seeded fault sweep: every cell is
+simulated for ``--epochs`` epochs under the same deterministic fault
+plan, the records gain recovery accounting, and a per-partitioner
+recovery-overhead summary is printed at the end.
 """
 
 from __future__ import annotations
@@ -26,8 +31,10 @@ import time
 
 from repro.experiments import (
     MACHINE_COUNTS,
+    FaultConfig,
     parameter_grid,
     reduced_grid,
+    robustness_summary,
     run_distdgl_grid_parallel,
     run_distgnn_grid_parallel,
     save_records,
@@ -56,7 +63,32 @@ def parse_args(argv):
         "--workers", type=int, default=1,
         help="processes for the grid fan-out (0 = one per CPU, 1 = serial)",
     )
+    parser.add_argument(
+        "--epochs", type=int, default=1,
+        help="epochs per cell (fault sweeps need more than one)",
+    )
+    parser.add_argument("--fault-rate", type=float, default=0.0,
+                        help="per-(epoch, machine) crash probability")
+    parser.add_argument("--slowdown-rate", type=float, default=0.0,
+                        help="per-(epoch, machine) straggler probability")
+    parser.add_argument("--loss-rate", type=float, default=0.0,
+                        help="per-(epoch, machine) lost-message probability")
+    parser.add_argument("--checkpoint-every", type=int, default=5,
+                        help="full-batch checkpoint interval in epochs")
+    parser.add_argument("--fault-seed", type=int, default=0,
+                        help="seed of the deterministic fault plan")
     return parser.parse_args(argv)
+
+
+def fault_config_from(args):
+    config = FaultConfig(
+        crash_rate=args.fault_rate,
+        slowdown_rate=args.slowdown_rate,
+        loss_rate=args.loss_rate,
+        checkpoint_every=args.checkpoint_every,
+        seed=args.fault_seed,
+    )
+    return config if config else None
 
 
 def main(argv=None) -> int:
@@ -64,10 +96,19 @@ def main(argv=None) -> int:
     graphs = [g.strip().upper() for g in args.graphs.split(",")]
     machines = [int(k) for k in args.machines.split(",")]
     grid = list(reduced_grid() if args.quick else parameter_grid())
+    fault_config = fault_config_from(args)
     print(
         f"sweep: graphs={graphs} machines={machines} "
         f"configs={len(grid)} scale={args.scale}"
     )
+    if fault_config is not None:
+        print(
+            f"faults: crash={fault_config.crash_rate} "
+            f"slowdown={fault_config.slowdown_rate} "
+            f"loss={fault_config.loss_rate} "
+            f"checkpoint-every={fault_config.checkpoint_every} "
+            f"epochs={args.epochs} seed={fault_config.seed}"
+        )
 
     workers = args.workers if args.workers > 0 else None
     distgnn_records = []
@@ -80,6 +121,7 @@ def main(argv=None) -> int:
             run_distgnn_grid_parallel(
                 graph, EDGE_PARTITIONER_NAMES, machines, grid,
                 seed=args.seed, workers=workers,
+                fault_config=fault_config, num_epochs=args.epochs,
             )
         )
         print(f"{key}: DistGNN grid done in {time.time() - start:.0f}s")
@@ -88,6 +130,7 @@ def main(argv=None) -> int:
             run_distdgl_grid_parallel(
                 graph, VERTEX_PARTITIONER_NAMES, machines, grid,
                 split=split, seed=args.seed, workers=workers,
+                fault_config=fault_config, num_epochs=args.epochs,
             )
         )
         print(f"{key}: DistDGL grid done in {time.time() - start:.0f}s")
@@ -114,6 +157,25 @@ def main(argv=None) -> int:
                     f"  {graph} {partitioner:>8s}: {summary.mean:5.2f}x "
                     f"[{summary.minimum:.2f}, {summary.maximum:.2f}]"
                 )
+
+    if fault_config is not None:
+        for label, records in (
+            ("DistGNN", distgnn_records),
+            ("DistDGL", distdgl_records),
+        ):
+            summaries = robustness_summary(records)
+            print(
+                f"\n{label} recovery overhead (fraction of makespan) "
+                f"@ {top_k} machines:"
+            )
+            for (graph, partitioner, k), summary in sorted(summaries.items()):
+                if k == top_k:
+                    print(
+                        f"  {graph} {partitioner:>8s}: "
+                        f"{summary.mean * 100:5.2f}% "
+                        f"[{summary.minimum * 100:.2f}, "
+                        f"{summary.maximum * 100:.2f}]"
+                    )
     return 0
 
 

@@ -21,6 +21,7 @@ from typing import List, Optional
 import numpy as np
 
 from .experiments import (
+    FaultConfig,
     TrainingParams,
     epochs_to_amortize,
     format_table,
@@ -78,6 +79,65 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--hidden-dim", type=int, default=64)
     parser.add_argument("--num-layers", type=int, default=3)
     parser.add_argument("-k", "--machines", type=int, default=8)
+
+
+def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "fault injection (simulated failures + recovery)"
+    )
+    group.add_argument(
+        "--epochs", type=int, default=1,
+        help="epochs to simulate (fault sweeps need more than one)",
+    )
+    group.add_argument(
+        "--fault-rate", type=float, default=0.0,
+        help="per-(epoch, machine) crash probability",
+    )
+    group.add_argument(
+        "--slowdown-rate", type=float, default=0.0,
+        help="per-(epoch, machine) transient-straggler probability",
+    )
+    group.add_argument(
+        "--loss-rate", type=float, default=0.0,
+        help="per-(epoch, machine) lost-message probability",
+    )
+    group.add_argument(
+        "--checkpoint-every", type=int, default=5,
+        help="full-batch checkpoint interval in epochs",
+    )
+    group.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the deterministic fault plan",
+    )
+
+
+def _fault_config(args) -> Optional[FaultConfig]:
+    """Build a FaultConfig from CLI flags; None when no rate is set."""
+    config = FaultConfig(
+        crash_rate=args.fault_rate,
+        slowdown_rate=args.slowdown_rate,
+        loss_rate=args.loss_rate,
+        checkpoint_every=args.checkpoint_every,
+        seed=args.fault_seed,
+    )
+    return config if config else None
+
+
+def _fault_rows(record) -> List[tuple]:
+    rows = [
+        ("epochs simulated", record.num_epochs),
+        ("makespan seconds", record.makespan_seconds),
+        ("crashes / slowdowns / lost msgs",
+         f"{record.crashes} / {record.slowdowns} / {record.lost_messages}"),
+        ("recovery seconds", record.recovery_seconds),
+    ]
+    if hasattr(record, "checkpoint_seconds"):
+        rows.append(("checkpoint seconds", record.checkpoint_seconds))
+        rows.append(("re-executed epochs", record.reexecuted_epochs))
+    if hasattr(record, "degraded_steps"):
+        rows.append(("retries", record.retries))
+        rows.append(("degraded steps", record.degraded_steps))
+    return rows
 
 
 def _cmd_datasets(_args) -> int:
@@ -139,11 +199,14 @@ def _cmd_distgnn(args) -> int:
         hidden_dim=args.hidden_dim,
         num_layers=args.num_layers,
     )
+    fault_config = _fault_config(args)
     record = run_distgnn(
-        graph, args.partitioner, args.machines, params, seed=args.seed
+        graph, args.partitioner, args.machines, params, seed=args.seed,
+        fault_config=fault_config, num_epochs=args.epochs,
     )
     baseline = run_distgnn(
-        graph, "random", args.machines, params, seed=args.seed
+        graph, "random", args.machines, params, seed=args.seed,
+        fault_config=fault_config, num_epochs=args.epochs,
     )
     rows = [
         ("epoch seconds", record.epoch_seconds),
@@ -155,6 +218,8 @@ def _cmd_distgnn(args) -> int:
         ("vertex balance", record.vertex_balance),
         ("partitioning seconds", record.partitioning_seconds),
     ]
+    if fault_config is not None:
+        rows += _fault_rows(record)
     print(
         format_table(
             ["metric", "value"], rows,
@@ -174,11 +239,14 @@ def _cmd_distdgl(args) -> int:
         arch=args.arch,
         global_batch_size=args.batch_size,
     )
+    fault_config = _fault_config(args)
     record = run_distdgl(
-        graph, args.partitioner, args.machines, params, seed=args.seed
+        graph, args.partitioner, args.machines, params, seed=args.seed,
+        fault_config=fault_config, num_epochs=args.epochs,
     )
     baseline = run_distdgl(
-        graph, "random", args.machines, params, seed=args.seed
+        graph, "random", args.machines, params, seed=args.seed,
+        fault_config=fault_config, num_epochs=args.epochs,
     )
     rows = [
         ("epoch seconds", record.epoch_seconds),
@@ -194,6 +262,8 @@ def _cmd_distdgl(args) -> int:
         ("training vertex balance", record.training_vertex_balance),
         ("partitioning seconds", record.partitioning_seconds),
     ]
+    if fault_config is not None:
+        rows += _fault_rows(record)
     print(
         format_table(
             ["metric", "value"], rows,
@@ -301,11 +371,13 @@ def build_parser() -> argparse.ArgumentParser:
     distgnn = sub.add_parser("distgnn", help="simulate full-batch training")
     _add_graph_arguments(distgnn)
     _add_model_arguments(distgnn)
+    _add_fault_arguments(distgnn)
     distgnn.add_argument("--partitioner", default="hep100")
 
     distdgl = sub.add_parser("distdgl", help="simulate mini-batch training")
     _add_graph_arguments(distdgl)
     _add_model_arguments(distdgl)
+    _add_fault_arguments(distdgl)
     distdgl.add_argument("--partitioner", default="metis")
     distdgl.add_argument("--arch", default="sage",
                          choices=("sage", "gcn", "gat"))

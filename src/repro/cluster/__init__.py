@@ -1,9 +1,17 @@
-"""Simulated cluster substrate: machines, network fabric, BSP timeline."""
+"""Simulated cluster substrate: machines, network fabric, BSP timeline,
+fault injection and recovery."""
 
 from .cluster import Cluster, OutOfMemoryError
+from .faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    FaultSummary,
+    RecoveryPolicy,
+)
 from .machine import Machine, MemoryLedger
 from .network import NetworkFabric
-from .timeline import PhaseRecord, Timeline
+from .timeline import PhaseRecord, Timeline, TimelineMark
 from .trace import save_chrome_trace, timeline_to_chrome_trace
 
 __all__ = [
@@ -13,7 +21,13 @@ __all__ = [
     "MemoryLedger",
     "NetworkFabric",
     "PhaseRecord",
+    "TimelineMark",
     "Timeline",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSummary",
+    "RecoveryPolicy",
     "timeline_to_chrome_trace",
     "save_chrome_trace",
 ]

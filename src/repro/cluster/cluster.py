@@ -61,6 +61,11 @@ class Cluster:
         ]
         self.fabric = NetworkFabric(num_machines, cost_model)
         self.timeline = Timeline()
+        #: Prepended to every phase name recorded through the cluster;
+        #: the fault layer sets it to ``"replay:"`` while re-executing
+        #: epochs after a restore, so recovery work is distinguishable
+        #: in the timeline and Chrome trace.
+        self.phase_prefix = ""
 
     @property
     def num_machines(self) -> int:
@@ -69,6 +74,17 @@ class Cluster:
     # ------------------------------------------------------------------
     # Phase execution
     # ------------------------------------------------------------------
+    def add_phase(
+        self,
+        name: str,
+        per_machine_seconds: np.ndarray,
+        interrupted: bool = False,
+    ) -> float:
+        """Record a raw timeline phase under the current phase prefix."""
+        return self.timeline.add_phase(
+            self.phase_prefix + name, per_machine_seconds, interrupted
+        )
+
     def run_compute_phase(
         self, name: str, per_machine_seconds: np.ndarray
     ) -> float:
@@ -83,7 +99,7 @@ class Cluster:
         )
         for machine, seconds in zip(self.machines, per_machine_seconds):
             machine.add_compute(float(seconds))
-        return self.timeline.add_phase(name, per_machine_seconds)
+        return self.add_phase(name, per_machine_seconds)
 
     def run_comm_phase(
         self,
@@ -124,7 +140,7 @@ class Cluster:
                 for i, (s, r) in enumerate(zip(sent, received))
             ]
         )
-        return self.timeline.add_phase(name, per_machine_seconds)
+        return self.add_phase(name, per_machine_seconds)
 
     # ------------------------------------------------------------------
     # Memory

@@ -55,11 +55,21 @@ class Machine:
         self.compute_seconds = 0.0
         self.bytes_sent = 0.0
         self.bytes_received = 0.0
+        self.crashes = 0
+        self.restarts = 0
 
     def add_compute(self, seconds: float) -> None:
         if seconds < 0:
             raise ValueError("compute time must be non-negative")
         self.compute_seconds += seconds
+
+    def record_crash(self) -> None:
+        """Count an injected crash of this machine."""
+        self.crashes += 1
+
+    def record_restart(self) -> None:
+        """Count a recovery restart of this machine."""
+        self.restarts += 1
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

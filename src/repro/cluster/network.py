@@ -24,6 +24,11 @@ class NetworkFabric:
         self.sent = np.zeros(num_machines, dtype=np.float64)
         self.received = np.zeros(num_machines, dtype=np.float64)
         self.messages = np.zeros(num_machines, dtype=np.int64)
+        self.lost_messages = np.zeros(num_machines, dtype=np.int64)
+
+    def record_lost_message(self, machine: int) -> None:
+        """Count an injected lost message on ``machine``'s port."""
+        self.lost_messages[machine] += 1
 
     def transfer(self, src: int, dst: int, num_bytes: float) -> None:
         """Record a point-to-point transfer (no time accounting)."""

@@ -1,19 +1,38 @@
 """Export a simulated timeline as a Chrome trace (chrome://tracing).
 
-Each machine becomes a trace thread and each phase occurrence a complete
-event, so a whole simulated epoch can be inspected visually — stragglers
-show up as the long bars that delay every barrier.
+Each machine becomes a trace thread (labeled via ``thread_name``
+metadata) and each phase occurrence a complete event, so a whole
+simulated epoch can be inspected visually — stragglers show up as the
+long bars that delay every barrier. Phases a fault interrupted are
+flagged in their event ``args`` and colored, and timeline marks (crash,
+recovery, checkpoint) become instant events.
+
+Writes are atomic: the trace is rendered to a temporary file in the
+destination directory and moved into place, so a crash mid-export can
+never leave a truncated, unparseable trace behind.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import tempfile
 from typing import Union
 
 from .timeline import Timeline
 
 __all__ = ["timeline_to_chrome_trace", "save_chrome_trace"]
+
+
+def _num_machines(timeline: Timeline) -> int:
+    machines = max(
+        (record.per_machine_seconds.size for record in timeline.records),
+        default=0,
+    )
+    for mark in timeline.marks:
+        if mark.machine is not None:
+            machines = max(machines, mark.machine + 1)
+    return machines
 
 
 def timeline_to_chrome_trace(timeline: Timeline) -> str:
@@ -26,18 +45,33 @@ def timeline_to_chrome_trace(timeline: Timeline) -> str:
     clock_us = 0.0
     for record in timeline.records:
         for machine, seconds in enumerate(record.per_machine_seconds):
-            events.append(
-                {
-                    "name": record.name,
-                    "ph": "X",  # complete event
-                    "ts": clock_us,
-                    "dur": float(seconds) * 1e6,
-                    "pid": 0,
-                    "tid": machine,
-                    "args": {"seconds": float(seconds)},
-                }
-            )
+            event = {
+                "name": record.name,
+                "ph": "X",  # complete event
+                "ts": clock_us,
+                "dur": float(seconds) * 1e6,
+                "pid": 0,
+                "tid": machine,
+                "args": {"seconds": float(seconds)},
+            }
+            if record.interrupted:
+                event["args"]["interrupted"] = True
+                event["cname"] = "terrible"
+            events.append(event)
         clock_us += record.duration * 1e6
+    for mark in timeline.marks:
+        events.append(
+            {
+                "name": mark.name,
+                "ph": "i",  # instant event
+                "ts": mark.at_seconds * 1e6,
+                "pid": 0,
+                "tid": mark.machine if mark.machine is not None else 0,
+                # Thread-scoped when pinned to a machine, else global.
+                "s": "g" if mark.machine is None else "t",
+                "args": {"kind": mark.kind},
+            }
+        )
     metadata = [
         {
             "name": "process_name",
@@ -46,12 +80,36 @@ def timeline_to_chrome_trace(timeline: Timeline) -> str:
             "args": {"name": "simulated-cluster"},
         }
     ]
+    for machine in range(_num_machines(timeline)):
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": machine,
+                "args": {"name": f"machine-{machine}"},
+            }
+        )
     return json.dumps({"traceEvents": metadata + events}, indent=1)
 
 
 def save_chrome_trace(
     timeline: Timeline, path: Union[str, "os.PathLike[str]"]
 ) -> None:
-    """Write :func:`timeline_to_chrome_trace` output to ``path``."""
-    with open(path, "w") as handle:
-        handle.write(timeline_to_chrome_trace(timeline))
+    """Atomically write :func:`timeline_to_chrome_trace` output to ``path``."""
+    path = os.fspath(path)
+    payload = timeline_to_chrome_trace(timeline)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise

@@ -21,11 +21,11 @@ exactly the paper's Section 5.3 methodology.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Collection, Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
-from ..cluster import Cluster
+from ..cluster import Cluster, FaultPlan, FaultSummary, RecoveryPolicy
 from ..costmodel import (
     BACKWARD_FACTOR,
     DEFAULT_COST_MODEL,
@@ -193,6 +193,11 @@ class DistDglEngine:
         self.cache_fraction = cache_fraction
         self._cached = self._build_feature_cache()
         self.cluster = Cluster(self.num_machines, cost_model)
+        #: Counters of the last faulty run (all zero when none was run).
+        self.fault_summary = FaultSummary()
+        #: Workers that crashed and have not been restarted yet; they
+        #: rejoin (and pay a partition reload) at the next epoch boundary.
+        self._dead_workers: Set[int] = set()
         self._account_memory()
 
     # ------------------------------------------------------------------
@@ -235,9 +240,15 @@ class DistDglEngine:
         # edges once, halo edges on both sides).
         owners_u = self.owner[edges[:, 0]]
         owners_v = self.owner[edges[:, 1]]
+        self._local_edges_per_worker = np.zeros(
+            self.num_machines, dtype=np.int64
+        )
+        self._owned_per_worker = np.zeros(self.num_machines, dtype=np.int64)
         for w in range(self.num_machines):
             local_edges = int(((owners_u == w) | (owners_v == w)).sum())
             owned = int((self.owner == w).sum())
+            self._local_edges_per_worker[w] = local_edges
+            self._owned_per_worker[w] = owned
             self.cluster.allocate(
                 w, "structure", (2 * local_edges + owned) * cm.index_bytes
             )
@@ -275,17 +286,43 @@ class DistDglEngine:
     # ------------------------------------------------------------------
     # Step execution
     # ------------------------------------------------------------------
-    def run_step(self) -> StepBreakdown:
-        """Execute one global training step across all workers."""
+    def run_step(
+        self,
+        active: Optional[Collection[int]] = None,
+        slow_factors: Optional[np.ndarray] = None,
+        lost_workers: Collection[int] = (),
+        retransmit_timeout: float = 0.0,
+    ) -> StepBreakdown:
+        """Execute one global training step across all workers.
+
+        ``active`` restricts the step to the surviving workers (graceful
+        degradation after a crash): the global batch is redistributed
+        over them and dead workers contribute no time. ``slow_factors``
+        stretches per-worker compute phases (injected stragglers).
+        ``lost_workers`` lose one feature-fetch RPC each this step and
+        pay ``retransmit_timeout`` plus a refetch.
+        """
         cm = self.cost_model
         k = self.num_machines
+        active_set = set(range(k)) if active is None else set(active)
+        if not active_set:
+            raise ValueError("need at least one active worker")
+        stretch = (
+            np.ones(k) if slow_factors is None
+            else np.asarray(slow_factors, dtype=np.float64)
+        )
         per_worker = {phase: np.zeros(k) for phase in PHASES}
+        fetch_bytes_per_worker = np.zeros(k)
         input_counts = np.zeros(k)
         local_inputs = remote_inputs = cache_hits = 0
         step_bytes = 0.0
-        batch_per_worker = max(self.global_batch_size // k, 1)
+        batch_per_worker = max(
+            self.global_batch_size // len(active_set), 1
+        )
 
         for w in range(k):
+            if w not in active_set:
+                continue  # crashed worker: survivors carry the step
             pool = self.train_per_worker[w]
             if pool.size == 0:
                 continue  # worker idles this step (train imbalance!)
@@ -306,7 +343,7 @@ class DistDglEngine:
                 )
                 # Remote frontiers ship their sampled edge lists back.
                 step_bytes += remote * self.fanouts[0] * 2 * cm.index_bytes
-            per_worker["sample"][w] = sample_sec
+            per_worker["sample"][w] = sample_sec * stretch[w]
 
             # ---- feature fetching phase -----------------------------
             inputs = batch.input_ids
@@ -322,6 +359,7 @@ class DistDglEngine:
             remote_inputs += n_remote
             input_counts[w] = inputs.shape[0]
             fetch_bytes = cm.feature_bytes(n_remote, self.feature_size)
+            fetch_bytes_per_worker[w] = fetch_bytes
             step_bytes += fetch_bytes
             # One RPC per peer that actually owns remote inputs: a good
             # partition talks to few peers, not to all k-1 of them.
@@ -345,16 +383,32 @@ class DistDglEngine:
                         block.num_edges, self.dims[layer], cm.float_bytes
                     )
                 )
-            per_worker["forward"][w] = fwd
-            per_worker["backward"][w] = BACKWARD_FACTOR * fwd
+            per_worker["forward"][w] = fwd * stretch[w]
+            per_worker["backward"][w] = BACKWARD_FACTOR * fwd * stretch[w]
+
+        # Injected lost messages: the affected worker's fetch RPC times
+        # out and is refetched in full.
+        for w in lost_workers:
+            if w not in active_set:
+                continue
+            self.cluster.fabric.record_lost_message(w)
+            per_worker["fetch"][w] += (
+                retransmit_timeout
+                + cm.transfer_seconds(fetch_bytes_per_worker[w])
+            )
+            step_bytes += fetch_bytes_per_worker[w]
 
         # Gradient all-reduce is part of the backward phase, as in the
         # paper's measurement methodology (Section 5.3).
         grad_bytes = self.num_params * cm.float_bytes
-        allreduce = cm.allreduce_seconds(grad_bytes, k)
-        per_worker["backward"] += allreduce
-        step_bytes += 2 * grad_bytes * max(k - 1, 0)
-        per_worker["update"][:] = cm.compute_seconds(6.0 * self.num_params)
+        allreduce = cm.allreduce_seconds(grad_bytes, len(active_set))
+        active_index = sorted(active_set)
+        per_worker["backward"][active_index] += allreduce
+        step_bytes += 2 * grad_bytes * max(len(active_set) - 1, 0)
+        per_worker["update"][active_index] = (
+            cm.compute_seconds(6.0 * self.num_params)
+            * stretch[active_index]
+        )
 
         total_per_worker = sum(per_worker[phase] for phase in PHASES)
         for phase in PHASES:
@@ -377,14 +431,137 @@ class DistDglEngine:
             cache_hits=cache_hits,
         )
 
-    def run_epoch(self) -> EpochReport:
-        """One epoch = enough steps to touch every training vertex once."""
+    def _steps_per_epoch(self) -> int:
         num_train = self.split.train.shape[0]
-        steps = max(int(np.ceil(num_train / self.global_batch_size)), 1)
+        return max(int(np.ceil(num_train / self.global_batch_size)), 1)
+
+    def _restart_dead_workers(self) -> None:
+        """Dead trainers rejoin at the epoch boundary (DistDGL-style
+        restartable trainers): each reloads its partition's structure and
+        features, so restarting the owner of a skewed partition is the
+        straggler of the restart phase."""
+        cm = self.cost_model
+        k = self.num_machines
+        restart = np.zeros(k)
+        for w in sorted(self._dead_workers):
+            reload_bytes = (
+                2 * self._local_edges_per_worker[w] * cm.index_bytes
+                + cm.feature_bytes(
+                    int(self._owned_per_worker[w]), self.feature_size
+                )
+            )
+            restart[w] = cm.transfer_seconds(float(reload_bytes))
+            self.cluster.machines[w].record_restart()
+            self.cluster.timeline.add_mark(
+                f"restart:worker-{w}", "recovery", w
+            )
+        self.cluster.add_phase("fault-restart", restart)
+        self._dead_workers.clear()
+
+    def run_epoch(
+        self,
+        fault_plan: Optional[FaultPlan] = None,
+        recovery: Optional[RecoveryPolicy] = None,
+        epoch_index: int = 0,
+    ) -> EpochReport:
+        """One epoch = enough steps to touch every training vertex once.
+
+        With a ``fault_plan``, crashes at their step trigger retry with
+        exponential backoff and then graceful degradation to the
+        surviving workers; slowdowns stretch the affected worker's
+        compute for the whole epoch; lost messages charge a fetch
+        retransmit. Dead workers restart at the next epoch boundary.
+        """
+        steps = self._steps_per_epoch()
         report = EpochReport()
-        for _ in range(steps):
-            report.steps.append(self.run_step())
+        if fault_plan is None and recovery is None:
+            for _ in range(steps):
+                report.steps.append(self.run_step())
+            return report
+        if fault_plan is None:
+            fault_plan = FaultPlan()
+        if recovery is None:
+            recovery = RecoveryPolicy()
+        k = self.num_machines
+        if self._dead_workers:
+            self._restart_dead_workers()
+        active = set(range(k))
+        crash_by_step: Dict[int, list] = {}
+        loss_by_step: Dict[int, list] = {}
+        for event in fault_plan.crashes_at(epoch_index):
+            crash_by_step.setdefault(event.step % steps, []).append(event)
+        for event in fault_plan.losses_at(epoch_index):
+            loss_by_step.setdefault(event.step % steps, []).append(event)
+        stretch = np.ones(k)
+        for event in fault_plan.slowdowns_at(epoch_index):
+            machine = event.machine % k
+            stretch[machine] *= event.magnitude
+            self.cluster.timeline.add_mark(
+                f"slowdown:worker-{machine}", "fault", machine
+            )
+            self.fault_summary.slowdowns += 1
+        for step in range(steps):
+            for event in crash_by_step.get(step, ()):
+                machine = event.machine % k
+                if machine not in active or len(active) <= 1:
+                    # Never kill the last survivor: a cluster-wide outage
+                    # has no recovery path inside one training run.
+                    continue
+                active.discard(machine)
+                self._dead_workers.add(machine)
+                self.fault_summary.crashes += 1
+                self.cluster.machines[machine].record_crash()
+                self.cluster.timeline.add_mark(
+                    f"crash:worker-{machine}", "fault", machine
+                )
+                self.cluster.add_phase(
+                    "fault-detect",
+                    np.full(k, recovery.detection_timeout_seconds),
+                    interrupted=True,
+                )
+                backoff = recovery.backoff_seconds()
+                if backoff > 0:
+                    self.cluster.add_phase(
+                        "fault-backoff", np.full(k, backoff)
+                    )
+                self.fault_summary.retries += recovery.max_retries
+            lost = {
+                event.machine % k
+                for event in loss_by_step.get(step, ())
+                if event.machine % k in active
+            }
+            self.fault_summary.lost_messages += len(lost)
+            for machine in sorted(lost):
+                self.cluster.timeline.add_mark(
+                    f"lost-message:worker-{machine}", "fault", machine
+                )
+            if len(active) < k:
+                self.fault_summary.degraded_steps += 1
+            report.steps.append(
+                self.run_step(
+                    active=active,
+                    slow_factors=stretch,
+                    lost_workers=lost,
+                    retransmit_timeout=recovery.detection_timeout_seconds,
+                )
+            )
         return report
 
-    def run_training(self, num_epochs: int) -> List[EpochReport]:
-        return [self.run_epoch() for _ in range(num_epochs)]
+    def run_training(
+        self,
+        num_epochs: int,
+        fault_plan: Optional[FaultPlan] = None,
+        recovery: Optional[RecoveryPolicy] = None,
+    ) -> List[EpochReport]:
+        if fault_plan is None and recovery is None:
+            return [self.run_epoch() for _ in range(num_epochs)]
+        if recovery is None:
+            recovery = RecoveryPolicy()
+        self.fault_summary = FaultSummary()
+        self._dead_workers = set()
+        return [
+            self.run_epoch(
+                fault_plan=fault_plan, recovery=recovery, epoch_index=epoch
+            )
+            for epoch in range(num_epochs)
+        ]

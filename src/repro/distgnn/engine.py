@@ -24,7 +24,7 @@ from typing import Dict, List
 
 import numpy as np
 
-from ..cluster import Cluster
+from ..cluster import Cluster, FaultPlan, FaultSummary, RecoveryPolicy
 from ..costmodel import (
     DEFAULT_COST_MODEL,
     BACKWARD_FACTOR,
@@ -90,6 +90,8 @@ class DistGnnEngine:
         self.cluster = Cluster(
             self.num_machines, cost_model, machine_speeds=machine_speeds
         )
+        #: Counters of the last faulty run (all zero when none was run).
+        self.fault_summary = FaultSummary()
         self._collect_partition_stats()
         self._account_memory()
 
@@ -217,15 +219,26 @@ class DistGnnEngine:
         received = push_recv + bcast_recv
         return sent, received, float(sent.sum())
 
-    def simulate_epoch(self) -> EpochBreakdown:
-        """Account one epoch; updates the cluster timeline and fabric."""
+    def simulate_epoch(
+        self, speed_multipliers: np.ndarray | None = None
+    ) -> EpochBreakdown:
+        """Account one epoch; updates the cluster timeline and fabric.
+
+        ``speed_multipliers`` (optional, per machine, >= 1) stretch a
+        machine's compute phases — transient stragglers injected by a
+        :class:`~repro.cluster.FaultPlan` slowdown event.
+        """
         cm = self.cost_model
         cluster = self.cluster
+        if speed_multipliers is None:
+            stretch = np.ones(self.num_machines)
+        else:
+            stretch = np.asarray(speed_multipliers, dtype=np.float64)
         forward = backward = 0.0
         total_bytes = 0.0
         for layer in range(self.num_layers):
             dim_in, dim_out = self.dims[layer], self.dims[layer + 1]
-            compute = self._layer_compute_seconds(dim_in, dim_out)
+            compute = self._layer_compute_seconds(dim_in, dim_out) * stretch
             sent, received, layer_bytes = self._layer_sync(dim_in, dim_out)
 
             forward += cluster.run_compute_phase(
@@ -246,15 +259,16 @@ class DistGnnEngine:
 
         grad_bytes = self.num_params * cm.float_bytes
         sync_seconds = cm.allreduce_seconds(grad_bytes, self.num_machines)
-        cluster.timeline.add_phase(
+        cluster.add_phase(
             "gradient-allreduce",
             np.full(self.num_machines, sync_seconds),
         )
         total_bytes += 2 * grad_bytes * max(self.num_machines - 1, 0)
 
         optimizer_seconds = cm.compute_seconds(6.0 * self.num_params)
-        cluster.timeline.add_phase(
-            "optimizer", np.full(self.num_machines, optimizer_seconds)
+        cluster.add_phase(
+            "optimizer",
+            np.full(self.num_machines, optimizer_seconds) * stretch,
         )
         return EpochBreakdown(
             forward_seconds=forward,
@@ -264,9 +278,147 @@ class DistGnnEngine:
             network_bytes=total_bytes,
         )
 
-    def simulate_training(self, num_epochs: int) -> List[EpochBreakdown]:
-        """Run ``num_epochs`` (full-batch epochs are deterministic)."""
-        return [self.simulate_epoch() for _ in range(num_epochs)]
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+    def _model_state_bytes(self) -> float:
+        """Checkpoint payload per machine: weights + two Adam moments."""
+        return 3.0 * self.num_params * self.cost_model.float_bytes
+
+    def _partition_state_bytes(self) -> np.ndarray:
+        """Per-machine graph + feature bytes a restarted worker reloads.
+
+        This is where partition skew hurts recovery: the machine holding
+        the biggest partition is the restore straggler.
+        """
+        cm = self.cost_model
+        structure = (
+            5 * self.edges_per_machine + 2 * self.vertices_per_machine
+        ) * cm.index_bytes
+        features = cm.feature_bytes(
+            self.vertices_per_machine, self.feature_size
+        )
+        return structure + features
+
+    def _run_crash_recovery(
+        self, epoch: int, crashes, recovery: RecoveryPolicy
+    ) -> None:
+        """Charge detection, restore and replay for a crash at ``epoch``.
+
+        The crash strikes at the epoch boundary: everything since the
+        last checkpoint — ``epoch % checkpoint_every`` epochs — is lost
+        and re-executed (as ``replay:*`` phases), after a restore whose
+        cost covers model state plus the crashed machines' partition
+        state.
+        """
+        cm = self.cost_model
+        cluster = self.cluster
+        k = self.num_machines
+        crashed = sorted({event.machine % k for event in crashes})
+        for machine in crashed:
+            cluster.machines[machine].record_crash()
+            cluster.timeline.add_mark(
+                f"crash:machine-{machine}", "fault", machine
+            )
+        self.fault_summary.crashes += len(crashes)
+        cluster.add_phase(
+            "fault-detect",
+            np.full(k, recovery.detection_timeout_seconds),
+            interrupted=True,
+        )
+        restore = np.full(k, cm.transfer_seconds(self._model_state_bytes()))
+        partition_state = self._partition_state_bytes()
+        for machine in crashed:
+            restore[machine] = cm.transfer_seconds(
+                self._model_state_bytes() + float(partition_state[machine])
+            )
+            cluster.machines[machine].record_restart()
+        cluster.add_phase("fault-restore", restore)
+        cluster.timeline.add_mark("restore-checkpoint", "recovery")
+        lost_epochs = epoch % recovery.checkpoint_every
+        self.fault_summary.reexecuted_epochs += lost_epochs
+        cluster.phase_prefix = "replay:"
+        try:
+            for _ in range(lost_epochs):
+                self.simulate_epoch()
+        finally:
+            cluster.phase_prefix = ""
+
+    def simulate_training(
+        self,
+        num_epochs: int,
+        fault_plan: FaultPlan | None = None,
+        recovery: RecoveryPolicy | None = None,
+    ) -> List[EpochBreakdown]:
+        """Run ``num_epochs`` (full-batch epochs are deterministic).
+
+        With a ``fault_plan``, injected crashes trigger checkpoint/restart
+        recovery under ``recovery`` (defaulted), slowdowns stretch the
+        affected machines' compute phases, and lost messages charge a
+        retransmit stall. The returned breakdowns cover the ``num_epochs``
+        *logical* epochs; recovery work appears in the cluster timeline
+        (``fault-*``, ``replay:*`` and ``checkpoint`` phases) and in
+        :attr:`fault_summary`.
+        """
+        if fault_plan is None and recovery is None:
+            return [self.simulate_epoch() for _ in range(num_epochs)]
+        if fault_plan is None:
+            fault_plan = FaultPlan()
+        if recovery is None:
+            recovery = RecoveryPolicy()
+        cm = self.cost_model
+        cluster = self.cluster
+        k = self.num_machines
+        self.fault_summary = FaultSummary()
+        breakdowns: List[EpochBreakdown] = []
+        for epoch in range(num_epochs):
+            crashes = fault_plan.crashes_at(epoch)
+            if crashes:
+                self._run_crash_recovery(epoch, crashes, recovery)
+            slowdowns = fault_plan.slowdowns_at(epoch)
+            stretch = np.ones(k)
+            for event in slowdowns:
+                cluster.timeline.add_mark(
+                    f"slowdown:machine-{event.machine % k}",
+                    "fault",
+                    event.machine % k,
+                )
+                stretch[event.machine % k] *= event.magnitude
+            self.fault_summary.slowdowns += len(slowdowns)
+            breakdowns.append(
+                self.simulate_epoch(
+                    speed_multipliers=stretch if slowdowns else None
+                )
+            )
+            for event in fault_plan.losses_at(epoch):
+                machine = event.machine % k
+                cluster.fabric.record_lost_message(machine)
+                cluster.timeline.add_mark(
+                    f"lost-message:machine-{machine}", "fault", machine
+                )
+                retransmit = np.zeros(k)
+                retransmit[machine] = (
+                    recovery.detection_timeout_seconds
+                    + cm.transfer_seconds(
+                        cm.feature_bytes(
+                            self.nonmaster_per_machine[machine],
+                            self.feature_size,
+                        )
+                    )
+                )
+                cluster.add_phase("fault-retransmit", retransmit)
+                self.fault_summary.lost_messages += 1
+            if (epoch + 1) % recovery.checkpoint_every == 0 \
+                    and epoch + 1 < num_epochs:
+                cluster.add_phase(
+                    "checkpoint",
+                    np.full(
+                        k, cm.transfer_seconds(self._model_state_bytes())
+                    ),
+                )
+                cluster.timeline.add_mark("checkpoint", "checkpoint")
+                self.fault_summary.checkpoints += 1
+        return breakdowns
 
     def phase_summary(self) -> Dict[str, float]:
         return self.cluster.timeline.phase_totals()

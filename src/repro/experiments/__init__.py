@@ -10,9 +10,21 @@ from .advisor import (
     Recommendation,
     recommend_edge_partitioner,
 )
-from .analysis import DistributionSummary, speedup_summary, summarize
+from .analysis import (
+    DistributionSummary,
+    robustness_summary,
+    speedup_summary,
+    summarize,
+)
 from .export import load_records, records_to_json, save_records
-from .cache import cached_edge_partition, cached_vertex_partition, clear_cache
+from .cache import (
+    CacheEntryError,
+    cache_size,
+    cached_edge_partition,
+    cached_vertex_partition,
+    clear_cache,
+    set_cache_capacity,
+)
 from .config import (
     BATCH_SIZE_SCALE,
     FEATURE_SIZES,
@@ -20,6 +32,7 @@ from .config import (
     LAYER_COUNTS,
     MACHINE_COUNTS,
     PAPER_BATCH_SIZES,
+    FaultConfig,
     TrainingParams,
     parameter_grid,
     reduced_grid,
@@ -39,6 +52,7 @@ from .runner import (
 
 __all__ = [
     "TrainingParams",
+    "FaultConfig",
     "HIDDEN_DIMENSIONS",
     "FEATURE_SIZES",
     "LAYER_COUNTS",
@@ -51,6 +65,9 @@ __all__ = [
     "cached_edge_partition",
     "cached_vertex_partition",
     "clear_cache",
+    "set_cache_capacity",
+    "cache_size",
+    "CacheEntryError",
     "DistGnnRecord",
     "DistDglRecord",
     "run_distgnn",
@@ -72,6 +89,7 @@ __all__ = [
     "DistributionSummary",
     "summarize",
     "speedup_summary",
+    "robustness_summary",
     "records_to_json",
     "save_records",
     "load_records",

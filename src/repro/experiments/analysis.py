@@ -12,7 +12,12 @@ from typing import Callable, Dict, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["DistributionSummary", "summarize", "speedup_summary"]
+__all__ = [
+    "DistributionSummary",
+    "summarize",
+    "speedup_summary",
+    "robustness_summary",
+]
 
 
 @dataclass(frozen=True)
@@ -92,3 +97,24 @@ def speedup_summary(
         key: DistributionSummary.from_values(values)
         for key, values in groups.items()
     }
+
+
+def robustness_summary(
+    records: Sequence,
+) -> Dict[Tuple, DistributionSummary]:
+    """Recovery-overhead distributions per (graph, partitioner, k).
+
+    The metric is the fraction of the run's makespan spent on recovery
+    (failure detection, backoff, restore/restart, replayed epochs) —
+    skewed partitions lose more state per crash and re-balance worse
+    after degradation, so this is the robustness axis of a fault sweep.
+    Records without fault accounting (``makespan_seconds == 0``)
+    contribute an overhead of 0.
+    """
+
+    def overhead(record) -> float:
+        if record.makespan_seconds <= 0:
+            return 0.0
+        return record.recovery_seconds / record.makespan_seconds
+
+    return summarize(records, overhead)

@@ -4,11 +4,18 @@ Partitioning is by far the most expensive step of every experiment and is
 fully deterministic given (algorithm, graph, k, seed), so results are
 cached per process. The wall-clock partitioning time of the *first* run is
 kept alongside the assignment — it feeds the amortization analysis.
+
+The cache is a bounded LRU: long sweeps (many graphs x partitioners x k x
+seeds, and especially long-running fault sweeps) would otherwise grow the
+process's memory without limit. Validation raises real exceptions rather
+than ``assert`` — ``python -O`` strips asserts, which would silently turn
+a wrong-family cache hit into corrupt downstream results.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple, Union
+from collections import OrderedDict
+from typing import Tuple, Union
 
 from ..graph import Graph
 from ..partitioning import (
@@ -18,12 +25,50 @@ from ..partitioning import (
     make_vertex_partitioner,
 )
 
-__all__ = ["cached_edge_partition", "cached_vertex_partition", "clear_cache"]
+__all__ = [
+    "cached_edge_partition",
+    "cached_vertex_partition",
+    "clear_cache",
+    "set_cache_capacity",
+    "cache_size",
+    "CacheEntryError",
+]
 
 _CacheKey = Tuple[str, str, str, int, int]
 _Entry = Tuple[Union[EdgePartition, VertexPartition], float]
 
-_CACHE: Dict[_CacheKey, _Entry] = {}
+#: Entries, most-recently-used last. Bounded by ``_capacity``.
+_CACHE: "OrderedDict[_CacheKey, _Entry]" = OrderedDict()
+
+#: Default LRU capacity: generous for one sweep's working set (graphs x
+#: partitioners x machine counts) while bounding a long process.
+DEFAULT_CACHE_CAPACITY = 128
+
+_capacity = DEFAULT_CACHE_CAPACITY
+
+
+class CacheEntryError(RuntimeError):
+    """A cache entry is inconsistent with what the caller asked for.
+
+    This is a real exception (not ``assert``) on purpose: it must keep
+    firing under ``python -O``, where a silent wrong-family hit would
+    corrupt every result derived from it.
+    """
+
+
+def set_cache_capacity(capacity: int) -> None:
+    """Set the LRU bound; evicts immediately if over the new capacity."""
+    if capacity < 1:
+        raise ValueError("cache capacity must be >= 1")
+    global _capacity
+    _capacity = capacity
+    while len(_CACHE) > _capacity:
+        _CACHE.popitem(last=False)
+
+
+def cache_size() -> int:
+    """Number of partitions currently cached."""
+    return len(_CACHE)
 
 
 def _key(
@@ -35,18 +80,42 @@ def _key(
     return (family, name.lower(), graph.fingerprint(), k, seed)
 
 
+def _insert(key: _CacheKey, entry: _Entry) -> None:
+    _CACHE[key] = entry
+    _CACHE.move_to_end(key)
+    while len(_CACHE) > _capacity:
+        _CACHE.popitem(last=False)
+
+
+def _lookup(key: _CacheKey) -> Union[_Entry, None]:
+    entry = _CACHE.get(key)
+    if entry is not None:
+        _CACHE.move_to_end(key)
+    return entry
+
+
 def cached_edge_partition(
     graph: Graph, name: str, num_partitions: int, seed: int = 0
 ) -> Tuple[EdgePartition, float]:
     """Partition (or fetch) and return ``(partition, seconds)``."""
     key = _key("edge", name, graph, num_partitions, seed)
-    if key not in _CACHE:
+    entry = _lookup(key)
+    if entry is None:
         partitioner = make_edge_partitioner(name)
         partition = partitioner.partition(graph, num_partitions, seed=seed)
-        assert partitioner.last_partitioning_seconds is not None
-        _CACHE[key] = (partition, partitioner.last_partitioning_seconds)
-    partition, seconds = _CACHE[key]
-    assert isinstance(partition, EdgePartition)
+        seconds = partitioner.last_partitioning_seconds
+        if seconds is None:
+            raise CacheEntryError(
+                f"partitioner {name!r} did not record a partitioning time"
+            )
+        entry = (partition, seconds)
+        _insert(key, entry)
+    partition, seconds = entry
+    if not isinstance(partition, EdgePartition):
+        raise CacheEntryError(
+            f"cache entry for {key!r} holds a "
+            f"{type(partition).__name__}, expected an EdgePartition"
+        )
     return partition, seconds
 
 
@@ -55,13 +124,23 @@ def cached_vertex_partition(
 ) -> Tuple[VertexPartition, float]:
     """Partition (or fetch) and return ``(partition, seconds)``."""
     key = _key("vertex", name, graph, num_partitions, seed)
-    if key not in _CACHE:
+    entry = _lookup(key)
+    if entry is None:
         partitioner = make_vertex_partitioner(name)
         partition = partitioner.partition(graph, num_partitions, seed=seed)
-        assert partitioner.last_partitioning_seconds is not None
-        _CACHE[key] = (partition, partitioner.last_partitioning_seconds)
-    partition, seconds = _CACHE[key]
-    assert isinstance(partition, VertexPartition)
+        seconds = partitioner.last_partitioning_seconds
+        if seconds is None:
+            raise CacheEntryError(
+                f"partitioner {name!r} did not record a partitioning time"
+            )
+        entry = (partition, seconds)
+        _insert(key, entry)
+    partition, seconds = entry
+    if not isinstance(partition, VertexPartition):
+        raise CacheEntryError(
+            f"cache entry for {key!r} holds a "
+            f"{type(partition).__name__}, expected a VertexPartition"
+        )
     return partition, seconds
 
 

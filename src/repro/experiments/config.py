@@ -14,8 +14,11 @@ from dataclasses import dataclass, replace
 from itertools import product
 from typing import Iterator, Optional, Sequence, Tuple
 
+from ..cluster import FaultPlan, RecoveryPolicy
+
 __all__ = [
     "TrainingParams",
+    "FaultConfig",
     "HIDDEN_DIMENSIONS",
     "FEATURE_SIZES",
     "LAYER_COUNTS",
@@ -63,6 +66,73 @@ class TrainingParams:
         return (
             f"{self.arch} f{self.feature_size} h{self.hidden_dim} "
             f"L{self.num_layers}"
+        )
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault-injection settings for one sweep (plain values only, so the
+    config pickles across the process-parallel runners and serializes
+    into result records).
+
+    A config expands into a :class:`~repro.cluster.FaultPlan` via
+    :meth:`plan` — deterministically, from ``seed`` and the cluster
+    size — and into a :class:`~repro.cluster.RecoveryPolicy` via
+    :meth:`policy`, so the serial and parallel runners reconstruct
+    identical failures from the same config.
+    """
+
+    crash_rate: float = 0.0
+    slowdown_rate: float = 0.0
+    loss_rate: float = 0.0
+    slowdown_factor: float = 4.0
+    checkpoint_every: int = 5
+    max_retries: int = 3
+    backoff_base_seconds: float = 0.05
+    backoff_factor: float = 2.0
+    detection_timeout_seconds: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for label, rate in (
+            ("crash_rate", self.crash_rate),
+            ("slowdown_rate", self.slowdown_rate),
+            ("loss_rate", self.loss_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{label} must be in [0, 1], got {rate}")
+        # Policy construction validates the remaining fields.
+        self.policy()
+
+    def __bool__(self) -> bool:
+        return (
+            self.crash_rate > 0
+            or self.slowdown_rate > 0
+            or self.loss_rate > 0
+        )
+
+    def with_(self, **changes) -> "FaultConfig":
+        return replace(self, **changes)
+
+    def plan(self, num_machines: int, num_epochs: int) -> FaultPlan:
+        """The deterministic fault plan for one (cluster, run) shape."""
+        return FaultPlan.generate(
+            num_machines,
+            num_epochs,
+            crash_rate=self.crash_rate,
+            slowdown_rate=self.slowdown_rate,
+            loss_rate=self.loss_rate,
+            slowdown_factor=self.slowdown_factor,
+            seed=self.seed,
+        )
+
+    def policy(self) -> RecoveryPolicy:
+        return RecoveryPolicy(
+            checkpoint_every=self.checkpoint_every,
+            max_retries=self.max_retries,
+            backoff_base_seconds=self.backoff_base_seconds,
+            backoff_factor=self.backoff_factor,
+            detection_timeout_seconds=self.detection_timeout_seconds,
         )
 
 

@@ -12,7 +12,7 @@ import json
 import os
 from typing import List, Sequence, Union
 
-from .config import TrainingParams
+from .config import FaultConfig, TrainingParams
 from .records import DistDglRecord, DistGnnRecord
 
 __all__ = ["records_to_json", "save_records", "load_records"]
@@ -38,6 +38,8 @@ def records_to_json(records: Sequence[Record]) -> str:
     for record in records:
         data = dataclasses.asdict(record)
         data["params"] = dataclasses.asdict(record.params)
+        if record.fault_config is not None:
+            data["fault_config"] = dataclasses.asdict(record.fault_config)
         if data.get("memory_per_machine") is not None:
             data["memory_per_machine"] = [
                 float(x) for x in data["memory_per_machine"]
@@ -63,6 +65,8 @@ def load_records(path: Union[str, os.PathLike]) -> List[Record]:
             raise ValueError(f"unknown record kind {kind!r}")
         data = dict(entry["data"])
         data["params"] = TrainingParams(**data["params"])
+        if data.get("fault_config") is not None:
+            data["fault_config"] = FaultConfig(**data["fault_config"])
         if data.get("memory_per_machine") is not None:
             data["memory_per_machine"] = tuple(data["memory_per_machine"])
         records.append(_KINDS[kind](**data))

@@ -23,7 +23,7 @@ from typing import Iterable, List, Optional, Sequence
 
 from ..costmodel import DEFAULT_COST_MODEL, CostModel
 from ..graph import Graph, VertexSplit, random_split
-from .config import TrainingParams
+from .config import FaultConfig, TrainingParams
 from .records import DistDglRecord, DistGnnRecord
 from .runner import (
     run_distdgl,
@@ -42,10 +42,15 @@ def _distgnn_cell(
     grid: Sequence[TrainingParams],
     seed: int,
     cost_model: CostModel,
+    fault_config: Optional[FaultConfig],
+    num_epochs: int,
 ) -> List[DistGnnRecord]:
     """One (machines, partitioner) cell of the DistGNN grid."""
     return [
-        run_distgnn(graph, partitioner, num_machines, params, seed, cost_model)
+        run_distgnn(
+            graph, partitioner, num_machines, params, seed, cost_model,
+            fault_config=fault_config, num_epochs=num_epochs,
+        )
         for params in grid
     ]
 
@@ -58,12 +63,15 @@ def _distdgl_cell(
     split: VertexSplit,
     seed: int,
     cost_model: CostModel,
+    fault_config: Optional[FaultConfig],
+    num_epochs: int,
 ) -> List[DistDglRecord]:
     """One (machines, partitioner) cell of the DistDGL grid."""
     return [
         run_distdgl(
             graph, partitioner, num_machines, params, split=split,
-            seed=seed, cost_model=cost_model,
+            num_epochs=num_epochs, seed=seed, cost_model=cost_model,
+            fault_config=fault_config,
         )
         for params in grid
     ]
@@ -77,18 +85,22 @@ def run_distgnn_grid_parallel(
     seed: int = 0,
     cost_model: CostModel = DEFAULT_COST_MODEL,
     workers: Optional[int] = None,
+    fault_config: Optional[FaultConfig] = None,
+    num_epochs: int = 1,
 ) -> List[DistGnnRecord]:
     """Parallel :func:`~.runner.run_distgnn_grid` (same records, same order)."""
     grid = list(grid)
     if workers is not None and workers <= 1:
         return run_distgnn_grid(
-            graph, partitioners, machine_counts, grid, seed, cost_model
+            graph, partitioners, machine_counts, grid, seed, cost_model,
+            fault_config=fault_config, num_epochs=num_epochs,
         )
     records: List[DistGnnRecord] = []
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [
             pool.submit(
-                _distgnn_cell, graph, name, k, grid, seed, cost_model
+                _distgnn_cell, graph, name, k, grid, seed, cost_model,
+                fault_config, num_epochs,
             )
             for k in machine_counts
             for name in partitioners
@@ -107,6 +119,8 @@ def run_distdgl_grid_parallel(
     seed: int = 0,
     cost_model: CostModel = DEFAULT_COST_MODEL,
     workers: Optional[int] = None,
+    fault_config: Optional[FaultConfig] = None,
+    num_epochs: int = 1,
 ) -> List[DistDglRecord]:
     """Parallel :func:`~.runner.run_distdgl_grid` (same records, same order)."""
     if split is None:
@@ -116,12 +130,14 @@ def run_distdgl_grid_parallel(
         return run_distdgl_grid(
             graph, partitioners, machine_counts, grid,
             split=split, seed=seed, cost_model=cost_model,
+            fault_config=fault_config, num_epochs=num_epochs,
         )
     records: List[DistDglRecord] = []
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [
             pool.submit(
-                _distdgl_cell, graph, name, k, grid, split, seed, cost_model
+                _distdgl_cell, graph, name, k, grid, split, seed,
+                cost_model, fault_config, num_epochs,
             )
             for k in machine_counts
             for name in partitioners

@@ -5,14 +5,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from .config import TrainingParams
+from .config import FaultConfig, TrainingParams
 
 __all__ = ["DistGnnRecord", "DistDglRecord"]
 
 
 @dataclass(frozen=True)
 class DistGnnRecord:
-    """One DistGNN experiment: graph x partitioner x k x params."""
+    """One DistGNN experiment: graph x partitioner x k x params.
+
+    ``epoch_seconds`` is the mean over the run's *logical* epochs;
+    ``makespan_seconds`` is the full simulated wall clock including
+    checkpoints and recovery, so ``makespan - num_epochs * epoch_seconds``
+    is the run's fault overhead ("time-to-accuracy under failures").
+    """
 
     graph: str
     partitioner: str
@@ -31,11 +37,26 @@ class DistGnnRecord:
     partitioning_seconds: float
     out_of_memory: bool = False
     memory_per_machine: Optional[tuple] = None
+    # Fault-sweep fields (defaults keep pre-fault records loadable).
+    num_epochs: int = 1
+    makespan_seconds: float = 0.0
+    crashes: int = 0
+    slowdowns: int = 0
+    lost_messages: int = 0
+    reexecuted_epochs: int = 0
+    recovery_seconds: float = 0.0
+    checkpoint_seconds: float = 0.0
+    fault_config: Optional[FaultConfig] = None
 
 
 @dataclass(frozen=True)
 class DistDglRecord:
-    """One DistDGL experiment: graph x partitioner x k x params."""
+    """One DistDGL experiment: graph x partitioner x k x params.
+
+    Fault fields mirror :class:`DistGnnRecord`, with the mini-batch
+    recovery shape: retried steps with exponential backoff and graceful
+    degradation to the surviving workers instead of checkpoint/restart.
+    """
 
     graph: str
     partitioner: str
@@ -52,3 +73,13 @@ class DistDglRecord:
     vertex_balance: float = 1.0
     training_vertex_balance: float = 1.0
     partitioning_seconds: float = 0.0
+    # Fault-sweep fields (defaults keep pre-fault records loadable).
+    num_epochs: int = 1
+    makespan_seconds: float = 0.0
+    crashes: int = 0
+    slowdowns: int = 0
+    lost_messages: int = 0
+    retries: int = 0
+    degraded_steps: int = 0
+    recovery_seconds: float = 0.0
+    fault_config: Optional[FaultConfig] = None

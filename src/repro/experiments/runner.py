@@ -4,6 +4,13 @@ Wraps partitioning (cached), engine construction and epoch simulation into
 flat result records, with the out-of-memory behaviour the paper reports
 (random partitioning pushing machines over budget) surfaced as a flag
 rather than an exception.
+
+A :class:`~.config.FaultConfig` turns any run into a fault sweep: the
+config deterministically expands into a fault plan for the cell's cluster
+size, the engines recover under the configured policy, and the records
+gain recovery accounting (crashes, re-executed epochs, degraded steps,
+recovery/checkpoint seconds, makespan), so partitioners can be compared
+by robustness as well as by raw epoch time.
 """
 
 from __future__ import annotations
@@ -20,7 +27,7 @@ from ..partitioning import (
     vertex_partition_quality,
 )
 from .cache import cached_edge_partition, cached_vertex_partition
-from .config import TrainingParams
+from .config import FaultConfig, TrainingParams
 from .records import DistDglRecord, DistGnnRecord
 
 __all__ = [
@@ -40,8 +47,12 @@ def run_distgnn(
     seed: int = 0,
     cost_model: CostModel = DEFAULT_COST_MODEL,
     enforce_memory_budget: bool = False,
+    fault_config: Optional[FaultConfig] = None,
+    num_epochs: int = 1,
 ) -> DistGnnRecord:
     """Simulate one DistGNN full-batch configuration."""
+    if num_epochs < 1:
+        raise ValueError("num_epochs must be >= 1")
     partition, part_seconds = cached_edge_partition(
         graph, partitioner, num_machines, seed
     )
@@ -60,17 +71,27 @@ def run_distgnn(
             engine.check_memory_budget()
         except OutOfMemoryError:
             out_of_memory = True
-    breakdown = engine.simulate_epoch()
+    if fault_config:
+        breakdowns = engine.simulate_training(
+            num_epochs,
+            fault_plan=fault_config.plan(num_machines, num_epochs),
+            recovery=fault_config.policy(),
+        )
+    else:
+        breakdowns = engine.simulate_training(num_epochs)
+    n = len(breakdowns)
+    timeline = engine.cluster.timeline
+    summary = engine.fault_summary
     return DistGnnRecord(
         graph=graph.name,
         partitioner=partitioner,
         num_machines=num_machines,
         params=params,
-        epoch_seconds=breakdown.epoch_seconds,
-        forward_seconds=breakdown.forward_seconds,
-        backward_seconds=breakdown.backward_seconds,
-        sync_seconds=breakdown.sync_seconds,
-        network_bytes=breakdown.network_bytes,
+        epoch_seconds=sum(b.epoch_seconds for b in breakdowns) / n,
+        forward_seconds=sum(b.forward_seconds for b in breakdowns) / n,
+        backward_seconds=sum(b.backward_seconds for b in breakdowns) / n,
+        sync_seconds=sum(b.sync_seconds for b in breakdowns) / n,
+        network_bytes=sum(b.network_bytes for b in breakdowns) / n,
         total_memory_bytes=engine.total_memory(),
         memory_balance=engine.memory_utilization_balance(),
         replication_factor=quality.replication_factor,
@@ -79,6 +100,15 @@ def run_distgnn(
         partitioning_seconds=part_seconds,
         out_of_memory=out_of_memory,
         memory_per_machine=tuple(engine.memory_per_machine()),
+        num_epochs=num_epochs,
+        makespan_seconds=timeline.total_seconds,
+        crashes=summary.crashes,
+        slowdowns=summary.slowdowns,
+        lost_messages=summary.lost_messages,
+        reexecuted_epochs=summary.reexecuted_epochs,
+        recovery_seconds=timeline.recovery_seconds(),
+        checkpoint_seconds=timeline.checkpoint_seconds(),
+        fault_config=fault_config,
     )
 
 
@@ -89,6 +119,8 @@ def run_distgnn_grid(
     grid: Iterable[TrainingParams],
     seed: int = 0,
     cost_model: CostModel = DEFAULT_COST_MODEL,
+    fault_config: Optional[FaultConfig] = None,
+    num_epochs: int = 1,
 ) -> List[DistGnnRecord]:
     """Run :func:`run_distgnn` over partitioners x machines x params."""
     grid = list(grid)
@@ -98,7 +130,8 @@ def run_distgnn_grid(
             for params in grid:
                 records.append(
                     run_distgnn(
-                        graph, name, k, params, seed, cost_model
+                        graph, name, k, params, seed, cost_model,
+                        fault_config=fault_config, num_epochs=num_epochs,
                     )
                 )
     return records
@@ -113,8 +146,11 @@ def run_distdgl(
     num_epochs: int = 1,
     seed: int = 0,
     cost_model: CostModel = DEFAULT_COST_MODEL,
+    fault_config: Optional[FaultConfig] = None,
 ) -> DistDglRecord:
     """Run one DistDGL mini-batch configuration (sampling is executed)."""
+    if num_epochs < 1:
+        raise ValueError("num_epochs must be >= 1")
     if split is None:
         split = random_split(graph, seed=seed)
     partition, part_seconds = cached_vertex_partition(
@@ -133,12 +169,21 @@ def run_distdgl(
         cost_model=cost_model,
         seed=seed,
     )
-    reports = engine.run_training(num_epochs)
+    if fault_config:
+        reports = engine.run_training(
+            num_epochs,
+            fault_plan=fault_config.plan(num_machines, num_epochs),
+            recovery=fault_config.policy(),
+        )
+    else:
+        reports = engine.run_training(num_epochs)
     epoch_seconds = sum(r.epoch_seconds for r in reports) / len(reports)
     phases = {
         phase: sum(r.phase_seconds()[phase] for r in reports) / len(reports)
         for phase in reports[0].phase_seconds()
     }
+    timeline = engine.cluster.timeline
+    summary = engine.fault_summary
     return DistDglRecord(
         graph=graph.name,
         partitioner=partitioner,
@@ -163,6 +208,15 @@ def run_distdgl(
         vertex_balance=quality.vertex_balance,
         training_vertex_balance=quality.training_vertex_balance,
         partitioning_seconds=part_seconds,
+        num_epochs=num_epochs,
+        makespan_seconds=timeline.total_seconds,
+        crashes=summary.crashes,
+        slowdowns=summary.slowdowns,
+        lost_messages=summary.lost_messages,
+        retries=summary.retries,
+        degraded_steps=summary.degraded_steps,
+        recovery_seconds=timeline.recovery_seconds(),
+        fault_config=fault_config,
     )
 
 
@@ -174,6 +228,8 @@ def run_distdgl_grid(
     split: Optional[VertexSplit] = None,
     seed: int = 0,
     cost_model: CostModel = DEFAULT_COST_MODEL,
+    fault_config: Optional[FaultConfig] = None,
+    num_epochs: int = 1,
 ) -> List[DistDglRecord]:
     """Run :func:`run_distdgl` over partitioners x machines x params."""
     if split is None:
@@ -186,7 +242,8 @@ def run_distdgl_grid(
                 records.append(
                     run_distdgl(
                         graph, name, k, params, split=split,
-                        seed=seed, cost_model=cost_model,
+                        num_epochs=num_epochs, seed=seed,
+                        cost_model=cost_model, fault_config=fault_config,
                     )
                 )
     return records

@@ -39,3 +39,62 @@ def test_empty_timeline():
 def test_negative_times_rejected():
     with pytest.raises(ValueError):
         Timeline().add_phase("x", np.array([-1.0]))
+
+
+def test_empty_phase_rejected():
+    """An empty per-machine vector used to crash later in .duration
+    (max of an empty array); it is now rejected up front."""
+    with pytest.raises(ValueError, match="empty"):
+        Timeline().add_phase("fwd", np.array([]))
+
+
+def test_non_1d_phase_rejected():
+    with pytest.raises(ValueError, match="1-D"):
+        Timeline().add_phase("fwd", np.ones((2, 2)))
+
+
+def test_phase_record_defensively_copies():
+    """Mutating the caller's array after add_phase must not change the
+    recorded durations."""
+    timeline = Timeline()
+    seconds = np.array([1.0, 2.0])
+    timeline.add_phase("fwd", seconds)
+    seconds[1] = 100.0
+    assert timeline.total_seconds == 2.0
+
+
+def test_phase_record_array_read_only():
+    timeline = Timeline()
+    timeline.add_phase("fwd", np.array([1.0, 2.0]))
+    with pytest.raises(ValueError):
+        timeline.records[0].per_machine_seconds[0] = 9.0
+
+
+def test_interrupted_flag_and_query():
+    timeline = Timeline()
+    timeline.add_phase("fwd", np.array([1.0]))
+    timeline.add_phase("fault-detect", np.array([0.5]), interrupted=True)
+    assert [r.name for r in timeline.interrupted_records()] == [
+        "fault-detect"
+    ]
+
+
+def test_marks_stamped_at_current_total():
+    timeline = Timeline()
+    timeline.add_phase("fwd", np.array([1.0, 3.0]))
+    mark = timeline.add_mark("crash", kind="fault", machine=1)
+    assert mark.at_seconds == 3.0
+    assert timeline.marks == [mark]
+
+
+def test_recovery_and_checkpoint_seconds():
+    timeline = Timeline()
+    timeline.add_phase("forward", np.array([2.0]))
+    timeline.add_phase("fault-detect", np.array([0.25]))
+    timeline.add_phase("fault-restore", np.array([0.75]))
+    timeline.add_phase("replay:forward", np.array([2.0]))
+    timeline.add_phase("checkpoint", np.array([0.5]))
+    assert timeline.recovery_seconds() == pytest.approx(3.0)
+    assert timeline.checkpoint_seconds() == pytest.approx(0.5)
+    # Normal work is counted by neither.
+    assert timeline.total_seconds == pytest.approx(5.5)

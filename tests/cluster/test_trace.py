@@ -55,6 +55,53 @@ def test_save_roundtrip(tmp_path):
     assert payload["traceEvents"]
 
 
+def test_thread_name_metadata_per_machine():
+    payload = json.loads(timeline_to_chrome_trace(make_timeline()))
+    names = {
+        e["tid"]: e["args"]["name"]
+        for e in payload["traceEvents"]
+        if e.get("ph") == "M" and e["name"] == "thread_name"
+    }
+    assert names == {0: "machine-0", 1: "machine-1"}
+
+
+def test_interrupted_phase_flagged_in_args():
+    timeline = make_timeline()
+    timeline.add_phase("fault-detect", np.array([0.1, 0.1]),
+                       interrupted=True)
+    payload = json.loads(timeline_to_chrome_trace(timeline))
+    flagged = [
+        e for e in payload["traceEvents"]
+        if e.get("name") == "fault-detect"
+    ]
+    assert flagged
+    assert all(e["args"]["interrupted"] for e in flagged)
+    assert all(e.get("cname") for e in flagged)
+
+
+def test_marks_become_instant_events():
+    timeline = make_timeline()
+    timeline.add_mark("crash:machine1", kind="fault", machine=1)
+    timeline.add_mark("restore-checkpoint", kind="recovery")
+    payload = json.loads(timeline_to_chrome_trace(timeline))
+    instants = {
+        e["name"]: e for e in payload["traceEvents"] if e.get("ph") == "i"
+    }
+    assert instants["crash:machine1"]["tid"] == 1
+    assert instants["crash:machine1"]["s"] == "t"
+    assert instants["crash:machine1"]["ts"] == 2.5e6
+    assert instants["restore-checkpoint"]["s"] == "g"
+    assert instants["restore-checkpoint"]["args"]["kind"] == "recovery"
+
+
+def test_save_is_atomic_no_temp_left_behind(tmp_path):
+    path = tmp_path / "trace.json"
+    save_chrome_trace(make_timeline(), path)
+    save_chrome_trace(make_timeline(), path)  # overwrite in place
+    assert json.loads(path.read_text(encoding="utf-8"))["traceEvents"]
+    assert [p.name for p in tmp_path.iterdir()] == ["trace.json"]
+
+
 def test_engine_timeline_exports(tiny_or):
     from repro.distgnn import DistGnnEngine
     from repro.partitioning import RandomEdgePartitioner

@@ -1,10 +1,16 @@
 """Tests for the partition cache."""
 
+import pytest
+
 from repro.experiments import (
+    CacheEntryError,
+    cache_size,
     cached_edge_partition,
     cached_vertex_partition,
     clear_cache,
+    set_cache_capacity,
 )
+from repro.experiments.cache import DEFAULT_CACHE_CAPACITY
 from repro.graph import Graph
 
 
@@ -62,6 +68,66 @@ def test_keyed_by_content_not_identity():
     g3 = Graph.from_edge_list(edges[:-1], num_vertices=4)
     c, _ = cached_edge_partition(g3, "dbh", 2, seed=0)
     assert c is not a
+
+
+@pytest.fixture
+def restore_capacity():
+    yield
+    set_cache_capacity(DEFAULT_CACHE_CAPACITY)
+    clear_cache()
+
+
+def test_lru_evicts_oldest(tiny_or, restore_capacity):
+    clear_cache()
+    set_cache_capacity(2)
+    a, _ = cached_edge_partition(tiny_or, "dbh", 2, seed=0)
+    cached_edge_partition(tiny_or, "dbh", 4, seed=0)
+    cached_edge_partition(tiny_or, "dbh", 8, seed=0)  # evicts k=2
+    assert cache_size() == 2
+    a2, _ = cached_edge_partition(tiny_or, "dbh", 2, seed=0)  # recompute
+    assert a2 is not a
+
+
+def test_lru_hit_refreshes_recency(tiny_or, restore_capacity):
+    clear_cache()
+    set_cache_capacity(2)
+    a, _ = cached_edge_partition(tiny_or, "dbh", 2, seed=0)
+    cached_edge_partition(tiny_or, "dbh", 4, seed=0)
+    cached_edge_partition(tiny_or, "dbh", 2, seed=0)  # refresh k=2
+    cached_edge_partition(tiny_or, "dbh", 8, seed=0)  # evicts k=4, not k=2
+    a2, _ = cached_edge_partition(tiny_or, "dbh", 2, seed=0)
+    assert a2 is a
+
+
+def test_set_capacity_evicts_immediately(tiny_or, restore_capacity):
+    clear_cache()
+    cached_edge_partition(tiny_or, "dbh", 2, seed=0)
+    cached_edge_partition(tiny_or, "dbh", 4, seed=0)
+    cached_edge_partition(tiny_or, "dbh", 8, seed=0)
+    assert cache_size() == 3
+    set_cache_capacity(1)
+    assert cache_size() == 1
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        set_cache_capacity(0)
+
+
+def test_wrong_family_entry_raises_real_exception(tiny_or):
+    """Corrupt entries raise CacheEntryError — a real exception that
+    survives ``python -O``, unlike the bare asserts it replaced."""
+    from repro.experiments import cache as cache_module
+
+    clear_cache()
+    partition, _ = cached_vertex_partition(tiny_or, "ldg", 2, seed=0)
+    bad_key = cache_module._key("edge", "dbh", tiny_or, 2, 0)
+    cache_module._CACHE[bad_key] = (partition, 0.0)
+    try:
+        with pytest.raises(CacheEntryError):
+            cached_edge_partition(tiny_or, "dbh", 2, seed=0)
+    finally:
+        clear_cache()
 
 
 def test_fingerprint_stable_and_content_sensitive():

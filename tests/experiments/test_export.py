@@ -3,6 +3,7 @@
 import pytest
 
 from repro.experiments import (
+    FaultConfig,
     TrainingParams,
     load_records,
     records_to_json,
@@ -38,6 +39,34 @@ def test_json_is_valid(records):
     payload = json.loads(records_to_json(records))
     assert payload[0]["kind"] == "distgnn"
     assert payload[1]["kind"] == "distdgl"
+
+
+def test_fault_record_roundtrip(tmp_path, tiny_or, tiny_or_split):
+    params = TrainingParams(feature_size=32, hidden_dim=32, num_layers=2)
+    fc = FaultConfig(crash_rate=0.2, slowdown_rate=0.1, checkpoint_every=2,
+                     seed=5)
+    records = [
+        run_distgnn(tiny_or, "dbh", 4, params, fault_config=fc,
+                    num_epochs=4),
+        run_distdgl(tiny_or, "metis", 4, params, split=tiny_or_split,
+                    fault_config=fc, num_epochs=2),
+    ]
+    path = tmp_path / "fault_records.json"
+    save_records(records, path)
+    loaded = load_records(path)
+    assert loaded == records
+    assert loaded[0].fault_config == fc
+    assert loaded[0].num_epochs == 4
+    assert loaded[1].fault_config == fc
+
+
+def test_faultless_record_has_no_fault_config(records):
+    import json
+
+    payload = json.loads(records_to_json(records))
+    assert payload[0]["data"].get("fault_config") is None
+    loaded_fields = payload[0]["data"]
+    assert loaded_fields["recovery_seconds"] == 0.0
 
 
 def test_unknown_kind_rejected(tmp_path):

@@ -3,6 +3,7 @@
 import numpy as np
 
 from repro.experiments import (
+    FaultConfig,
     reduced_grid,
     run_distdgl_grid,
     run_distdgl_grid_parallel,
@@ -62,6 +63,41 @@ class TestDistDglParallel:
             tiny_or, VERTEX_NAMES, [2], _grid(), seed=3, workers=2
         )
         assert parallel == serial
+
+
+class TestFaultSweepParallel:
+    """Fault sweeps must be record-identical between runners: the fault
+    plan is a pure function of (config, k, epochs), so fanning cells out
+    over processes cannot change which faults strike where."""
+
+    FAULTS = FaultConfig(crash_rate=0.15, slowdown_rate=0.1, loss_rate=0.1,
+                         checkpoint_every=2, seed=13)
+
+    def test_distgnn_records_equal_serial(self, tiny_or):
+        serial = run_distgnn_grid(
+            tiny_or, EDGE_NAMES, MACHINES, _grid(), seed=0,
+            fault_config=self.FAULTS, num_epochs=4,
+        )
+        parallel = run_distgnn_grid_parallel(
+            tiny_or, EDGE_NAMES, MACHINES, _grid(), seed=0, workers=2,
+            fault_config=self.FAULTS, num_epochs=4,
+        )
+        assert parallel == serial
+        assert any(r.crashes or r.slowdowns or r.lost_messages
+                   for r in serial)
+
+    def test_distdgl_records_equal_serial(self, tiny_or):
+        split = random_split(tiny_or, seed=0)
+        serial = run_distdgl_grid(
+            tiny_or, VERTEX_NAMES, MACHINES, _grid(), split=split, seed=0,
+            fault_config=self.FAULTS, num_epochs=3,
+        )
+        parallel = run_distdgl_grid_parallel(
+            tiny_or, VERTEX_NAMES, MACHINES, _grid(), split=split, seed=0,
+            workers=2, fault_config=self.FAULTS, num_epochs=3,
+        )
+        assert parallel == serial
+        assert any(r.crashes or r.degraded_steps for r in serial)
 
 
 def test_record_order_is_serial_order(tiny_or):

@@ -1,0 +1,35 @@
+"""Opt-in fault-sweep gate: ``pytest -m faults``.
+
+Deselected by default (see ``addopts`` in pyproject.toml) so tier-1
+stays fast; CI opts in explicitly. The gate checks, via
+``scripts/check_faults.py``, that seeded fault sweeps are deterministic,
+record-identical between the serial and process-parallel runners, and
+that crash recovery charges exactly ``e mod c`` replayed epochs plus a
+restore.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.faults
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def test_fault_sweep_invariants_hold():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(_REPO_ROOT, "src")
+    result = subprocess.run(
+        [
+            sys.executable,
+            os.path.join(_REPO_ROOT, "scripts", "check_faults.py"),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=_REPO_ROOT,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
