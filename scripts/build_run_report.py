@@ -1,0 +1,66 @@
+"""Build a consolidated markdown + JSON report from saved sweep records.
+
+Thin command-line wrapper around
+:func:`repro.experiments.build_run_report`: load one or more sweep JSON
+files (as written by ``scripts/run_full_sweep.py`` or
+``repro.experiments.save_records``), fold them into a single report, and
+write ``run_report.md`` plus ``run_report.json`` next to each other.
+
+Usage::
+
+    PYTHONPATH=src python scripts/build_run_report.py \
+        sweep_distgnn.json sweep_distdgl.json --out reports/
+
+The fault and telemetry sections appear automatically when the input
+records carry ``fault_config`` / ``obs_metrics`` fields (sweeps run with
+``--fault-rate`` / ``--obs-level metrics``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.experiments import build_run_report, load_records
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("inputs", nargs="+",
+                        help="sweep JSON files (save_records format)")
+    parser.add_argument("--out", default=".",
+                        help="output directory for run_report.{md,json}")
+    parser.add_argument("--name", default="run_report",
+                        help="basename of the two output files")
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    records = []
+    for path in args.inputs:
+        loaded = load_records(path)
+        print(f"loaded {path} ({len(loaded)} records)")
+        records.extend(loaded)
+    if not records:
+        print("no records in the given inputs", file=sys.stderr)
+        return 1
+
+    markdown, report = build_run_report(records)
+    os.makedirs(args.out, exist_ok=True)
+    md_path = os.path.join(args.out, f"{args.name}.md")
+    json_path = os.path.join(args.out, f"{args.name}.json")
+    with open(md_path, "w", encoding="utf-8") as handle:
+        handle.write(markdown)
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {md_path}")
+    print(f"wrote {json_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""Fail when public API in ``src/repro`` lacks docstrings.
+
+Walks every module under ``src/repro`` with :mod:`ast` and reports:
+
+- modules without a module docstring,
+- public classes (name not starting with ``_``) without a class
+  docstring,
+- public functions and methods without a docstring.
+
+Nested functions and anything whose name starts with an underscore are
+exempt. CI runs this as part of the docs job; run it locally with::
+
+    python scripts/check_docstrings.py
+
+Exit status is the number of offenders (0 = clean), capped at 1 for
+shell friendliness.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+
+SRC_ROOT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "src",
+    "repro",
+)
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _check_body(body, qualifier, relpath, problems) -> None:
+    """Collect undocumented public defs in a module or class body."""
+    for node in body:
+        if isinstance(node, _FUNCTION_NODES):
+            if _is_public(node.name) and ast.get_docstring(node) is None:
+                problems.append(
+                    f"{relpath}:{node.lineno}: public function "
+                    f"{qualifier}{node.name}() has no docstring"
+                )
+        elif isinstance(node, ast.ClassDef):
+            if _is_public(node.name):
+                if ast.get_docstring(node) is None:
+                    problems.append(
+                        f"{relpath}:{node.lineno}: public class "
+                        f"{qualifier}{node.name} has no docstring"
+                    )
+                _check_body(
+                    node.body, f"{qualifier}{node.name}.", relpath, problems
+                )
+
+
+def check_file(path: str, root: str) -> list:
+    """Return the list of docstring problems in one source file."""
+    relpath = os.path.relpath(path, os.path.dirname(root))
+    with open(path, "r", encoding="utf-8") as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    problems = []
+    if ast.get_docstring(tree) is None:
+        problems.append(f"{relpath}:1: module has no docstring")
+    _check_body(tree.body, "", relpath, problems)
+    return problems
+
+
+def main(argv=None) -> int:
+    root = argv[0] if argv else SRC_ROOT
+    problems = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                problems.extend(
+                    check_file(os.path.join(dirpath, filename), root)
+                )
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"\n{len(problems)} undocumented public definitions",
+              file=sys.stderr)
+        return 1
+    print("all public definitions are documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

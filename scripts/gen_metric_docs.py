@@ -1,0 +1,69 @@
+"""Render ``docs/observability.md`` from the metric catalog.
+
+The metrics reference is generated from
+:data:`repro.obs.catalog.CATALOG` — the same declarations the registry
+enforces at runtime — so the documentation cannot drift from the code.
+CI runs the ``--check`` mode to prove it.
+
+Usage::
+
+    PYTHONPATH=src python scripts/gen_metric_docs.py           # rewrite
+    PYTHONPATH=src python scripts/gen_metric_docs.py --check   # CI gate
+
+``--check`` exits non-zero (and prints a diff hint) when the committed
+file no longer matches the rendered catalog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.obs import render_metric_docs
+
+DEFAULT_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "docs",
+    "observability.md",
+)
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=DEFAULT_PATH,
+                        help="target markdown file")
+    parser.add_argument("--check", action="store_true",
+                        help="verify the file matches instead of writing")
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    rendered = render_metric_docs()
+    if args.check:
+        try:
+            with open(args.out, "r", encoding="utf-8") as handle:
+                committed = handle.read()
+        except FileNotFoundError:
+            print(f"{args.out} is missing; regenerate it with "
+                  f"`PYTHONPATH=src python scripts/gen_metric_docs.py`",
+                  file=sys.stderr)
+            return 1
+        if committed != rendered:
+            print(f"{args.out} is stale: the metric catalog changed. "
+                  f"Regenerate it with "
+                  f"`PYTHONPATH=src python scripts/gen_metric_docs.py` "
+                  f"and commit the result.", file=sys.stderr)
+            return 1
+        print(f"{args.out} matches the catalog")
+        return 0
+    os.makedirs(os.path.dirname(args.out), exist_ok=True)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(rendered)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@ Usage::
     python scripts/run_full_sweep.py [--quick] [--graphs OR,EU]
         [--machines 4,32] [--out DIR] [--workers N]
         [--fault-rate P] [--epochs E] [--checkpoint-every C]
+        [--obs-level metrics] [--obs-out sweep_obs.jsonl]
 
 ``--quick`` restricts to the corner-covering reduced grid (the same one
 the benchmarks use). ``--workers N`` fans the (machines, partitioner)
@@ -20,6 +21,14 @@ to the serial run. A non-zero ``--fault-rate`` / ``--slowdown-rate`` /
 simulated for ``--epochs`` epochs under the same deterministic fault
 plan, the records gain recovery accounting, and a per-partitioner
 recovery-overhead summary is printed at the end.
+
+``--obs-level metrics`` (or ``trace``) collects telemetry during the
+sweep (see ``docs/observability.md``): every record gains a
+deterministic ``obs_metrics`` summary — identical between serial and
+parallel runs — and ``--obs-out`` receives a JSONL dump (trace events,
+when tracing, plus a final metrics-snapshot record from the coordinator
+process). Feed the saved sweeps to ``scripts/build_run_report.py`` for
+a consolidated markdown/JSON run report.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ import os
 import sys
 import time
 
+from repro import obs
 from repro.experiments import (
     MACHINE_COUNTS,
     FaultConfig,
@@ -77,6 +87,12 @@ def parse_args(argv):
                         help="full-batch checkpoint interval in epochs")
     parser.add_argument("--fault-seed", type=int, default=0,
                         help="seed of the deterministic fault plan")
+    parser.add_argument("--obs-level", default="off", choices=obs.LEVELS,
+                        help="telemetry level: off (default), metrics, "
+                             "trace")
+    parser.add_argument("--obs-out", default=None,
+                        help="JSONL telemetry output (trace events plus a "
+                             "final metrics-snapshot record)")
     return parser.parse_args(argv)
 
 
@@ -110,6 +126,12 @@ def main(argv=None) -> int:
             f"epochs={args.epochs} seed={fault_config.seed}"
         )
 
+    if args.obs_level != "off":
+        sink = None
+        if args.obs_out and args.obs_level == "trace":
+            sink = obs.JsonlSink(args.obs_out)
+        obs.configure(args.obs_level, sink)
+
     workers = args.workers if args.workers > 0 else None
     distgnn_records = []
     distdgl_records = []
@@ -142,6 +164,23 @@ def main(argv=None) -> int:
     save_records(distdgl_records, dgl_path)
     print(f"wrote {gnn_path} ({len(distgnn_records)} records)")
     print(f"wrote {dgl_path} ({len(distdgl_records)} records)")
+
+    if args.obs_level != "off":
+        if args.obs_out:
+            sink = obs.get_sink()
+            if sink is None:
+                sink = obs.JsonlSink(args.obs_out)
+                obs.set_sink(sink)
+            sink.emit(
+                {
+                    "kind": "metrics-snapshot",
+                    "name": "final",
+                    "metrics": obs.snapshot(),
+                }
+            )
+            print(f"wrote {args.obs_out} (telemetry)")
+        obs.reset()
+        obs.disable()
 
     # Quick headline: mean speedups at the largest machine count.
     top_k = max(machines)

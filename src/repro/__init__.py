@@ -17,7 +17,10 @@ The package contains every layer of the study, built from scratch:
 - :mod:`repro.distdgl` -- mini-batch training over vertex partitions
   (DistDGL), with executed sampling;
 - :mod:`repro.experiments` -- the sweep harness behind every figure and
-  table of the paper (see ``benchmarks/``).
+  table of the paper (see ``benchmarks/``);
+- :mod:`repro.obs` -- the observability layer: catalog-driven metrics
+  registry, profiling spans and structured-event sinks (off by default;
+  see ``docs/observability.md``).
 
 Quickstart::
 
@@ -43,6 +46,7 @@ from . import (  # noqa: F401
     experiments,
     gnn,
     graph,
+    obs,
     partitioning,
 )
 
@@ -55,4 +59,5 @@ __all__ = [
     "distgnn",
     "distdgl",
     "experiments",
+    "obs",
 ]

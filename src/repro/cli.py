@@ -20,6 +20,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from . import obs
 from .experiments import (
     FaultConfig,
     TrainingParams,
@@ -111,6 +112,51 @@ def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "observability (see docs/observability.md)"
+    )
+    group.add_argument(
+        "--obs-level", default="off", choices=obs.LEVELS,
+        help="telemetry level: off (default), metrics, trace",
+    )
+    group.add_argument(
+        "--obs-out", default=None,
+        help="JSONL output path: trace events (at trace level) plus a "
+             "final metrics-snapshot record",
+    )
+
+
+def _configure_obs(args) -> None:
+    """Apply the --obs-* flags before a command runs."""
+    if args.obs_level == "off":
+        return
+    sink = None
+    if args.obs_out and args.obs_level == "trace":
+        sink = obs.JsonlSink(args.obs_out)
+    obs.configure(args.obs_level, sink)
+
+
+def _finish_obs(args) -> None:
+    """Write the metrics snapshot to --obs-out and reset the obs layer."""
+    if args.obs_level == "off":
+        return
+    if args.obs_out:
+        sink = obs.get_sink()
+        if sink is None:
+            sink = obs.JsonlSink(args.obs_out)
+            obs.set_sink(sink)
+        sink.emit(
+            {
+                "kind": "metrics-snapshot",
+                "name": "final",
+                "metrics": obs.snapshot(),
+            }
+        )
+    obs.reset()
+    obs.disable()
+
+
 def _fault_config(args) -> Optional[FaultConfig]:
     """Build a FaultConfig from CLI flags; None when no rate is set."""
     config = FaultConfig(
@@ -168,6 +214,7 @@ def _cmd_datasets(_args) -> int:
 
 
 def _cmd_partition(args) -> int:
+    _configure_obs(args)
     graph = _load_graph(args)
     split = random_split(graph, seed=args.seed)
     if args.cut == "vertex-cut":
@@ -189,10 +236,12 @@ def _cmd_partition(args) -> int:
     if args.output:
         np.savetxt(args.output, assignment, fmt="%d")
         print(f"assignment written to {args.output}")
+    _finish_obs(args)
     return 0
 
 
 def _cmd_distgnn(args) -> int:
+    _configure_obs(args)
     graph = _load_graph(args)
     params = TrainingParams(
         feature_size=args.feature_size,
@@ -227,10 +276,12 @@ def _cmd_distgnn(args) -> int:
             f"{args.machines} machines ({params.label()})",
         )
     )
+    _finish_obs(args)
     return 0
 
 
 def _cmd_distdgl(args) -> int:
+    _configure_obs(args)
     graph = _load_graph(args)
     params = TrainingParams(
         feature_size=args.feature_size,
@@ -271,6 +322,7 @@ def _cmd_distdgl(args) -> int:
             f"{args.machines} machines ({params.label()})",
         )
     )
+    _finish_obs(args)
     return 0
 
 
@@ -347,6 +399,7 @@ def _cmd_recommend(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level ``repro`` argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Distributed-GNN partitioning study reproduction",
@@ -367,17 +420,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     partition.add_argument("-k", "--machines", type=int, default=8)
     partition.add_argument("--output", default=None)
+    _add_obs_arguments(partition)
 
     distgnn = sub.add_parser("distgnn", help="simulate full-batch training")
     _add_graph_arguments(distgnn)
     _add_model_arguments(distgnn)
     _add_fault_arguments(distgnn)
+    _add_obs_arguments(distgnn)
     distgnn.add_argument("--partitioner", default="hep100")
 
     distdgl = sub.add_parser("distdgl", help="simulate mini-batch training")
     _add_graph_arguments(distdgl)
     _add_model_arguments(distdgl)
     _add_fault_arguments(distdgl)
+    _add_obs_arguments(distdgl)
     distdgl.add_argument("--partitioner", default="metis")
     distdgl.add_argument("--arch", default="sage",
                          choices=("sage", "gcn", "gat"))
@@ -412,6 +468,7 @@ _COMMANDS = {
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Command-line entry point: parse ``argv`` and dispatch the subcommand."""
     args = build_parser().parse_args(argv)
     return _COMMANDS[args.command](args)
 

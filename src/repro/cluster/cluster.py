@@ -7,6 +7,7 @@ from typing import List
 import numpy as np
 
 from ..costmodel import DEFAULT_COST_MODEL, CostModel
+from ..obs import api as obs
 from .machine import Machine
 from .network import NetworkFabric
 from .timeline import Timeline
@@ -69,6 +70,7 @@ class Cluster:
 
     @property
     def num_machines(self) -> int:
+        """Number of machines in the cluster."""
         return len(self.machines)
 
     # ------------------------------------------------------------------
@@ -148,18 +150,25 @@ class Cluster:
     def allocate(
         self, machine_id: int, category: str, num_bytes: float
     ) -> None:
+        """Record a memory allocation on one machine's ledger."""
         self.machines[machine_id].memory.allocate(category, num_bytes)
 
     def check_memory_budget(self) -> None:
         """Raise :class:`OutOfMemoryError` if any machine is over budget."""
         budget = self.cost_model.memory_budget_bytes
         for machine in self.machines:
+            obs.gauge(
+                "cluster.memory_peak_bytes",
+                machine.memory.peak_bytes,
+                machine=machine.machine_id,
+            )
             if machine.memory.peak_bytes > budget:
                 raise OutOfMemoryError(
                     machine.machine_id, machine.memory.peak_bytes, budget
                 )
 
     def memory_per_machine(self) -> np.ndarray:
+        """Per-machine peak memory in bytes, indexed by machine id."""
         return np.array(
             [machine.memory.peak_bytes for machine in self.machines]
         )

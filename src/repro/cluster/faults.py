@@ -114,21 +114,25 @@ class FaultPlan:
         return len(self.events)
 
     def events_at(self, epoch: int) -> Tuple[FaultEvent, ...]:
+        """All fault events scheduled for ``epoch``."""
         return tuple(e for e in self.events if e.epoch == epoch)
 
     def crashes_at(self, epoch: int) -> Tuple[FaultEvent, ...]:
+        """Crash events scheduled for ``epoch``."""
         return tuple(
             e for e in self.events
             if e.epoch == epoch and e.kind == "crash"
         )
 
     def slowdowns_at(self, epoch: int) -> Tuple[FaultEvent, ...]:
+        """Slowdown events scheduled for ``epoch``."""
         return tuple(
             e for e in self.events
             if e.epoch == epoch and e.kind == "slowdown"
         )
 
     def losses_at(self, epoch: int) -> Tuple[FaultEvent, ...]:
+        """Lost-message events scheduled for ``epoch``."""
         return tuple(
             e for e in self.events
             if e.epoch == epoch and e.kind == "lost-message"
@@ -266,4 +270,5 @@ class FaultSummary:
 
     @property
     def total_faults(self) -> int:
+        """Total injected events across crashes, slowdowns and losses."""
         return self.crashes + self.slowdowns + self.lost_messages

@@ -20,12 +20,14 @@ class MemoryLedger:
         self._peak_total = 0.0
 
     def allocate(self, category: str, num_bytes: float) -> None:
+        """Add ``num_bytes`` to ``category`` and update the peak."""
         if num_bytes < 0:
             raise ValueError("allocate takes non-negative sizes; use free")
         self._current[category] = self._current.get(category, 0.0) + num_bytes
         self._peak_total = max(self._peak_total, self.total_bytes)
 
     def free(self, category: str, num_bytes: float) -> None:
+        """Release ``num_bytes`` previously allocated under ``category``."""
         held = self._current.get(category, 0.0)
         if num_bytes > held + 1e-6:
             raise ValueError(
@@ -36,13 +38,16 @@ class MemoryLedger:
 
     @property
     def total_bytes(self) -> float:
+        """Bytes currently allocated across all categories."""
         return sum(self._current.values())
 
     @property
     def peak_bytes(self) -> float:
+        """High-water mark of total allocated bytes."""
         return self._peak_total
 
     def by_category(self) -> Dict[str, float]:
+        """Current allocation per category (a copy)."""
         return dict(self._current)
 
 
@@ -59,6 +64,7 @@ class Machine:
         self.restarts = 0
 
     def add_compute(self, seconds: float) -> None:
+        """Accumulate ``seconds`` of busy compute time."""
         if seconds < 0:
             raise ValueError("compute time must be non-negative")
         self.compute_seconds += seconds

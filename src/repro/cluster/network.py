@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..costmodel import CostModel
+from ..obs import api as obs
 
 __all__ = ["NetworkFabric"]
 
@@ -29,6 +30,7 @@ class NetworkFabric:
     def record_lost_message(self, machine: int) -> None:
         """Count an injected lost message on ``machine``'s port."""
         self.lost_messages[machine] += 1
+        obs.count("cluster.lost_messages", machine=machine)
 
     def transfer(self, src: int, dst: int, num_bytes: float) -> None:
         """Record a point-to-point transfer (no time accounting)."""
@@ -49,6 +51,20 @@ class NetworkFabric:
         self.received += received_per_machine
         if messages_per_machine is not None:
             self.messages += messages_per_machine
+        if obs.enabled():
+            for machine in range(self.num_machines):
+                if sent_per_machine[machine]:
+                    obs.count(
+                        "cluster.bytes_sent",
+                        float(sent_per_machine[machine]),
+                        machine=machine,
+                    )
+                if received_per_machine[machine]:
+                    obs.count(
+                        "cluster.bytes_received",
+                        float(received_per_machine[machine]),
+                        machine=machine,
+                    )
 
     def phase_seconds(
         self,
@@ -68,4 +84,5 @@ class NetworkFabric:
 
     @property
     def total_bytes(self) -> float:
+        """Total bytes sent over the fabric."""
         return float(self.sent.sum())

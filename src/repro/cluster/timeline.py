@@ -20,6 +20,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..obs import api as obs
+
 __all__ = ["PhaseRecord", "TimelineMark", "Timeline"]
 
 #: Phases whose durations are pure recovery overhead: failure handling
@@ -29,6 +31,7 @@ RECOVERY_PHASE_PREFIXES = ("fault-", "replay:")
 
 @dataclass(frozen=True)
 class PhaseRecord:
+    """One named phase: per-machine busy seconds plus the straggler bound."""
     name: str
     per_machine_seconds: np.ndarray
     interrupted: bool = False
@@ -69,6 +72,7 @@ class TimelineMark:
 
 @dataclass
 class Timeline:
+    """Ordered log of phase records and point-in-time marks for one run."""
     records: List[PhaseRecord] = field(default_factory=list)
     marks: List[TimelineMark] = field(default_factory=list)
 
@@ -78,11 +82,26 @@ class Timeline:
         per_machine_seconds: np.ndarray,
         interrupted: bool = False,
     ) -> float:
+        """Append a phase record and return its straggler-bound duration."""
         per_machine_seconds = np.asarray(per_machine_seconds, dtype=np.float64)
         if (per_machine_seconds < 0).any():
             raise ValueError("phase times must be non-negative")
         record = PhaseRecord(name, per_machine_seconds, interrupted)
         self.records.append(record)
+        if obs.enabled():
+            obs.observe(
+                "cluster.phase_seconds", record.duration, phase=name
+            )
+            for machine, seconds in enumerate(record.per_machine_seconds):
+                obs.count(
+                    "cluster.machine_busy_seconds",
+                    float(seconds),
+                    machine=machine,
+                )
+            obs.event(
+                "phase", name,
+                seconds=record.duration, interrupted=interrupted,
+            )
         return record.duration
 
     def add_mark(
@@ -94,10 +113,17 @@ class Timeline:
         """Stamp an instant event at the current end of the timeline."""
         mark = TimelineMark(name, kind, self.total_seconds, machine)
         self.marks.append(mark)
+        if obs.enabled():
+            obs.count("cluster.marks", kind=kind)
+            obs.event(
+                "mark", name,
+                kind=kind, at_seconds=mark.at_seconds, machine=machine,
+            )
         return mark
 
     @property
     def total_seconds(self) -> float:
+        """Sum of all phase durations (the simulated makespan)."""
         return sum(record.duration for record in self.records)
 
     def phase_totals(self) -> Dict[str, float]:

@@ -37,6 +37,7 @@ from ..costmodel import (
 )
 from ..gnn import default_fanouts, sample_blocks
 from ..graph import VertexSplit
+from ..obs import api as obs
 from ..partitioning import VertexPartition
 
 __all__ = ["DistDglEngine", "StepBreakdown", "EpochReport"]
@@ -62,6 +63,7 @@ class StepBreakdown:
 
     @property
     def step_seconds(self) -> float:
+        """Simulated duration of this step (sum of its five phases)."""
         return (
             self.sample_seconds
             + self.fetch_seconds
@@ -79,22 +81,27 @@ class EpochReport:
 
     @property
     def epoch_seconds(self) -> float:
+        """Total simulated epoch time, summed over steps."""
         return sum(s.step_seconds for s in self.steps)
 
     @property
     def network_bytes(self) -> float:
+        """Bytes moved over the network during the epoch."""
         return sum(s.network_bytes for s in self.steps)
 
     @property
     def remote_input_vertices(self) -> int:
+        """Input vertices fetched from remote machines during the epoch."""
         return sum(s.remote_input_vertices for s in self.steps)
 
     @property
     def cache_hits(self) -> int:
+        """Remote fetches that were served by the feature cache instead."""
         return sum(s.cache_hits for s in self.steps)
 
     @property
     def cache_hit_rate(self) -> float:
+        """Fraction of would-be remote fetches served by the cache."""
         would_be_remote = self.remote_input_vertices + self.cache_hits
         if would_be_remote == 0:
             return 0.0
@@ -102,9 +109,11 @@ class EpochReport:
 
     @property
     def local_input_vertices(self) -> int:
+        """Input vertices already resident on their sampling machine."""
         return sum(s.local_input_vertices for s in self.steps)
 
     def phase_seconds(self) -> Dict[str, float]:
+        """Per-phase simulated seconds summed over the epoch's steps."""
         return {
             "sample": sum(s.sample_seconds for s in self.steps),
             "fetch": sum(s.fetch_seconds for s in self.steps),
@@ -115,6 +124,7 @@ class EpochReport:
 
     @property
     def mean_input_vertex_balance(self) -> float:
+        """Mean per-step balance (max/mean) of input vertices across workers."""
         if not self.steps:
             return 1.0
         return float(
@@ -268,6 +278,7 @@ class DistDglEngine:
             # as in the DistGNN engine.
 
     def memory_per_machine(self) -> np.ndarray:
+        """Per-machine peak memory of the underlying cluster."""
         return self.cluster.memory_per_machine()
 
     # ------------------------------------------------------------------
@@ -315,6 +326,7 @@ class DistDglEngine:
         fetch_bytes_per_worker = np.zeros(k)
         input_counts = np.zeros(k)
         local_inputs = remote_inputs = cache_hits = 0
+        sampled_edges = 0
         step_bytes = 0.0
         batch_per_worker = max(
             self.global_batch_size // len(active_set), 1
@@ -337,6 +349,7 @@ class DistDglEngine:
                 dst_owned = self.owner[block.src_ids[: block.num_dst]]
                 remote = int((dst_owned != w).sum())
                 remote_frontier += remote
+                sampled_edges += int(block.num_edges)
                 sample_sec += (
                     block.num_edges * cm.sample_seconds_per_edge
                     + remote * cm.remote_sample_overhead
@@ -417,6 +430,19 @@ class DistDglEngine:
         balance = (
             float(active.max() / active.mean()) if active.size else 1.0
         )
+        if obs.enabled():
+            obs.count("distdgl.steps")
+            obs.observe(
+                "distdgl.step_seconds",
+                float(sum(per_worker[p].max() for p in PHASES)),
+            )
+            obs.count("distdgl.network_bytes", step_bytes)
+            obs.count("distdgl.sampled_edges", sampled_edges)
+            obs.count("distdgl.local_input_vertices", local_inputs)
+            obs.count("distdgl.remote_input_vertices", remote_inputs)
+            obs.count("distdgl.cache_hits", cache_hits)
+            if len(active_set) < k:
+                obs.count("distdgl.degraded_steps")
         return StepBreakdown(
             sample_seconds=float(per_worker["sample"].max()),
             fetch_seconds=float(per_worker["fetch"].max()),
@@ -500,6 +526,7 @@ class DistDglEngine:
                 f"slowdown:worker-{machine}", "fault", machine
             )
             self.fault_summary.slowdowns += 1
+            obs.count("distdgl.fault_events", kind="slowdown")
         for step in range(steps):
             for event in crash_by_step.get(step, ()):
                 machine = event.machine % k
@@ -510,6 +537,7 @@ class DistDglEngine:
                 active.discard(machine)
                 self._dead_workers.add(machine)
                 self.fault_summary.crashes += 1
+                obs.count("distdgl.fault_events", kind="crash")
                 self.cluster.machines[machine].record_crash()
                 self.cluster.timeline.add_mark(
                     f"crash:worker-{machine}", "fault", machine
@@ -531,6 +559,9 @@ class DistDglEngine:
                 if event.machine % k in active
             }
             self.fault_summary.lost_messages += len(lost)
+            obs.count(
+                "distdgl.fault_events", len(lost), kind="lost-message"
+            )
             for machine in sorted(lost):
                 self.cluster.timeline.add_mark(
                     f"lost-message:worker-{machine}", "fault", machine
@@ -553,6 +584,7 @@ class DistDglEngine:
         fault_plan: Optional[FaultPlan] = None,
         recovery: Optional[RecoveryPolicy] = None,
     ) -> List[EpochReport]:
+        """Run ``num_epochs`` epochs, optionally under a fault plan."""
         if fault_plan is None and recovery is None:
             return [self.run_epoch() for _ in range(num_epochs)]
         if recovery is None:

@@ -34,6 +34,7 @@ class InferenceReport:
 
     @property
     def total_seconds(self) -> float:
+        """End-to-end inference time: straggler compute plus fetch per layer."""
         compute = sum(
             float(per_machine.max())
             for per_machine in self.layer_compute_seconds
@@ -42,6 +43,7 @@ class InferenceReport:
 
     @property
     def total_fetch_bytes(self) -> float:
+        """Total feature bytes fetched across layers."""
         return sum(self.layer_fetch_bytes)
 
 

@@ -107,6 +107,7 @@ class DistributedMiniBatchTrainer:
         return float(np.mean(losses))
 
     def train_epoch(self) -> float:
+        """Train one epoch of mini-batches; returns the mean step loss."""
         num_train = self.split.train.shape[0]
         steps = max(
             int(np.ceil(num_train / self.global_batch_size)), 1
@@ -114,6 +115,7 @@ class DistributedMiniBatchTrainer:
         return float(np.mean([self.train_step() for _ in range(steps)]))
 
     def train(self, num_epochs: int) -> List[float]:
+        """Train ``num_epochs`` epochs and return their mean losses."""
         return [self.train_epoch() for _ in range(num_epochs)]
 
     def evaluate(self, vertex_ids: np.ndarray) -> float:

@@ -111,6 +111,7 @@ class DelayedAggregationTrainer(DistributedFullBatchTrainer):
         return local + remote
 
     def train_epoch(self) -> float:
+        """Train one epoch, counting aggregator calls for staleness accounting."""
         self._aggregate_calls = 0
         loss = super().train_epoch()
         self._epoch_counter += 1

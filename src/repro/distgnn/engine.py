@@ -32,6 +32,7 @@ from ..costmodel import (
     aggregation_bytes,
     gemm_flops,
 )
+from ..obs import api as obs
 from ..partitioning import EdgePartition
 
 __all__ = ["DistGnnEngine", "EpochBreakdown"]
@@ -49,6 +50,7 @@ class EpochBreakdown:
 
     @property
     def epoch_seconds(self) -> float:
+        """Total simulated epoch time (forward + backward + sync + optimizer)."""
         return (
             self.forward_seconds
             + self.backward_seconds
@@ -175,9 +177,11 @@ class DistGnnEngine:
         return self.cluster.memory_per_machine()
 
     def total_memory(self) -> float:
+        """Total peak memory across all machines."""
         return float(self.memory_per_machine().sum())
 
     def memory_utilization_balance(self) -> float:
+        """max/mean of per-machine peak memory (paper Figure 5)."""
         return self.cluster.memory_utilization_balance()
 
     def check_memory_budget(self) -> None:
@@ -270,13 +274,18 @@ class DistGnnEngine:
             "optimizer",
             np.full(self.num_machines, optimizer_seconds) * stretch,
         )
-        return EpochBreakdown(
+        breakdown = EpochBreakdown(
             forward_seconds=forward,
             backward_seconds=backward,
             sync_seconds=sync_seconds,
             optimizer_seconds=optimizer_seconds,
             network_bytes=total_bytes,
         )
+        if obs.enabled():
+            obs.count("distgnn.epochs")
+            obs.observe("distgnn.epoch_seconds", breakdown.epoch_seconds)
+            obs.count("distgnn.network_bytes", total_bytes)
+        return breakdown
 
     # ------------------------------------------------------------------
     # Fault handling
@@ -321,6 +330,7 @@ class DistGnnEngine:
                 f"crash:machine-{machine}", "fault", machine
             )
         self.fault_summary.crashes += len(crashes)
+        obs.count("distgnn.fault_events", len(crashes), kind="crash")
         cluster.add_phase(
             "fault-detect",
             np.full(k, recovery.detection_timeout_seconds),
@@ -337,6 +347,7 @@ class DistGnnEngine:
         cluster.timeline.add_mark("restore-checkpoint", "recovery")
         lost_epochs = epoch % recovery.checkpoint_every
         self.fault_summary.reexecuted_epochs += lost_epochs
+        obs.count("distgnn.replayed_epochs", lost_epochs)
         cluster.phase_prefix = "replay:"
         try:
             for _ in range(lost_epochs):
@@ -385,6 +396,9 @@ class DistGnnEngine:
                 )
                 stretch[event.machine % k] *= event.magnitude
             self.fault_summary.slowdowns += len(slowdowns)
+            obs.count(
+                "distgnn.fault_events", len(slowdowns), kind="slowdown"
+            )
             breakdowns.append(
                 self.simulate_epoch(
                     speed_multipliers=stretch if slowdowns else None
@@ -408,6 +422,7 @@ class DistGnnEngine:
                 )
                 cluster.add_phase("fault-retransmit", retransmit)
                 self.fault_summary.lost_messages += 1
+                obs.count("distgnn.fault_events", kind="lost-message")
             if (epoch + 1) % recovery.checkpoint_every == 0 \
                     and epoch + 1 < num_epochs:
                 cluster.add_phase(
@@ -418,7 +433,9 @@ class DistGnnEngine:
                 )
                 cluster.timeline.add_mark("checkpoint", "checkpoint")
                 self.fault_summary.checkpoints += 1
+                obs.count("distgnn.checkpoints")
         return breakdowns
 
     def phase_summary(self) -> Dict[str, float]:
+        """Total simulated seconds per phase name."""
         return self.cluster.timeline.phase_totals()

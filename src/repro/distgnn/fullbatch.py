@@ -160,9 +160,11 @@ class DistributedFullBatchTrainer:
         return loss
 
     def train(self, num_epochs: int) -> List[float]:
+        """Train ``num_epochs`` full-batch epochs and return the losses."""
         return [self.train_epoch() for _ in range(num_epochs)]
 
     def evaluate(self, mask: np.ndarray) -> float:
+        """Full-graph accuracy over the vertices selected by ``mask``."""
         logits = self._forward()
         self._cache = {}
         return accuracy(logits[mask], self.labels[mask])

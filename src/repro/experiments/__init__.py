@@ -42,6 +42,7 @@ from .correlation import pearson, r_squared
 from .parallel import run_distdgl_grid_parallel, run_distgnn_grid_parallel
 from .records import DistDglRecord, DistGnnRecord
 from .report import format_series, format_table, print_series, print_table
+from .runreport import build_run_report
 from .runner import (
     run_distdgl,
     run_distdgl_grid,
@@ -86,6 +87,7 @@ __all__ = [
     "print_table",
     "format_series",
     "print_series",
+    "build_run_report",
     "DistributionSummary",
     "summarize",
     "speedup_summary",

@@ -47,6 +47,7 @@ class Recommendation:
     estimates: List[CandidateEstimate]
 
     def as_rows(self):
+        """Candidate estimates as printable table rows."""
         return [
             (
                 e.name,

@@ -25,11 +25,13 @@ __all__ = ["AmortizationResult", "epochs_to_amortize", "amortization_table"]
 
 @dataclass(frozen=True)
 class AmortizationResult:
+    """Epochs needed for a partitioner to pay for itself (None = never)."""
     graph: str
     partitioner: str
     epochs: Optional[float]  # None = "no" (slowdown, never amortizes)
 
     def formatted(self) -> str:
+        """Human-readable epoch count ('no' when it never amortizes)."""
         return "no" if self.epochs is None else f"{self.epochs:.2f}"
 
 

@@ -34,6 +34,7 @@ class DistributionSummary:
 
     @classmethod
     def from_values(cls, values: Sequence[float]) -> "DistributionSummary":
+        """Summarize a non-empty sequence of values."""
         if not len(values):
             raise ValueError("cannot summarize an empty distribution")
         arr = np.asarray(values, dtype=np.float64)
@@ -49,6 +50,7 @@ class DistributionSummary:
 
     @property
     def spread(self) -> float:
+        """Range of the distribution (maximum minus minimum)."""
         return self.maximum - self.minimum
 
 

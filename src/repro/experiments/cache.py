@@ -18,6 +18,7 @@ from collections import OrderedDict
 from typing import Tuple, Union
 
 from ..graph import Graph
+from ..obs import api as obs
 from ..partitioning import (
     EdgePartition,
     VertexPartition,
@@ -85,12 +86,16 @@ def _insert(key: _CacheKey, entry: _Entry) -> None:
     _CACHE.move_to_end(key)
     while len(_CACHE) > _capacity:
         _CACHE.popitem(last=False)
+        obs.count("partition_cache.evictions")
 
 
 def _lookup(key: _CacheKey) -> Union[_Entry, None]:
     entry = _CACHE.get(key)
     if entry is not None:
         _CACHE.move_to_end(key)
+        obs.count("partition_cache.hits")
+    else:
+        obs.count("partition_cache.misses")
     return entry
 
 

@@ -60,9 +60,11 @@ class TrainingParams:
     global_batch_size: int = 16  # paper-scale 1024 / BATCH_SIZE_SCALE
 
     def with_(self, **changes) -> "TrainingParams":
+        """Copy with the given fields replaced."""
         return replace(self, **changes)
 
     def label(self) -> str:
+        """Compact human-readable label for sweep output."""
         return (
             f"{self.arch} f{self.feature_size} h{self.hidden_dim} "
             f"L{self.num_layers}"
@@ -112,6 +114,7 @@ class FaultConfig:
         )
 
     def with_(self, **changes) -> "FaultConfig":
+        """Copy with the given fields replaced."""
         return replace(self, **changes)
 
     def plan(self, num_machines: int, num_epochs: int) -> FaultPlan:
@@ -127,6 +130,7 @@ class FaultConfig:
         )
 
     def policy(self) -> RecoveryPolicy:
+        """The recovery policy induced by this configuration."""
         return RecoveryPolicy(
             checkpoint_every=self.checkpoint_every,
             max_retries=self.max_retries,

@@ -14,6 +14,13 @@ serial ones (equivalence-tested), in the same order.
 
 ``workers=None`` lets the executor pick (CPU count); ``workers<=1``
 falls back to the serial runner in-process.
+
+Observability: the coordinator's obs *level* is re-applied inside every
+worker process, and each record carries its own deterministic
+``obs_metrics`` summary (simulated quantities only), so serial and
+parallel sweeps stay record-identical. Worker-process registries and
+trace sinks are per process and are not merged back — stream traces
+(``--obs-out``) from serial runs.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from typing import Iterable, List, Optional, Sequence
 
 from ..costmodel import DEFAULT_COST_MODEL, CostModel
 from ..graph import Graph, VertexSplit, random_split
+from ..obs import api as obs
 from .config import FaultConfig, TrainingParams
 from .records import DistDglRecord, DistGnnRecord
 from .runner import (
@@ -44,8 +52,10 @@ def _distgnn_cell(
     cost_model: CostModel,
     fault_config: Optional[FaultConfig],
     num_epochs: int,
+    obs_level: str = "off",
 ) -> List[DistGnnRecord]:
     """One (machines, partitioner) cell of the DistGNN grid."""
+    obs.configure(obs_level)
     return [
         run_distgnn(
             graph, partitioner, num_machines, params, seed, cost_model,
@@ -65,8 +75,10 @@ def _distdgl_cell(
     cost_model: CostModel,
     fault_config: Optional[FaultConfig],
     num_epochs: int,
+    obs_level: str = "off",
 ) -> List[DistDglRecord]:
     """One (machines, partitioner) cell of the DistDGL grid."""
+    obs.configure(obs_level)
     return [
         run_distdgl(
             graph, partitioner, num_machines, params, split=split,
@@ -100,7 +112,7 @@ def run_distgnn_grid_parallel(
         futures = [
             pool.submit(
                 _distgnn_cell, graph, name, k, grid, seed, cost_model,
-                fault_config, num_epochs,
+                fault_config, num_epochs, obs.level(),
             )
             for k in machine_counts
             for name in partitioners
@@ -137,7 +149,7 @@ def run_distdgl_grid_parallel(
         futures = [
             pool.submit(
                 _distdgl_cell, graph, name, k, grid, split, seed,
-                cost_model, fault_config, num_epochs,
+                cost_model, fault_config, num_epochs, obs.level(),
             )
             for k in machine_counts
             for name in partitioners

@@ -47,6 +47,11 @@ class DistGnnRecord:
     recovery_seconds: float = 0.0
     checkpoint_seconds: float = 0.0
     fault_config: Optional[FaultConfig] = None
+    #: Deterministic telemetry summary (phase totals, traffic, marks),
+    #: populated only when observability is enabled for the run.
+    obs_metrics: Optional[Dict[str, object]] = field(
+        hash=False, default=None
+    )
 
 
 @dataclass(frozen=True)
@@ -83,3 +88,8 @@ class DistDglRecord:
     degraded_steps: int = 0
     recovery_seconds: float = 0.0
     fault_config: Optional[FaultConfig] = None
+    #: Deterministic telemetry summary (phase totals, traffic, marks),
+    #: populated only when observability is enabled for the run.
+    obs_metrics: Optional[Dict[str, object]] = field(
+        hash=False, default=None
+    )

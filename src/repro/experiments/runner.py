@@ -15,13 +15,15 @@ by robustness as well as by raw epoch time.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..cluster import OutOfMemoryError
 from ..costmodel import DEFAULT_COST_MODEL, CostModel
 from ..distdgl import DistDglEngine
 from ..distgnn import DistGnnEngine
 from ..graph import Graph, VertexSplit, random_split
+from ..obs import api as obs
 from ..partitioning import (
     edge_partition_quality,
     vertex_partition_quality,
@@ -39,6 +41,30 @@ __all__ = [
 ]
 
 
+def _obs_record_metrics(engine) -> Dict[str, object]:
+    """Deterministic telemetry summary embedded in a result record.
+
+    Every quantity is derived from *simulated* cluster state (timeline,
+    fabric, memory ledger) — never from a wall clock — so serial and
+    process-parallel sweeps produce identical records.
+    """
+    cluster = engine.cluster
+    timeline = cluster.timeline
+    marks: Dict[str, int] = {}
+    for mark in timeline.marks:
+        marks[mark.kind] = marks.get(mark.kind, 0) + 1
+    return {
+        "phase_seconds": timeline.phase_totals(),
+        "marks": marks,
+        "bytes_sent_total": float(cluster.fabric.sent.sum()),
+        "bytes_received_total": float(cluster.fabric.received.sum()),
+        "lost_messages_total": int(cluster.fabric.lost_messages.sum()),
+        "memory_peak_bytes_max": float(
+            cluster.memory_per_machine().max()
+        ),
+    }
+
+
 def run_distgnn(
     graph: Graph,
     partitioner: str,
@@ -53,6 +79,7 @@ def run_distgnn(
     """Simulate one DistGNN full-batch configuration."""
     if num_epochs < 1:
         raise ValueError("num_epochs must be >= 1")
+    run_started = time.perf_counter()
     partition, part_seconds = cached_edge_partition(
         graph, partitioner, num_machines, seed
     )
@@ -82,6 +109,17 @@ def run_distgnn(
     n = len(breakdowns)
     timeline = engine.cluster.timeline
     summary = engine.fault_summary
+    obs_metrics = None
+    if obs.enabled():
+        obs_metrics = _obs_record_metrics(engine)
+        obs.count("experiments.runs", engine="distgnn")
+        obs.observe(
+            "experiments.run_seconds",
+            time.perf_counter() - run_started,
+            engine="distgnn",
+        )
+        if out_of_memory:
+            obs.count("experiments.oom_runs")
     return DistGnnRecord(
         graph=graph.name,
         partitioner=partitioner,
@@ -109,6 +147,7 @@ def run_distgnn(
         recovery_seconds=timeline.recovery_seconds(),
         checkpoint_seconds=timeline.checkpoint_seconds(),
         fault_config=fault_config,
+        obs_metrics=obs_metrics,
     )
 
 
@@ -151,6 +190,7 @@ def run_distdgl(
     """Run one DistDGL mini-batch configuration (sampling is executed)."""
     if num_epochs < 1:
         raise ValueError("num_epochs must be >= 1")
+    run_started = time.perf_counter()
     if split is None:
         split = random_split(graph, seed=seed)
     partition, part_seconds = cached_vertex_partition(
@@ -184,6 +224,15 @@ def run_distdgl(
     }
     timeline = engine.cluster.timeline
     summary = engine.fault_summary
+    obs_metrics = None
+    if obs.enabled():
+        obs_metrics = _obs_record_metrics(engine)
+        obs.count("experiments.runs", engine="distdgl")
+        obs.observe(
+            "experiments.run_seconds",
+            time.perf_counter() - run_started,
+            engine="distdgl",
+        )
     return DistDglRecord(
         graph=graph.name,
         partitioner=partitioner,
@@ -217,6 +266,7 @@ def run_distdgl(
         degraded_steps=summary.degraded_steps,
         recovery_seconds=timeline.recovery_seconds(),
         fault_config=fault_config,
+        obs_metrics=obs_metrics,
     )
 
 

@@ -25,6 +25,7 @@ def leaky_relu(x: np.ndarray, slope: float = 0.2) -> np.ndarray:
 def leaky_relu_grad(
     x: np.ndarray, upstream: np.ndarray, slope: float = 0.2
 ) -> np.ndarray:
+    """Backward pass of :func:`leaky_relu` given the upstream gradient."""
     return upstream * np.where(x > 0.0, 1.0, slope)
 
 

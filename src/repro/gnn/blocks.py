@@ -54,10 +54,12 @@ class Block:
 
     @property
     def num_src(self) -> int:
+        """Number of source (input) vertices of the block."""
         return int(self.src_ids.shape[0])
 
     @property
     def num_edges(self) -> int:
+        """Number of edges in the block."""
         return int(self.edge_src.shape[0])
 
     def in_degrees(self) -> np.ndarray:

@@ -45,19 +45,23 @@ class GraphLayer(abc.ABC):
         self._cache: dict = {}
 
     def add_param(self, name: str, value: np.ndarray) -> None:
+        """Register a parameter and its zero-initialised gradient."""
         self.params[name] = value
         self.grads[name] = np.zeros_like(value)
 
     def zero_grad(self) -> None:
+        """Reset all gradients to zero in place."""
         for grad in self.grads.values():
             grad.fill(0.0)
 
     def parameters(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(param, grad)`` pairs for the optimizer."""
         for name in self.params:
             yield self.params[name], self.grads[name]
 
     @property
     def num_params(self) -> int:
+        """Total number of scalar parameters."""
         return sum(p.size for p in self.params.values())
 
     @abc.abstractmethod
@@ -91,6 +95,7 @@ class SageLayer(GraphLayer):
         self.add_param("bias", np.zeros(dim_out))
 
     def forward(self, block: Block, x_src: np.ndarray) -> np.ndarray:
+        """Mean-aggregate neighbours, then linear + bias (GraphSAGE)."""
         x_dst = x_src[: block.num_dst]
         sums = _scatter_sum(
             x_src[block.edge_src], block.edge_dst, block.num_dst
@@ -111,6 +116,7 @@ class SageLayer(GraphLayer):
         return out
 
     def backward(self, upstream: np.ndarray) -> np.ndarray:
+        """Backpropagate through the SAGE layer; returns grad wrt ``x_src``."""
         block: Block = self._cache["block"]
         x_src = self._cache["x_src"]
         mean = self._cache["mean"]
@@ -143,6 +149,7 @@ class GcnLayer(GraphLayer):
         self.add_param("bias", np.zeros(dim_out))
 
     def forward(self, block: Block, x_src: np.ndarray) -> np.ndarray:
+        """Symmetric-normalised sum aggregation, then linear + bias (GCN)."""
         x_dst = x_src[: block.num_dst]
         sums = _scatter_sum(
             x_src[block.edge_src], block.edge_dst, block.num_dst
@@ -159,6 +166,7 @@ class GcnLayer(GraphLayer):
         return out
 
     def backward(self, upstream: np.ndarray) -> np.ndarray:
+        """Backpropagate through the GCN layer; returns grad wrt ``x_src``."""
         block: Block = self._cache["block"]
         normed = self._cache["normed"]
         degrees = self._cache["degrees"]
@@ -195,6 +203,7 @@ class GatLayer(GraphLayer):
         self.add_param("bias", np.zeros(dim_out))
 
     def forward(self, block: Block, x_src: np.ndarray) -> np.ndarray:
+        """Attention-weighted aggregation over the block's edges (GAT)."""
         z = x_src @ self.params["weight"]
         s_src = z @ self.params["a_src"]
         s_dst = z[: block.num_dst] @ self.params["a_dst"]
@@ -224,6 +233,7 @@ class GatLayer(GraphLayer):
         return out
 
     def backward(self, upstream: np.ndarray) -> np.ndarray:
+        """Backpropagate through the GAT layer; returns grad wrt ``x_src``."""
         block: Block = self._cache["block"]
         x_src = self._cache["x_src"]
         z = self._cache["z"]
@@ -284,10 +294,12 @@ class MultiHeadGatLayer(GraphLayer):
                 self.grads[f"h{h}_{name}"] = head.grads[name]
 
     def forward(self, block: Block, x_src: np.ndarray) -> np.ndarray:
+        """Run every head and concatenate their outputs feature-wise."""
         outputs = [head.forward(block, x_src) for head in self.heads]
         return np.concatenate(outputs, axis=1)
 
     def backward(self, upstream: np.ndarray) -> np.ndarray:
+        """Backpropagate each head on its feature slice and sum the grads."""
         dx = None
         for h, head in enumerate(self.heads):
             chunk = upstream[:, h * self.head_dim : (h + 1) * self.head_dim]
@@ -297,5 +309,6 @@ class MultiHeadGatLayer(GraphLayer):
         return dx
 
     def zero_grad(self) -> None:
+        """Reset the gradients of every head."""
         for head in self.heads:
             head.zero_grad()

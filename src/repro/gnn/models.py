@@ -34,17 +34,21 @@ class GnnModel:
 
     @property
     def num_layers(self) -> int:
+        """Number of stacked graph layers."""
         return len(self.layers)
 
     @property
     def num_params(self) -> int:
+        """Total scalar parameters across layers."""
         return sum(layer.num_params for layer in self.layers)
 
     def parameters(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(param, grad)`` pairs of every layer."""
         for layer in self.layers:
             yield from layer.parameters()
 
     def zero_grad(self) -> None:
+        """Reset all layer gradients to zero."""
         for layer in self.layers:
             layer.zero_grad()
 

@@ -22,6 +22,7 @@ class Sgd:
         self._velocity: List[np.ndarray] | None = None
 
     def step(self, params: Iterable[ParamGrad]) -> None:
+        """Apply one (optionally momentum-accelerated) SGD update in place."""
         pairs = list(params)
         if self.momentum > 0 and self._velocity is None:
             self._velocity = [np.zeros_like(p) for p, _ in pairs]
@@ -56,6 +57,7 @@ class Adam:
         self._v: List[np.ndarray] | None = None
 
     def step(self, params: Iterable[ParamGrad]) -> None:
+        """Apply one bias-corrected Adam update in place."""
         pairs = list(params)
         if self._m is None:
             self._m = [np.zeros_like(p) for p, _ in pairs]

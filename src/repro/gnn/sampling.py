@@ -49,13 +49,16 @@ class MiniBatch:
 
     @property
     def num_input_vertices(self) -> int:
+        """Input vertices required by the outermost block."""
         return int(self.blocks[0].num_src)
 
     def edges_per_layer(self) -> List[int]:
+        """Edges per block, outermost layer first."""
         return [block.num_edges for block in self.blocks]
 
     @property
     def total_edges(self) -> int:
+        """Total edges across all blocks of the mini-batch."""
         return sum(self.edges_per_layer())
 
 

@@ -28,6 +28,7 @@ class GraphBuilder:
         self._max_vertex = -1
 
     def add_edge(self, u: int, v: int) -> None:
+        """Queue one edge ``u -> v``."""
         if u < 0 or v < 0:
             raise ValueError("vertex ids must be non-negative")
         self._sources.append(u)
@@ -35,6 +36,7 @@ class GraphBuilder:
         self._max_vertex = max(self._max_vertex, u, v)
 
     def add_edges(self, pairs: Iterable[Tuple[int, int]]) -> None:
+        """Queue an iterable of ``(u, v)`` pairs."""
         for u, v in pairs:
             self.add_edge(int(u), int(v))
 
@@ -50,6 +52,7 @@ class GraphBuilder:
 
     @property
     def num_pending_edges(self) -> int:
+        """Edges queued so far (scalar adds plus bulk chunks)."""
         return len(self._sources) + sum(c.shape[0] for c in self._chunks)
 
     def build(self, num_vertices: Optional[int] = None) -> Graph:

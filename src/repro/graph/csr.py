@@ -87,6 +87,7 @@ class Graph:
     # ------------------------------------------------------------------
     @property
     def num_vertices(self) -> int:
+        """Number of vertices."""
         return self._num_vertices
 
     @property
@@ -96,6 +97,7 @@ class Graph:
 
     @property
     def directed(self) -> bool:
+        """Whether edges were loaded as directed arcs."""
         return self._directed
 
     @property
@@ -156,6 +158,7 @@ class Graph:
         return np.diff(indptr)
 
     def out_degrees(self) -> np.ndarray:
+        """Out-degree of every vertex, shape ``(n,)``."""
         indptr, _ = self.out_csr()
         return np.diff(indptr)
 
@@ -176,6 +179,7 @@ class Graph:
         return self._undirected_edges
 
     def iter_edges(self) -> Iterator[Tuple[int, int]]:
+        """Yield edges one ``(u, v)`` tuple at a time."""
         for u, v in self._edges:
             yield int(u), int(v)
 

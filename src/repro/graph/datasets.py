@@ -47,6 +47,7 @@ class DatasetSpec:
     generator: Callable[[str, int], Graph]
 
     def generate(self, scale: str = "small", seed: int = 0) -> Graph:
+        """Instantiate the synthetic graph at ``scale`` with ``seed``."""
         if scale not in _SCALES:
             raise ValueError(f"unknown scale {scale!r}; pick one of {_SCALES}")
         graph = self.generator(scale, seed)

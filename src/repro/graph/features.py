@@ -28,10 +28,12 @@ class ClassificationTask:
 
     @property
     def num_classes(self) -> int:
+        """Number of distinct labels."""
         return int(self.labels.max()) + 1
 
     @property
     def feature_size(self) -> int:
+        """Feature dimensionality per vertex."""
         return int(self.features.shape[1])
 
 

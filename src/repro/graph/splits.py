@@ -26,9 +26,11 @@ class VertexSplit:
 
     @property
     def num_vertices(self) -> int:
+        """Vertices covered by train, valid and test together."""
         return len(self.train) + len(self.valid) + len(self.test)
 
     def train_mask(self, num_vertices: int) -> np.ndarray:
+        """Boolean mask over all vertices: True on the training set."""
         mask = np.zeros(num_vertices, dtype=bool)
         mask[self.train] = True
         return mask

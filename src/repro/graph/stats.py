@@ -13,6 +13,7 @@ __all__ = ["GraphStats", "graph_stats", "degree_skew", "clustering_sample"]
 
 @dataclass(frozen=True)
 class GraphStats:
+    """Structural summary statistics of one graph (paper Table 1 style)."""
     num_vertices: int
     num_edges: int
     mean_degree: float
@@ -21,6 +22,7 @@ class GraphStats:
     clustering: float
 
     def as_row(self) -> str:
+        """Fixed-width one-line rendering for tables."""
         return (
             f"|V|={self.num_vertices:>8} |E|={self.num_edges:>9} "
             f"deg={self.mean_degree:6.2f} max={self.max_degree:>6} "

@@ -1,0 +1,86 @@
+"""Unified observability layer: metric registry, spans, and event sinks.
+
+Usage::
+
+    from repro import obs
+
+    obs.enable("metrics")              # off by default
+    obs.count("distgnn.epochs")
+    with obs.span("gather", machine=3):
+        ...                            # timed into obs.span_seconds
+    print(obs.snapshot())
+
+Every metric is declared once in :mod:`repro.obs.catalog`; the registry
+(:mod:`repro.obs.registry`) validates names and label schemas against it,
+and ``docs/observability.md`` is rendered from it
+(:mod:`repro.obs.docs`), so code and documentation cannot drift. Trace
+level additionally streams structured JSONL events to a sink
+(:mod:`repro.obs.sink`).
+"""
+
+from .api import (
+    LEVELS,
+    configure,
+    count,
+    disable,
+    enable,
+    enabled,
+    event,
+    gauge,
+    get_registry,
+    get_sink,
+    level,
+    observe,
+    record_span,
+    reset,
+    save_metrics,
+    set_sink,
+    snapshot,
+    span,
+    tracing,
+)
+from .catalog import CATALOG, MetricSpec, find_spec, metric_names
+from .docs import render_metric_docs
+from .registry import Counter, Gauge, Histogram, MetricsRegistry, Timer
+from .sink import EventSink, JsonlSink, MemorySink, read_jsonl
+
+__all__ = [
+    # api
+    "LEVELS",
+    "configure",
+    "enable",
+    "disable",
+    "enabled",
+    "tracing",
+    "level",
+    "get_registry",
+    "set_sink",
+    "get_sink",
+    "reset",
+    "count",
+    "gauge",
+    "observe",
+    "event",
+    "span",
+    "record_span",
+    "snapshot",
+    "save_metrics",
+    # catalog
+    "CATALOG",
+    "MetricSpec",
+    "find_spec",
+    "metric_names",
+    # registry
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    # sink
+    "EventSink",
+    "MemorySink",
+    "JsonlSink",
+    "read_jsonl",
+    # docs
+    "render_metric_docs",
+]

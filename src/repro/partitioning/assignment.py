@@ -62,6 +62,7 @@ class EdgePartition:
 
     @property
     def num_edges(self) -> int:
+        """Number of assigned edges."""
         return int(self.edges.shape[0])
 
     def edge_counts(self) -> np.ndarray:
@@ -156,6 +157,7 @@ class VertexPartition:
         return np.bincount(self.assignment, minlength=self.num_partitions)
 
     def partition_vertices(self, partition: int) -> np.ndarray:
+        """Vertex ids assigned to ``partition``."""
         return np.flatnonzero(self.assignment == partition)
 
     def cut_mask(self) -> np.ndarray:
@@ -164,6 +166,7 @@ class VertexPartition:
         return self.assignment[edges[:, 0]] != self.assignment[edges[:, 1]]
 
     def num_cut_edges(self) -> int:
+        """Number of undirected edges whose endpoints live apart."""
         return int(self.cut_mask().sum())
 
     def local_edge_counts(self) -> np.ndarray:

@@ -19,6 +19,7 @@ from typing import Optional
 import numpy as np
 
 from ..graph import Graph
+from ..obs import api as obs
 from .assignment import EdgePartition, VertexPartition
 
 __all__ = ["Partitioner", "EdgePartitioner", "VertexPartitioner"]
@@ -55,11 +56,24 @@ class EdgePartitioner(Partitioner):
     def partition(
         self, graph: Graph, num_partitions: int, seed: int = 0
     ) -> EdgePartition:
+        """Partition the graph's edges into ``num_partitions`` buckets."""
         self._check_args(graph, num_partitions)
         edges = graph.undirected_edges()
         start = time.perf_counter()
         assignment = self._assign(graph, edges, num_partitions, seed)
         self.last_partitioning_seconds = time.perf_counter() - start
+        if obs.enabled():
+            obs.count("partitioner.runs", algorithm=self.name)
+            obs.observe(
+                "partitioner.seconds",
+                self.last_partitioning_seconds,
+                algorithm=self.name,
+            )
+            obs.count(
+                "partitioner.edges_assigned",
+                int(assignment.shape[0]),
+                algorithm=self.name,
+            )
         return EdgePartition(graph, edges, assignment, num_partitions)
 
     @abc.abstractmethod
@@ -81,10 +95,23 @@ class VertexPartitioner(Partitioner):
     def partition(
         self, graph: Graph, num_partitions: int, seed: int = 0
     ) -> VertexPartition:
+        """Partition the graph's vertices into ``num_partitions`` parts."""
         self._check_args(graph, num_partitions)
         start = time.perf_counter()
         assignment = self._assign(graph, num_partitions, seed)
         self.last_partitioning_seconds = time.perf_counter() - start
+        if obs.enabled():
+            obs.count("partitioner.runs", algorithm=self.name)
+            obs.observe(
+                "partitioner.seconds",
+                self.last_partitioning_seconds,
+                algorithm=self.name,
+            )
+            obs.count(
+                "partitioner.vertices_assigned",
+                int(assignment.shape[0]),
+                algorithm=self.name,
+            )
         return VertexPartition(graph, assignment, num_partitions)
 
     @abc.abstractmethod

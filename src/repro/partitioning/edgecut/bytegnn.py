@@ -22,6 +22,7 @@ __all__ = ["ByteGnnPartitioner"]
 
 
 class ByteGnnPartitioner(VertexPartitioner):
+    """BFS-grown blocks balanced on training vertices (ByteGNN)."""
     name = "ByteGNN"
     category = "in-memory"
 

@@ -19,6 +19,7 @@ __all__ = ["KahipPartitioner"]
 
 
 class KahipPartitioner(VertexPartitioner):
+    """Multilevel edge-cut partitioner tuned like KaHIP (strong refinement)."""
     name = "KaHIP"
     category = "in-memory"
 

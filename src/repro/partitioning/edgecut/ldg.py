@@ -20,6 +20,7 @@ __all__ = ["LdgPartitioner"]
 
 
 class LdgPartitioner(VertexPartitioner):
+    """Linear Deterministic Greedy streaming vertex placement (LDG)."""
     name = "LDG"
     category = "stateful streaming"
 

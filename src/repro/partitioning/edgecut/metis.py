@@ -18,6 +18,7 @@ __all__ = ["MetisPartitioner"]
 
 
 class MetisPartitioner(VertexPartitioner):
+    """Multilevel edge-cut partitioner in the style of METIS."""
     name = "Metis"
     category = "in-memory"
 

@@ -63,6 +63,7 @@ class WeightedGraph:
         eweights: np.ndarray,
         vweights: np.ndarray,
     ) -> "WeightedGraph":
+        """Build the CSR adjacency from a weighted edge list."""
         src = np.concatenate([edges[:, 0], edges[:, 1]])
         dst = np.concatenate([edges[:, 1], edges[:, 0]])
         wgt = np.concatenate([eweights, eweights])
@@ -74,11 +75,13 @@ class WeightedGraph:
         return cls(num_vertices, indptr, dst, wgt, vweights)
 
     def neighbors(self, vertex: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Neighbour ids and edge weights of ``vertex``."""
         lo, hi = self.indptr[vertex], self.indptr[vertex + 1]
         return self.indices[lo:hi], self.eweights[lo:hi]
 
     @property
     def total_vertex_weight(self) -> int:
+        """Sum of all vertex weights."""
         return int(self.vweights.sum())
 
 

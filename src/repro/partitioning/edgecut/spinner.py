@@ -18,6 +18,7 @@ __all__ = ["SpinnerPartitioner"]
 
 
 class SpinnerPartitioner(VertexPartitioner):
+    """Label-propagation edge-cut partitioner (Spinner)."""
     name = "Spinner"
     category = "in-memory"
 

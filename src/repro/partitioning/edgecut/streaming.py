@@ -36,8 +36,11 @@ per-vertex algorithms.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from ...obs import api as obs
 from ..chunking import DEFAULT_CHUNK, chunk_spans
 
 __all__ = ["VertexStreamState"]
@@ -126,8 +129,23 @@ class VertexStreamState:
         slot before re-placing it. Bit-identical to
         :meth:`place_reference` (equivalence-tested).
         """
+        if not obs.enabled():
+            for start, stop in chunk_spans(order.shape[0], self.chunk_size):
+                self._place_chunk(order[start:stop], vacate)
+            return
         for start, stop in chunk_spans(order.shape[0], self.chunk_size):
+            began = time.perf_counter()
             self._place_chunk(order[start:stop], vacate)
+            obs.observe(
+                "partitioner.chunk_seconds",
+                time.perf_counter() - began,
+                kernel=self.mode,
+            )
+            obs.observe(
+                "partitioner.chunk_items",
+                float(stop - start),
+                kernel=self.mode,
+            )
 
     def place_reference(
         self, order: np.ndarray, vacate: bool = False

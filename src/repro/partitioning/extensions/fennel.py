@@ -26,6 +26,7 @@ __all__ = ["FennelPartitioner"]
 
 
 class FennelPartitioner(VertexPartitioner):
+    """Fennel: streaming vertex placement with a tunable balance penalty."""
     name = "Fennel"
     category = "stateful streaming"
 

@@ -22,6 +22,7 @@ __all__ = ["NePartitioner"]
 
 
 class NePartitioner(EdgePartitioner):
+    """Neighbourhood-expansion edge partitioner (NE)."""
     name = "NE"
     category = "in-memory"
 

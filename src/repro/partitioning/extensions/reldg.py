@@ -23,6 +23,7 @@ __all__ = ["RestreamingLdgPartitioner"]
 
 
 class RestreamingLdgPartitioner(VertexPartitioner):
+    """LDG with multiple restreaming passes (reLDG)."""
     name = "reLDG"
     category = "stateful streaming"
 

@@ -40,6 +40,7 @@ class HaloStats:
 
     @property
     def num_machines(self) -> int:
+        """Number of machines the statistics cover."""
         return int(self.inner.shape[0])
 
     def halo_ratio(self) -> np.ndarray:

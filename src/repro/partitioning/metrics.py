@@ -93,11 +93,13 @@ def training_vertex_balance(
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class EdgePartitionQuality:
+    """Quality of a vertex-cut (edge) partition: RF and balances."""
     replication_factor: float
     edge_balance: float
     vertex_balance: float
 
     def as_row(self) -> str:
+        """Fixed-width one-line rendering for tables."""
         return (
             f"RF={self.replication_factor:6.2f} "
             f"EB={self.edge_balance:5.2f} VB={self.vertex_balance:5.2f}"
@@ -106,11 +108,13 @@ class EdgePartitionQuality:
 
 @dataclass(frozen=True)
 class VertexPartitionQuality:
+    """Quality of an edge-cut (vertex) partition: cut and balances."""
     edge_cut: float
     vertex_balance: float
     training_vertex_balance: float
 
     def as_row(self) -> str:
+        """Fixed-width one-line rendering for tables."""
         return (
             f"cut={self.edge_cut:6.4f} VB={self.vertex_balance:5.2f} "
             f"trainVB={self.training_vertex_balance:5.2f}"

@@ -27,6 +27,7 @@ def _splitmix64(values: np.ndarray, seed: int) -> np.ndarray:
 
 
 class DbhPartitioner(EdgePartitioner):
+    """Degree-Based Hashing: cut the higher-degree endpoint (DBH)."""
     name = "DBH"
     category = "stateless streaming"
 

@@ -19,6 +19,7 @@ __all__ = ["HdrfPartitioner"]
 
 
 class HdrfPartitioner(EdgePartitioner):
+    """High-Degree Replicated First greedy streaming edge placement (HDRF)."""
     name = "HDRF"
     category = "stateful streaming"
 

@@ -29,6 +29,7 @@ __all__ = ["HepPartitioner"]
 
 
 class HepPartitioner(EdgePartitioner):
+    """Hybrid Edge Partitioner: in-memory core plus streamed remainder (HEP)."""
     category = "hybrid"
 
     def __init__(

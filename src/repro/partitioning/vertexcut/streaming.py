@@ -30,8 +30,11 @@ the classic per-edge algorithm.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from ...obs import api as obs
 from ..chunking import DEFAULT_CHUNK, MIN_CHUNK, chunk_spans
 
 __all__ = ["HdrfState", "DEFAULT_CHUNK", "MIN_CHUNK", "chunk_spans"]
@@ -157,8 +160,21 @@ class HdrfState:
         :meth:`place_edges_reference` (equivalence-tested).
         """
         assignment = np.empty(edges.shape[0], dtype=np.int32)
+        if not obs.enabled():
+            for start, stop in chunk_spans(edges.shape[0], self.chunk_size):
+                self._place_chunk(edges[start:stop], assignment[start:stop])
+            return assignment
         for start, stop in chunk_spans(edges.shape[0], self.chunk_size):
+            began = time.perf_counter()
             self._place_chunk(edges[start:stop], assignment[start:stop])
+            obs.observe(
+                "partitioner.chunk_seconds",
+                time.perf_counter() - began,
+                kernel="hdrf",
+            )
+            obs.observe(
+                "partitioner.chunk_items", float(stop - start), kernel="hdrf"
+            )
         return assignment
 
     def place_edges_reference(self, edges: np.ndarray) -> np.ndarray:

@@ -29,6 +29,7 @@ __all__ = ["TwoPsLPartitioner"]
 
 
 class TwoPsLPartitioner(EdgePartitioner):
+    """Two-Phase Streaming (2PS-L): clustering pass then placement pass."""
     name = "2PS-L"
     category = "stateful streaming"
 

@@ -69,6 +69,42 @@ def test_faultless_record_has_no_fault_config(records):
     assert loaded_fields["recovery_seconds"] == 0.0
 
 
+def test_obs_record_roundtrip(tmp_path, tiny_or, tiny_or_split):
+    """Golden-file round-trip with fault *and* obs fields populated."""
+    from repro import obs
+
+    params = TrainingParams(feature_size=32, hidden_dim=32, num_layers=2)
+    fc = FaultConfig(crash_rate=0.2, checkpoint_every=2, seed=5)
+    obs.enable()
+    try:
+        records = [
+            run_distgnn(tiny_or, "dbh", 4, params, fault_config=fc,
+                        num_epochs=3),
+            run_distdgl(tiny_or, "metis", 4, params, split=tiny_or_split,
+                        fault_config=fc, num_epochs=2),
+        ]
+    finally:
+        obs.reset()
+        obs.disable()
+    path = tmp_path / "obs_records.json"
+    save_records(records, path)
+    loaded = load_records(path)
+    assert loaded == records
+    for record in loaded:
+        assert record.fault_config == fc
+        assert record.obs_metrics is not None
+        assert record.obs_metrics["phase_seconds"]
+        assert "bytes_sent_total" in record.obs_metrics
+
+
+def test_obs_metrics_absent_when_disabled(records):
+    import json
+
+    payload = json.loads(records_to_json(records))
+    assert payload[0]["data"]["obs_metrics"] is None
+    assert payload[1]["data"]["obs_metrics"] is None
+
+
 def test_unknown_kind_rejected(tmp_path):
     path = tmp_path / "bad.json"
     path.write_text('[{"kind": "mystery", "data": {}}]')

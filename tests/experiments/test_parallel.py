@@ -100,6 +100,59 @@ class TestFaultSweepParallel:
         assert any(r.crashes or r.degraded_steps for r in serial)
 
 
+class TestObsParallel:
+    """With telemetry enabled the runners must stay record-identical:
+    the obs level propagates into the workers and ``obs_metrics`` holds
+    only simulated quantities, never wall clock."""
+
+    def test_distgnn_obs_records_equal_serial(self, tiny_or):
+        from repro import obs
+
+        obs.enable()
+        try:
+            serial = run_distgnn_grid(
+                tiny_or, EDGE_NAMES, [2], _grid(), seed=0
+            )
+            obs.reset()
+            obs.enable()
+            parallel = run_distgnn_grid_parallel(
+                tiny_or, EDGE_NAMES, [2], _grid(), seed=0, workers=2
+            )
+        finally:
+            obs.reset()
+            obs.disable()
+        assert parallel == serial
+        assert all(r.obs_metrics is not None for r in serial)
+        assert all(r.obs_metrics["phase_seconds"] for r in serial)
+
+    def test_distdgl_obs_records_equal_serial(self, tiny_or):
+        from repro import obs
+
+        split = random_split(tiny_or, seed=0)
+        obs.enable()
+        try:
+            serial = run_distdgl_grid(
+                tiny_or, VERTEX_NAMES, [2], _grid(), split=split, seed=0
+            )
+            obs.reset()
+            obs.enable()
+            parallel = run_distdgl_grid_parallel(
+                tiny_or, VERTEX_NAMES, [2], _grid(), split=split,
+                seed=0, workers=2,
+            )
+        finally:
+            obs.reset()
+            obs.disable()
+        assert parallel == serial
+        assert all(r.obs_metrics is not None for r in serial)
+
+    def test_disabled_obs_leaves_records_unmarked(self, tiny_or):
+        records = run_distgnn_grid_parallel(
+            tiny_or, EDGE_NAMES, [2], _grid(), seed=0, workers=2
+        )
+        assert all(r.obs_metrics is None for r in records)
+
+
 def test_record_order_is_serial_order(tiny_or):
     """Records come back in machines x partitioners x params order even
     when cells finish out of order."""

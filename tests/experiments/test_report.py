@@ -1,6 +1,11 @@
 """Tests for report formatting."""
 
-from repro.experiments import format_series, format_table
+from repro.experiments import (
+    format_series,
+    format_table,
+    print_series,
+    print_table,
+)
 
 
 def test_table_alignment():
@@ -24,3 +29,27 @@ def test_series_format():
     assert "KaHIP" in line
     assert "4=1.5x" in line
     assert "8=2x" in line
+
+
+def test_table_mixed_cell_types():
+    text = format_table(
+        ["name", "count", "mean"], [["hdrf", 12, 0.5], ["dbh", 3, 1.25]]
+    )
+    assert "hdrf" in text
+    assert "12" in text
+    assert "1.25" in text
+
+
+def test_print_table_writes_stdout(capsys):
+    print_table(["a"], [["x"]], title="Title")
+    out = capsys.readouterr().out
+    assert "Title" in out
+    assert "x" in out
+
+
+def test_print_series_writes_stdout(capsys):
+    print_series("Speedups", {"LDG": [3.0]}, xs=[2])
+    out = capsys.readouterr().out
+    assert "Speedups" in out
+    assert "LDG" in out
+    assert "2=3" in out

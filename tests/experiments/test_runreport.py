@@ -1,0 +1,106 @@
+"""Tests for the consolidated run-report builder."""
+
+import json
+
+import pytest
+
+from repro.experiments import (
+    FaultConfig,
+    TrainingParams,
+    build_run_report,
+    run_distdgl,
+    run_distgnn,
+)
+
+
+@pytest.fixture
+def params():
+    return TrainingParams(feature_size=32, hidden_dim=32, num_layers=2)
+
+
+@pytest.fixture
+def mixed_records(tiny_or, tiny_or_split, params):
+    return [
+        run_distgnn(tiny_or, "random", 4, params),
+        run_distgnn(tiny_or, "hdrf", 4, params),
+        run_distdgl(tiny_or, "random", 4, params, split=tiny_or_split),
+        run_distdgl(tiny_or, "ldg", 4, params, split=tiny_or_split),
+    ]
+
+
+def test_empty_records_rejected():
+    with pytest.raises(ValueError):
+        build_run_report([])
+
+
+def test_report_dict_shape(mixed_records):
+    markdown, report = build_run_report(mixed_records)
+    assert report["num_records"] == 4
+    assert report["graphs"] == ["OR"]
+    assert report["machine_counts"] == [4]
+    assert set(report["engines"]) == {"distgnn", "distdgl"}
+    assert report["engines"]["distgnn"]["num_records"] == 2
+    assert report["engines"]["distgnn"]["mean_epoch_seconds"] > 0
+    # one non-random partitioner per engine -> two speedup rows
+    assert len(report["speedups"]) == 2
+    assert report["faults"] is None
+    assert report["obs"] is None
+
+
+def test_markdown_sections(mixed_records):
+    markdown, _ = build_run_report(mixed_records)
+    assert markdown.startswith("# Run report")
+    assert "## Engines" in markdown
+    assert "## Speedup over Random" in markdown
+    assert "hdrf" in markdown
+    # no fault/obs data -> those sections are absent / hinted
+    assert "## Faults and recovery" not in markdown
+    assert "--obs-level metrics" in markdown
+
+
+def test_report_is_json_serializable(mixed_records):
+    _, report = build_run_report(mixed_records)
+    parsed = json.loads(json.dumps(report))
+    assert parsed["num_records"] == 4
+
+
+def test_fault_section(tiny_or, params):
+    fc = FaultConfig(crash_rate=0.3, checkpoint_every=2, seed=3)
+    records = [
+        run_distgnn(tiny_or, "random", 4, params, fault_config=fc,
+                    num_epochs=4),
+        run_distgnn(tiny_or, "hdrf", 4, params, fault_config=fc,
+                    num_epochs=4),
+    ]
+    markdown, report = build_run_report(records)
+    faults = report["faults"]
+    assert faults["num_fault_records"] == 2
+    assert faults["crashes"] + faults["slowdowns"] >= 0
+    assert 0.0 <= faults["mean_recovery_fraction"] <= 1.0
+    assert "## Faults and recovery" in markdown
+
+
+def test_obs_section(tiny_or, params):
+    from repro import obs
+
+    obs.enable()
+    try:
+        records = [
+            run_distgnn(tiny_or, "random", 4, params),
+            run_distgnn(tiny_or, "hdrf", 4, params),
+        ]
+    finally:
+        obs.reset()
+        obs.disable()
+    markdown, report = build_run_report(records)
+    telemetry = report["obs"]
+    assert telemetry["num_observed_records"] == 2
+    assert telemetry["bytes_sent_total"] > 0
+    assert telemetry["phase_seconds"]
+    assert "## Telemetry" in markdown
+    # obs summaries aggregate across records: phase totals sum both runs
+    total = sum(telemetry["phase_seconds"].values())
+    per_record = sum(
+        sum(r.obs_metrics["phase_seconds"].values()) for r in records
+    )
+    assert total == pytest.approx(per_record)

@@ -72,6 +72,8 @@ def test_distributed_inference(capsys):
         "minibatch_sampling_study.py",
         "partitioner_selection.py",
         "distributed_inference.py",
+        "delayed_aggregation.py",
+        "observability_tour.py",
     ],
 )
 def test_example_exists_and_documented(name):
@@ -87,3 +89,16 @@ def test_delayed_aggregation(capsys):
     out = run_example("delayed_aggregation.py", capsys=capsys)
     assert "traffic saved" in out
     assert "r=2" in out
+
+
+def test_observability_tour(capsys):
+    from repro import obs
+
+    out = run_example("observability_tour.py", capsys=capsys)
+    assert "no instruments created" in out
+    assert "series collected" in out
+    assert "span-begin=1" in out
+    assert "# Run report" in out
+    # the tour must leave the global obs state clean
+    assert not obs.enabled()
+    assert len(obs.get_registry()) == 0

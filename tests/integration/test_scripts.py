@@ -48,3 +48,113 @@ def test_sweep_records_reloadable(tmp_path):
     )
     records = load_records(tmp_path / "sweep_distgnn.json")
     assert all(r.epoch_seconds > 0 for r in records)
+
+
+def test_sweep_with_telemetry(tmp_path):
+    from repro.experiments import load_records
+    from repro.obs import read_jsonl
+
+    sweep = load_script("run_full_sweep.py")
+    obs_path = tmp_path / "telemetry.jsonl"
+    code = sweep.main(
+        [
+            "--quick", "--graphs", "OR", "--machines", "4",
+            "--scale", "tiny", "--out", str(tmp_path),
+            "--obs-level", "metrics", "--obs-out", str(obs_path),
+        ]
+    )
+    assert code == 0
+    records = load_records(tmp_path / "sweep_distgnn.json")
+    assert all(r.obs_metrics is not None for r in records)
+    events = read_jsonl(str(obs_path))
+    final = events[-1]
+    assert final["kind"] == "metrics-snapshot"
+    assert any(m["name"] == "experiments.runs" for m in final["metrics"])
+
+
+def test_build_run_report(tmp_path, capsys):
+    import json
+
+    sweep = load_script("run_full_sweep.py")
+    sweep.main(
+        [
+            "--quick", "--graphs", "OR", "--machines", "4",
+            "--scale", "tiny", "--out", str(tmp_path),
+            "--obs-level", "metrics",
+        ]
+    )
+    report_script = load_script("build_run_report.py")
+    code = report_script.main(
+        [
+            str(tmp_path / "sweep_distgnn.json"),
+            str(tmp_path / "sweep_distdgl.json"),
+            "--out", str(tmp_path / "reports"),
+        ]
+    )
+    assert code == 0
+    markdown = (tmp_path / "reports" / "run_report.md").read_text()
+    assert "# Run report" in markdown
+    assert "## Speedup over Random" in markdown
+    assert "## Telemetry" in markdown
+    payload = json.loads(
+        (tmp_path / "reports" / "run_report.json").read_text()
+    )
+    assert payload["engines"]["distgnn"]["num_records"] > 0
+
+
+def test_build_run_report_rejects_empty(tmp_path, capsys):
+    empty = tmp_path / "empty.json"
+    empty.write_text("[]")
+    report_script = load_script("build_run_report.py")
+    assert report_script.main([str(empty)]) == 1
+
+
+def test_gen_metric_docs(tmp_path):
+    gen = load_script("gen_metric_docs.py")
+    out = tmp_path / "observability.md"
+    assert gen.main(["--out", str(out)]) == 0
+    assert gen.main(["--out", str(out), "--check"]) == 0
+    out.write_text(out.read_text() + "\ndrifted\n")
+    assert gen.main(["--out", str(out), "--check"]) == 1
+    assert gen.main(["--out", str(tmp_path / "gone.md"), "--check"]) == 1
+
+
+def test_committed_metric_docs_in_sync():
+    """CI gate mirrored as a tier-1 test: the repo file must match."""
+    gen = load_script("gen_metric_docs.py")
+    assert gen.main(["--check"]) == 0
+
+
+def test_check_docstrings_clean_tree(capsys):
+    lint = load_script("check_docstrings.py")
+    assert lint.main([]) == 0
+    assert "documented" in capsys.readouterr().out
+
+
+def test_check_docstrings_finds_gaps(tmp_path):
+    lint = load_script("check_docstrings.py")
+    package = tmp_path / "pkg"
+    package.mkdir()
+    (package / "mod.py").write_text(
+        '"""Module docs."""\n\n\n'
+        "def documented():\n"
+        '    """Has one."""\n\n\n'
+        "def naked():\n"
+        "    pass\n\n\n"
+        "class AlsoNaked:\n"
+        "    def method(self):\n"
+        "        pass\n"
+    )
+    assert lint.main([str(package)]) == 1
+
+
+def test_check_docstrings_ignores_private(tmp_path):
+    lint = load_script("check_docstrings.py")
+    package = tmp_path / "pkg"
+    package.mkdir()
+    (package / "mod.py").write_text(
+        '"""Module docs."""\n\n\n'
+        "def _private():\n"
+        "    pass\n"
+    )
+    assert lint.main([str(package)]) == 0

@@ -1,0 +1,15 @@
+"""Fixtures for observability tests: isolate global obs state."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Every test starts and ends with observability off and empty."""
+    obs.reset()
+    obs.disable()
+    yield
+    obs.reset()
+    obs.disable()

@@ -1,0 +1,31 @@
+"""docs/observability.md must match the catalog it is rendered from."""
+
+import os
+
+from repro.obs import metric_names, render_metric_docs
+
+DOCS_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir,
+    "docs", "observability.md",
+)
+
+
+def test_rendered_docs_match_committed_file():
+    with open(DOCS_PATH, encoding="utf-8") as handle:
+        committed = handle.read()
+    assert committed == render_metric_docs(), (
+        "docs/observability.md is stale; regenerate with "
+        "`PYTHONPATH=src python scripts/gen_metric_docs.py`"
+    )
+
+
+def test_rendered_docs_cover_every_metric():
+    rendered = render_metric_docs()
+    for name in metric_names():
+        assert f"`{name}`" in rendered, name
+
+
+def test_rendered_docs_carry_generation_warning():
+    rendered = render_metric_docs()
+    assert "Generated file" in rendered
+    assert "gen_metric_docs.py" in rendered

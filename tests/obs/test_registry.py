@@ -1,0 +1,114 @@
+"""The metrics registry enforces the declarative catalog."""
+
+import pytest
+
+from repro.obs import (
+    CATALOG,
+    MetricsRegistry,
+    MetricSpec,
+    find_spec,
+    metric_names,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCatalog:
+    def test_every_spec_well_formed(self):
+        for spec in CATALOG:
+            assert spec.name
+            assert spec.kind in ("counter", "gauge", "histogram", "timer")
+            assert spec.unit
+            assert spec.help
+
+    def test_names_unique_and_namespaced(self):
+        names = metric_names()
+        assert len(names) == len(set(names))
+        assert all("." in name for name in names)
+
+    def test_find_spec_unknown_name(self):
+        with pytest.raises(KeyError, match="not declared"):
+            find_spec("nope.not_a_metric")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            MetricSpec(name="x.y", kind="elephant", unit="1", help="h")
+        with pytest.raises(ValueError):
+            MetricSpec(name="x.y", kind="counter", unit="1", help="h",
+                       buckets=(1.0, 2.0))  # buckets on a counter
+
+
+class TestAccess:
+    def test_counter_accumulates(self, registry):
+        registry.counter("distgnn.epochs").add()
+        registry.counter("distgnn.epochs").add(2.0)
+        assert registry.counter("distgnn.epochs").value == 3.0
+
+    def test_counter_rejects_negative(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("distgnn.epochs").add(-1)
+
+    def test_gauge_tracks_max(self, registry):
+        gauge = registry.gauge("cluster.memory_peak_bytes", machine=0)
+        gauge.set(10.0)
+        gauge.set(4.0)
+        assert gauge.value == 4.0
+        assert gauge.max_value == 10.0
+
+    def test_labels_partition_instruments(self, registry):
+        registry.counter("cluster.bytes_sent", machine=0).add(5.0)
+        registry.counter("cluster.bytes_sent", machine=1).add(7.0)
+        assert registry.counter("cluster.bytes_sent", machine=0).value == 5.0
+        assert len(registry) == 2
+
+    def test_undeclared_name_rejected(self, registry):
+        with pytest.raises(KeyError):
+            registry.counter("made.up")
+
+    def test_label_mismatch_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("cluster.bytes_sent")  # missing machine=
+        with pytest.raises(ValueError):
+            registry.counter("distgnn.epochs", machine=3)  # extra label
+
+    def test_kind_mismatch_rejected(self, registry):
+        with pytest.raises(TypeError):
+            registry.gauge("distgnn.epochs")  # declared as a counter
+
+    def test_observe_dispatches_on_kind(self, registry):
+        registry.observe("distgnn.epoch_seconds", 0.5)
+        registry.observe("obs.span_seconds", 0.1, span="s")
+        assert len(registry) == 2
+        with pytest.raises(TypeError):
+            registry.observe("distgnn.epochs", 1.0)  # counter
+
+
+class TestHistogram:
+    def test_summary_and_buckets(self, registry):
+        hist = registry.histogram("partitioner.chunk_items", kernel="hdrf")
+        for value in (100.0, 50000.0, 1e9):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == pytest.approx(100.0 + 50000.0 + 1e9)
+        assert hist.min == 100.0
+        assert hist.max == 1e9
+        # last bucket is the +inf overflow and must catch the 1e9
+        assert hist.bucket_counts[-1] >= 1
+
+    def test_snapshot_shape(self, registry):
+        registry.counter("distgnn.epochs").add()
+        registry.observe("distgnn.epoch_seconds", 0.25)
+        entries = registry.snapshot()
+        assert [e["name"] for e in entries] == [
+            "distgnn.epoch_seconds", "distgnn.epochs"
+        ]
+        for entry in entries:
+            assert {"name", "kind", "unit", "labels"} <= set(entry)
+
+    def test_clear(self, registry):
+        registry.counter("distgnn.epochs").add()
+        registry.clear()
+        assert len(registry) == 0

@@ -1,0 +1,56 @@
+"""Event sinks: sequencing, JSONL persistence, close semantics."""
+
+from repro.obs import JsonlSink, MemorySink, read_jsonl
+
+
+def test_memory_sink_stamps_monotonic_seq():
+    sink = MemorySink()
+    sink.emit({"kind": "a", "name": "one"})
+    sink.emit({"kind": "b", "name": "two"})
+    assert [e["seq"] for e in sink.events] == [0, 1]
+
+
+def test_emit_does_not_mutate_caller_dict():
+    sink = MemorySink()
+    original = {"kind": "a", "name": "one"}
+    sink.emit(original)
+    assert "seq" not in original
+
+
+def test_jsonl_roundtrip(tmp_path):
+    path = str(tmp_path / "events.jsonl")
+    sink = JsonlSink(path)
+    sink.emit({"kind": "phase", "name": "forward", "seconds": 0.5})
+    sink.emit({"kind": "mark", "name": "fault"})
+    sink.close()
+    events = read_jsonl(path)
+    assert len(events) == 2
+    assert events[0]["name"] == "forward"
+    assert events[0]["seconds"] == 0.5
+    assert [e["seq"] for e in events] == [0, 1]
+
+
+def test_jsonl_lazy_open(tmp_path):
+    path = tmp_path / "never.jsonl"
+    JsonlSink(str(path))
+    assert not path.exists()  # no events, no file
+
+
+def test_jsonl_drops_after_close(tmp_path):
+    path = str(tmp_path / "closed.jsonl")
+    sink = JsonlSink(path)
+    sink.emit({"kind": "a", "name": "kept"})
+    sink.close()
+    sink.emit({"kind": "a", "name": "dropped"})  # silent, no raise
+    assert len(read_jsonl(path)) == 1
+
+
+def test_jsonl_appends(tmp_path):
+    path = str(tmp_path / "append.jsonl")
+    first = JsonlSink(path)
+    first.emit({"kind": "a", "name": "one"})
+    first.close()
+    second = JsonlSink(path)
+    second.emit({"kind": "a", "name": "two"})
+    second.close()
+    assert [e["name"] for e in read_jsonl(path)] == ["one", "two"]

@@ -16,6 +16,7 @@ PUBLIC_MODULES = [
     "repro.distgnn",
     "repro.distdgl",
     "repro.experiments",
+    "repro.obs",
 ]
 
 
