@@ -4,16 +4,25 @@ Times every registered partitioner (plus the streaming extensions) on
 the standard small-scale synthetic graphs at ``k=32``, the HDRF
 vectorised kernel against its retained scalar reference on the largest
 graph (verifying bit-identical assignments), and the neighbourhood
-sampling kernel. Results are written to ``BENCH_partitioning.json`` at
-the repo root; the committed copy is the perf baseline that
-``scripts/check_perf.py`` gates future changes against.
+sampling kernel.
+
+``BENCH_partitioning.json`` at the repo root is a *history series*
+(schema 2): a retained ``baseline`` report plus a ``history`` list to
+which every run appends a timestamped entry, so the perf trajectory is
+tracked over time rather than overwritten. ``scripts/check_perf.py``
+gates against the latest history entry (falling back to the baseline).
+A legacy schema-1 flat report is migrated in place: it becomes the
+baseline and the fresh run starts the history.
 
 Usage::
 
     python scripts/bench_perf.py [--out FILE] [--repeats N] [--quick]
+        [--set-baseline] [--keep N]
 
 ``--quick`` runs a single repeat per kernel (used by the perf gate);
 the committed baseline should be produced with the default repeats.
+``--set-baseline`` promotes this run to the retained baseline; ``--keep``
+bounds the history length (oldest entries are dropped).
 """
 
 from __future__ import annotations
@@ -160,6 +169,48 @@ def run_bench(repeats: int) -> dict:
     return report
 
 
+def load_series(path: str) -> dict:
+    """Load the benchmark history series at ``path`` (schema 2).
+
+    A missing file yields an empty series; a legacy schema-1 flat
+    report is wrapped as the retained baseline with an empty history.
+    """
+    if not os.path.exists(path):
+        return {"schema": 2, "baseline": None, "history": []}
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") == 2 and "history" in doc:
+        return doc
+    return {"schema": 2, "baseline": doc, "history": []}
+
+
+def latest_report(series: dict) -> dict:
+    """The most recent run in a series (legacy flat reports pass
+    through unchanged) — what the perf gate compares against."""
+    if series.get("schema") == 2 and "history" in series:
+        if series["history"]:
+            return series["history"][-1]
+        return series["baseline"] or {}
+    return series
+
+
+def append_run(
+    series: dict,
+    report: dict,
+    timestamp: str,
+    set_baseline: bool = False,
+    keep: int = 50,
+) -> dict:
+    """Append ``report`` to the history (and maybe the baseline)."""
+    entry = dict(report)
+    entry["timestamp"] = timestamp
+    series["history"] = (series.get("history") or [])[-(keep - 1):]
+    series["history"].append(entry)
+    if set_baseline or series.get("baseline") is None:
+        series["baseline"] = report
+    return series
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -173,16 +224,35 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quick", action="store_true", help="single repeat per kernel"
     )
+    parser.add_argument(
+        "--set-baseline", action="store_true",
+        help="promote this run to the retained baseline",
+    )
+    parser.add_argument(
+        "--keep", type=int, default=50,
+        help="history entries to retain (oldest dropped first)",
+    )
     args = parser.parse_args(argv)
     repeats = 1 if args.quick else args.repeats
 
     report = run_bench(repeats)
+    timestamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    series = append_run(
+        load_series(args.out),
+        report,
+        timestamp,
+        set_baseline=args.set_baseline,
+        keep=args.keep,
+    )
     with open(args.out, "w") as fh:
-        json.dump(report, fh, indent=2, sort_keys=True)
+        json.dump(series, fh, indent=2, sort_keys=True)
         fh.write("\n")
 
     hdrf = report["hdrf_vs_reference"]
-    print(f"wrote {args.out}")
+    print(
+        f"wrote {args.out} ({len(series['history'])} history "
+        f"entries, latest {timestamp})"
+    )
     print(
         f"HDRF on {hdrf['graph']} (k={hdrf['k']}): "
         f"{hdrf['reference_seconds']:.3f}s -> "

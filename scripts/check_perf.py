@@ -1,10 +1,12 @@
 """Perf regression gate.
 
 Runs a fresh (quick) ``bench_perf`` pass and compares every kernel
-timing against the committed baseline ``BENCH_partitioning.json``.
-Fails (exit code 1) when any kernel is more than ``--threshold`` times
-slower than the baseline — the default 2x tolerates machine-to-machine
-variance while catching real regressions.
+timing against the *latest entry* of the committed
+``BENCH_partitioning.json`` history series (falling back to the
+retained ``baseline`` report when the history is empty; legacy flat
+schema-1 files still work). Fails (exit code 1) when any kernel is
+more than ``--threshold`` times slower — the default 2x tolerates
+machine-to-machine variance while catching real regressions.
 
 Opt-in from pytest via the ``perf`` marker::
 
@@ -18,14 +20,13 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from bench_perf import run_bench  # noqa: E402
+from bench_perf import latest_report, load_series, run_bench  # noqa: E402
 
 
 #: Kernels faster than this are dominated by call overhead and timer
@@ -82,8 +83,10 @@ def main(argv=None) -> int:
     if not os.path.exists(args.baseline):
         print(f"no baseline at {args.baseline}; run scripts/bench_perf.py")
         return 1
-    with open(args.baseline) as fh:
-        baseline = json.load(fh)
+    baseline = latest_report(load_series(args.baseline))
+    if not baseline:
+        print(f"{args.baseline}: empty history series; nothing to gate on")
+        return 1
 
     fresh = run_bench(repeats=1)
     regressions = compare(baseline, fresh, args.threshold)

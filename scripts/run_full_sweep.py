@@ -93,6 +93,13 @@ def parse_args(argv):
     parser.add_argument("--obs-out", default=None,
                         help="JSONL telemetry output (trace events plus a "
                              "final metrics-snapshot record)")
+    parser.add_argument("--analysis-out", default=None,
+                        help="write an analysis report JSON for the sweep "
+                             "(see docs/analysis.md); built from the "
+                             "records only, so serial and parallel sweeps "
+                             "produce identical reports")
+    parser.add_argument("--analysis-dashboard", default=None,
+                        help="also write the self-contained HTML dashboard")
     return parser.parse_args(argv)
 
 
@@ -181,6 +188,25 @@ def main(argv=None) -> int:
             print(f"wrote {args.obs_out} (telemetry)")
         obs.reset()
         obs.disable()
+
+    if args.analysis_out or args.analysis_dashboard:
+        from repro.obs import analysis
+
+        run = analysis.RunData(
+            label="sweep",
+            records=list(distgnn_records) + list(distdgl_records),
+        )
+        report = analysis.build_analysis_report(run)
+        report_dict = report.to_dict()
+        if args.analysis_out:
+            report.save(args.analysis_out)
+            print(f"wrote {args.analysis_out} (analysis report)")
+        if args.analysis_dashboard:
+            with open(
+                args.analysis_dashboard, "w", encoding="utf-8"
+            ) as handle:
+                handle.write(analysis.render_dashboard(report_dict))
+            print(f"wrote {args.analysis_dashboard} (dashboard)")
 
     # Quick headline: mean speedups at the largest machine count.
     top_k = max(machines)

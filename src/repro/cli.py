@@ -7,6 +7,9 @@ Subcommands::
     python -m repro distgnn    --graph OR --partitioner hep100 -k 8
     python -m repro distdgl    --graph OR --partitioner metis -k 8
     python -m repro amortize   --graph OR -k 16 --epochs 100
+    python -m repro obs analyze   RUN_ARTIFACT...   # diagnose a run
+    python -m repro obs diff      A B               # regression diff
+    python -m repro obs dashboard RUN... -o out.html
 
 All numbers are simulated cluster seconds under the default cost model;
 see ``repro.costmodel`` for calibration details.
@@ -398,6 +401,138 @@ def _cmd_recommend(args) -> int:
     return 0
 
 
+def _split_run_paths(values: List[str]) -> List[str]:
+    """Expand comma-separated path lists from the command line."""
+    paths: List[str] = []
+    for value in values:
+        paths.extend(p for p in value.split(",") if p)
+    return paths
+
+
+def _cmd_obs_analyze(args) -> int:
+    from .obs import analysis
+
+    run = analysis.load_run_inputs(
+        _split_run_paths(args.inputs), label=args.label or ""
+    )
+    report = analysis.build_analysis_report(run)
+    report_dict = report.to_dict()
+    print(analysis.render_report_text(report_dict), end="")
+    if args.out:
+        report.save(args.out)
+        print(f"report written to {args.out}")
+    if args.dashboard:
+        html = analysis.render_dashboard(report_dict, title=args.title)
+        with open(args.dashboard, "w", encoding="utf-8") as handle:
+            handle.write(html)
+        print(f"dashboard written to {args.dashboard}")
+    if args.strict and report.worst_severity() == "critical":
+        return 1
+    return 0
+
+
+def _cmd_obs_diff(args) -> int:
+    from .obs import analysis
+
+    run_a = analysis.load_run_inputs(_split_run_paths([args.run_a]))
+    run_b = analysis.load_run_inputs(_split_run_paths([args.run_b]))
+    diff = analysis.diff_runs(run_a, run_b)
+    diff_dict = diff.to_dict()
+    print(analysis.render_diff_text(diff_dict), end="")
+    if args.out:
+        import json as _json
+
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(
+                _json.dumps(diff_dict, indent=2, sort_keys=True) + "\n"
+            )
+        print(f"diff written to {args.out}")
+    return 0 if diff.clean else 1
+
+
+def _cmd_obs_dashboard(args) -> int:
+    from .obs import analysis
+
+    run = analysis.load_run_inputs(
+        _split_run_paths(args.inputs), label=args.label or ""
+    )
+    report = analysis.build_analysis_report(run)
+    html = analysis.render_dashboard(report.to_dict(), title=args.title)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(html)
+    print(f"dashboard written to {args.out}")
+    return 0
+
+
+_OBS_COMMANDS = {
+    "analyze": _cmd_obs_analyze,
+    "diff": _cmd_obs_diff,
+    "dashboard": _cmd_obs_dashboard,
+}
+
+
+def _cmd_obs(args) -> int:
+    return _OBS_COMMANDS[args.obs_command](args)
+
+
+def _add_obs_subcommands(sub) -> None:
+    """Attach the ``repro obs analyze|diff|dashboard`` command group."""
+    obs_parser = sub.add_parser(
+        "obs",
+        help="analyze run telemetry: diagnose, diff, build a dashboard",
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+
+    analyze = obs_sub.add_parser(
+        "analyze",
+        help="critical-path attribution + anomaly findings for one run",
+    )
+    analyze.add_argument(
+        "inputs", nargs="+",
+        help="run artifacts: record JSON, metrics snapshot JSON, and/or "
+             "JSONL traces (comma-separated lists accepted)",
+    )
+    analyze.add_argument(
+        "-o", "--out", default=None,
+        help="write the analysis report JSON here",
+    )
+    analyze.add_argument(
+        "--dashboard", default=None,
+        help="also write the self-contained HTML dashboard here",
+    )
+    analyze.add_argument("--label", default=None,
+                         help="override the run label")
+    analyze.add_argument("--title", default="Telemetry analysis")
+    analyze.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero when any critical finding is raised",
+    )
+
+    diff = obs_sub.add_parser(
+        "diff",
+        help="regression-diff two runs' artifacts (exit 1 when not clean)",
+    )
+    diff.add_argument(
+        "run_a", help="baseline run artifact(s), comma-separated"
+    )
+    diff.add_argument(
+        "run_b", help="candidate run artifact(s), comma-separated"
+    )
+    diff.add_argument(
+        "-o", "--out", default=None, help="write the diff JSON here"
+    )
+
+    dashboard = obs_sub.add_parser(
+        "dashboard", help="build the single-file HTML dashboard"
+    )
+    dashboard.add_argument("inputs", nargs="+",
+                           help="run artifacts (as for analyze)")
+    dashboard.add_argument("-o", "--out", required=True,
+                           help="output HTML path")
+    dashboard.add_argument("--label", default=None)
+    dashboard.add_argument("--title", default="Telemetry analysis")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level ``repro`` argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -454,6 +589,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_arguments(recommend)
     recommend.add_argument("--epochs", type=int, default=100)
 
+    _add_obs_subcommands(sub)
+
     return parser
 
 
@@ -464,6 +601,7 @@ _COMMANDS = {
     "distdgl": _cmd_distdgl,
     "amortize": _cmd_amortize,
     "recommend": _cmd_recommend,
+    "obs": _cmd_obs,
 }
 
 

@@ -90,6 +90,17 @@ def timeline_to_chrome_trace(timeline: Timeline) -> str:
                 "args": {"name": f"machine-{machine}"},
             }
         )
+        # Viewers sort threads lexically by name without this, putting
+        # machine-10 before machine-2; pin the numeric order explicitly.
+        metadata.append(
+            {
+                "name": "thread_sort_index",
+                "ph": "M",
+                "pid": 0,
+                "tid": machine,
+                "args": {"sort_index": machine},
+            }
+        )
     return json.dumps({"traceEvents": metadata + events}, indent=1)
 
 

@@ -90,6 +90,28 @@ def _obs_summary(records: List) -> Optional[Dict[str, object]]:
     }
 
 
+def _analysis_summary(records: List) -> Dict[str, object]:
+    """Diagnosis section: per-partitioner phase mix plus findings.
+
+    Delegates to :mod:`repro.obs.analysis` (imported lazily —
+    ``experiments.__init__`` loads this module, and the analysis package
+    imports experiment loaders, so a top-level import would cycle).
+    """
+    from ..obs.analysis import (
+        build_analysis_report,
+        per_partitioner_breakdown,
+    )
+    from ..obs.analysis.load import RunData
+
+    report = build_analysis_report(RunData(label="report", records=records))
+    return {
+        "per_partitioner": per_partitioner_breakdown(records),
+        "findings": [f.to_dict() for f in report.findings],
+        "by_severity": report.severity_counts(),
+        "dominant_phase": report.summary.get("dominant_phase"),
+    }
+
+
 def _speedup_rows(records: List) -> List[Tuple[str, str, int, float]]:
     rows = []
     for (graph, partitioner, k), summary in sorted(
@@ -191,6 +213,32 @@ def _render_markdown(report: Dict[str, object]) -> str:
         )
         lines.append("")
 
+    analysis = report["analysis"]
+    lines.append("## Analysis (see docs/analysis.md)")
+    lines.append("")
+    if analysis["dominant_phase"]:
+        lines.append(f"- dominant phase: `{analysis['dominant_phase']}`")
+    findings = analysis["findings"]
+    if findings:
+        by_severity = analysis["by_severity"]
+        lines.append(
+            f"- findings: {len(findings)} "
+            f"({by_severity.get('critical', 0)} critical, "
+            f"{by_severity.get('warning', 0)} warning, "
+            f"{by_severity.get('info', 0)} info)"
+        )
+        lines.append("")
+        lines.append("| Severity | Kind | Message |")
+        lines.append("|---|---|---|")
+        for finding in findings:
+            lines.append(
+                f"| {finding['severity']} | {finding['kind']} "
+                f"| {finding['message']} |"
+            )
+    else:
+        lines.append("- findings: none — nothing anomalous detected")
+    lines.append("")
+
     return "\n".join(lines)
 
 
@@ -223,5 +271,6 @@ def build_run_report(records: Sequence) -> Tuple[str, Dict[str, object]]:
         ],
         "faults": _fault_summary(records),
         "obs": _obs_summary(records),
+        "analysis": _analysis_summary(records),
     }
     return _render_markdown(report), report

@@ -1,0 +1,502 @@
+"""Self-contained single-file HTML dashboard for analysis reports.
+
+:func:`render_dashboard` turns an :class:`~.findings.AnalysisReport`
+dict into one HTML file with inline CSS/JS and the report JSON embedded
+in a ``<script type="application/json">`` block — no network requests,
+no external assets, openable from disk. The output is deterministic:
+identical reports render byte-identical HTML.
+
+Views: stat tiles (headline numbers), phase-stacked epoch-time bars per
+partitioner (the paper's Figs. 19/21/22 shape), a per-machine heatmap
+(busy time, traffic, memory — the straggler/balance view), the findings
+list, and a plain-table fallback of every chart's data.
+
+The palette follows the repo's chart conventions: a fixed-order
+categorical palette for phase identity (9th phase onward folds into
+"other"), a single-hue sequential ramp for heatmap magnitude, reserved
+status colors (with icon + text label, never color alone) for finding
+severities, and light/dark variants selected via CSS custom properties.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+__all__ = ["render_dashboard"]
+
+#: Fixed categorical slot order (light, dark) — assigned to phases by
+#: first appearance, never cycled; overflow folds into "other".
+_CATEGORICAL = [
+    ("#2a78d6", "#3987e5"),  # blue
+    ("#eb6834", "#d95926"),  # orange
+    ("#1baf7a", "#199e70"),  # aqua
+    ("#eda100", "#c98500"),  # yellow
+    ("#e87ba4", "#d55181"),  # magenta
+    ("#008300", "#008300"),  # green
+    ("#4a3aa7", "#9085e9"),  # violet
+    ("#e34948", "#e66767"),  # red
+]
+
+#: Single-hue sequential ramp (blue), light -> dark, for heatmap cells.
+_SEQUENTIAL = [
+    "#cde2fb", "#9ec5f4", "#6da7ec", "#3987e5",
+    "#256abf", "#184f95", "#0d366b",
+]
+
+_CSS = """
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted: #898781;
+  --grid: #e1e0d9;
+  --baseline: #c3c2b7;
+  --border: rgba(11, 11, 11, 0.10);
+  --status-critical: #d03b3b;
+  --status-warning: #fab219;
+  --status-good: #0ca30c;
+}
+:root[data-theme="dark"] {
+  color-scheme: dark;
+  --surface-1: #1a1a19;
+  --page: #0d0d0d;
+  --text-primary: #ffffff;
+  --text-secondary: #c3c2b7;
+  --text-muted: #898781;
+  --grid: #2c2c2a;
+  --baseline: #383835;
+  --border: rgba(255, 255, 255, 0.10);
+}
+@media (prefers-color-scheme: dark) {
+  :root:not([data-theme="light"]) {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted: #898781;
+    --grid: #2c2c2a;
+    --baseline: #383835;
+    --border: rgba(255, 255, 255, 0.10);
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px;
+  background: var(--page); color: var(--text-primary);
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  font-size: 14px; line-height: 1.45;
+}
+main { max-width: 1080px; margin: 0 auto; }
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 0 0 12px; }
+.subtitle { color: var(--text-secondary); margin: 0 0 20px; }
+.card {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 10px; padding: 16px 18px; margin: 0 0 18px;
+}
+.tiles { display: flex; flex-wrap: wrap; gap: 18px; }
+.tile { min-width: 150px; flex: 1; }
+.tile .label { color: var(--text-secondary); font-size: 12px; }
+.tile .value { font-size: 26px; font-weight: 600; margin-top: 2px; }
+.tile .note { color: var(--text-muted); font-size: 12px; margin-top: 2px; }
+.row { display: flex; align-items: center; gap: 10px; margin: 0 0 8px; }
+.row .name {
+  width: 110px; text-align: right; color: var(--text-secondary);
+  font-size: 12px; overflow: hidden; text-overflow: ellipsis;
+  white-space: nowrap; flex: none;
+}
+.row .bar {
+  flex: 1; display: flex; height: 20px; gap: 2px;
+  background: transparent;
+}
+.row .seg { height: 100%; }
+.row .seg:last-child { border-radius: 0 4px 4px 0; }
+.row .total {
+  width: 78px; color: var(--text-muted); font-size: 12px; flex: none;
+  font-variant-numeric: tabular-nums;
+}
+.legend {
+  display: flex; flex-wrap: wrap; gap: 12px; margin: 10px 0 0;
+  color: var(--text-secondary); font-size: 12px;
+}
+.legend .key { display: flex; align-items: center; gap: 5px; }
+.legend .swatch {
+  width: 10px; height: 10px; border-radius: 3px; display: inline-block;
+}
+table { border-collapse: collapse; width: 100%; font-size: 13px; }
+th {
+  text-align: left; color: var(--text-secondary); font-weight: 500;
+  border-bottom: 1px solid var(--baseline); padding: 4px 8px;
+}
+td {
+  padding: 4px 8px; border-bottom: 1px solid var(--grid);
+  font-variant-numeric: tabular-nums;
+}
+td.cell { text-align: center; border-radius: 3px; }
+.finding { display: flex; gap: 10px; padding: 7px 0; align-items: baseline;
+  border-bottom: 1px solid var(--grid); }
+.finding:last-child { border-bottom: none; }
+.sev {
+  font-size: 11px; font-weight: 600; flex: none; width: 86px;
+  white-space: nowrap;
+}
+.sev.critical { color: var(--status-critical); }
+.sev.warning { color: var(--status-warning); }
+.sev.info { color: var(--text-muted); }
+.finding .kind { color: var(--text-secondary); flex: none; width: 160px;
+  font-size: 12px; overflow: hidden; text-overflow: ellipsis; }
+.finding .msg { flex: 1; }
+.empty { color: var(--text-muted); font-style: italic; }
+details summary { cursor: pointer; color: var(--text-secondary);
+  font-size: 13px; margin-bottom: 8px; }
+#tooltip {
+  position: fixed; pointer-events: none; display: none; z-index: 10;
+  background: var(--surface-1); color: var(--text-primary);
+  border: 1px solid var(--border); border-radius: 6px;
+  padding: 6px 9px; font-size: 12px; max-width: 320px;
+  box-shadow: 0 2px 10px rgba(0, 0, 0, 0.18);
+}
+#theme-toggle {
+  float: right; background: var(--surface-1); color: var(--text-secondary);
+  border: 1px solid var(--border); border-radius: 6px; padding: 4px 10px;
+  cursor: pointer; font-size: 12px;
+}
+"""
+
+_JS = """
+'use strict';
+var report = JSON.parse(
+  document.getElementById('report-data').textContent);
+var CATEGORICAL = JSON.parse(
+  document.getElementById('palette-data').textContent);
+var SEQUENTIAL = JSON.parse(
+  document.getElementById('ramp-data').textContent);
+
+function isDark() {
+  var forced = document.documentElement.getAttribute('data-theme');
+  if (forced) return forced === 'dark';
+  return window.matchMedia &&
+    window.matchMedia('(prefers-color-scheme: dark)').matches;
+}
+function seriesColor(slot) {
+  return CATEGORICAL[slot][isDark() ? 1 : 0];
+}
+
+var tooltip = document.getElementById('tooltip');
+function showTip(evt, text) {
+  tooltip.textContent = text;
+  tooltip.style.display = 'block';
+  var x = Math.min(evt.clientX + 14, window.innerWidth - 330);
+  tooltip.style.left = x + 'px';
+  tooltip.style.top = (evt.clientY + 14) + 'px';
+}
+function hideTip() { tooltip.style.display = 'none'; }
+function hover(el, textFn) {
+  el.addEventListener('mousemove', function (evt) {
+    showTip(evt, textFn());
+  });
+  el.addEventListener('mouseleave', hideTip);
+}
+
+function el(tag, cls, parent) {
+  var node = document.createElement(tag);
+  if (cls) node.className = cls;
+  if (parent) parent.appendChild(node);
+  return node;
+}
+function fmtSeconds(v) { return v.toPrecision(4) + 's'; }
+function fmtPct(v) { return (100 * v).toFixed(1) + '%'; }
+
+// Global phase -> slot assignment: fixed order of first appearance
+// across every engine chart; past the palette, phases fold to "other".
+function assignPhaseSlots() {
+  var perPartitioner = report.attribution.per_partitioner || {};
+  var order = [];
+  Object.keys(perPartitioner).sort().forEach(function (engine) {
+    var table = perPartitioner[engine];
+    Object.keys(table).sort().forEach(function (partitioner) {
+      Object.keys(table[partitioner].phase_seconds).forEach(
+        function (phase) {
+          if (order.indexOf(phase) < 0) order.push(phase);
+        });
+    });
+  });
+  var slots = {};
+  order.forEach(function (phase, i) {
+    slots[phase] = i < CATEGORICAL.length - 1
+      ? i : CATEGORICAL.length - 1;  // last slot doubles as "other"
+  });
+  return { order: order, slots: slots };
+}
+
+function renderStacks() {
+  var host = document.getElementById('stacks');
+  var perPartitioner = report.attribution.per_partitioner || {};
+  var engines = Object.keys(perPartitioner).sort();
+  if (!engines.length) {
+    el('p', 'empty', host).textContent =
+      'No sweep records loaded - stacked phase bars need record JSON.';
+    return;
+  }
+  var assignment = assignPhaseSlots();
+  engines.forEach(function (engine) {
+    var table = perPartitioner[engine];
+    var card = el('div', 'card', host);
+    el('h2', null, card).textContent =
+      engine + ' - mean epoch seconds by partitioner, stacked by phase';
+    var names = Object.keys(table).sort(function (a, b) {
+      return table[a].mean_epoch_seconds - table[b].mean_epoch_seconds;
+    });
+    var maxTotal = 0;
+    names.forEach(function (name) {
+      maxTotal = Math.max(maxTotal, table[name].mean_epoch_seconds);
+    });
+    names.forEach(function (name) {
+      var entry = table[name];
+      var row = el('div', 'row', card);
+      el('div', 'name', row).textContent = name;
+      var bar = el('div', 'bar', row);
+      var phases = Object.keys(entry.phase_seconds).sort(
+        function (a, b) {
+          return assignment.order.indexOf(a) -
+            assignment.order.indexOf(b);
+        });
+      phases.forEach(function (phase) {
+        var seconds = entry.phase_seconds[phase];
+        if (seconds <= 0) return;
+        var seg = el('div', 'seg', bar);
+        seg.style.width =
+          (100 * seconds / (maxTotal || 1)) + '%';
+        seg.style.background =
+          seriesColor(assignment.slots[phase]);
+        hover(seg, function () {
+          return name + ' / ' + phase + ': ' + fmtSeconds(seconds) +
+            ' (' + fmtPct(entry.phase_fractions[phase] || 0) +
+            ' of epoch, ' + entry.cells + ' cells)';
+        });
+      });
+      el('div', 'total', row).textContent =
+        fmtSeconds(entry.mean_epoch_seconds);
+    });
+    var legend = el('div', 'legend', card);
+    assignment.order.forEach(function (phase) {
+      var inEngine = names.some(function (name) {
+        return phase in table[name].phase_seconds;
+      });
+      if (!inEngine) return;
+      var key = el('span', 'key', legend);
+      var swatch = el('span', 'swatch', key);
+      swatch.style.background = seriesColor(assignment.slots[phase]);
+      key.appendChild(document.createTextNode(phase));
+    });
+  });
+}
+
+var HEAT_COLUMNS = [
+  ['busy_seconds', 'busy s'],
+  ['bytes_sent', 'sent bytes'],
+  ['bytes_received', 'received bytes'],
+  ['lost_messages', 'lost msgs'],
+  ['memory_peak_bytes', 'peak mem bytes'],
+];
+
+function heatColor(fraction) {
+  var steps = SEQUENTIAL.length;
+  var i = Math.min(steps - 1, Math.floor(fraction * steps));
+  return SEQUENTIAL[i];
+}
+
+function renderHeatmap() {
+  var host = document.getElementById('heatmap');
+  var machines = report.attribution.machines || [];
+  if (!machines.length) {
+    el('p', 'empty', host).textContent =
+      'No per-machine metrics loaded - the straggler heatmap needs a ' +
+      'metrics snapshot (run with --obs-level metrics and an obs out).';
+    return;
+  }
+  var columns = HEAT_COLUMNS.filter(function (col) {
+    return machines.some(function (row) { return col[0] in row; });
+  });
+  var table = el('table', null, host);
+  var head = el('tr', null, el('thead', null, table));
+  el('th', null, head).textContent = 'machine';
+  columns.forEach(function (col) {
+    el('th', null, head).textContent = col[1];
+  });
+  var maxima = {};
+  columns.forEach(function (col) {
+    maxima[col[0]] = Math.max.apply(null, machines.map(function (row) {
+      return row[col[0]] || 0;
+    }));
+  });
+  var body = el('tbody', null, table);
+  machines.forEach(function (row) {
+    var tr = el('tr', null, body);
+    el('td', null, tr).textContent = 'machine-' + row.machine;
+    columns.forEach(function (col) {
+      var value = row[col[0]] || 0;
+      var fraction = maxima[col[0]] ? value / maxima[col[0]] : 0;
+      var td = el('td', 'cell', tr);
+      td.style.background = heatColor(fraction);
+      td.style.color = fraction > 0.45 ? '#ffffff' : '#0b0b0b';
+      td.textContent = value.toPrecision(3);
+      hover(td, function () {
+        return 'machine-' + row.machine + ' ' + col[1] + ': ' +
+          value.toPrecision(6) + ' (' + fmtPct(fraction) +
+          ' of busiest)';
+      });
+    });
+  });
+}
+
+var SEVERITY_ICONS = { critical: '\\u25b2', warning: '\\u25c6',
+  info: '\\u25cb' };
+
+function renderFindings() {
+  var host = document.getElementById('findings');
+  var findings = report.findings || [];
+  if (!findings.length) {
+    el('p', 'empty', host).textContent =
+      'No findings - nothing anomalous detected.';
+    return;
+  }
+  findings.forEach(function (finding) {
+    var row = el('div', 'finding', host);
+    var sev = el('span', 'sev ' + finding.severity, row);
+    sev.textContent = SEVERITY_ICONS[finding.severity] + ' ' +
+      finding.severity.toUpperCase();
+    el('span', 'kind', row).textContent = finding.kind;
+    el('span', 'msg', row).textContent = finding.message;
+    hover(row, function () {
+      return finding.subject + ' - value ' + finding.value +
+        (finding.threshold ? ', threshold ' + finding.threshold : '');
+    });
+  });
+}
+
+function renderPhaseTable() {
+  var host = document.getElementById('phase-table');
+  var phases = (report.attribution.phase_mix || {}).phases || [];
+  if (!phases.length) {
+    el('p', 'empty', host).textContent = 'No phase telemetry loaded.';
+    return;
+  }
+  var table = el('table', null, host);
+  var head = el('tr', null, el('thead', null, table));
+  ['phase', 'total s', 'share', 'recovery'].forEach(function (title) {
+    el('th', null, head).textContent = title;
+  });
+  var body = el('tbody', null, table);
+  phases.forEach(function (phase) {
+    var tr = el('tr', null, body);
+    el('td', null, tr).textContent = phase.name;
+    el('td', null, tr).textContent = phase.total_seconds.toPrecision(5);
+    el('td', null, tr).textContent = fmtPct(phase.fraction);
+    el('td', null, tr).textContent = phase.recovery ? 'yes' : '';
+  });
+}
+
+function renderTiles() {
+  var host = document.getElementById('tiles');
+  var summary = report.summary || {};
+  var source = report.source || {};
+  var tiles = [
+    ['records analyzed', String(source.num_records || 0),
+     (source.num_metrics || 0) + ' metric series, ' +
+     (source.num_events || 0) + ' trace events'],
+    ['total phase time',
+     fmtSeconds(summary.total_phase_seconds || 0), 'simulated'],
+    ['recovery share', fmtPct(summary.recovery_fraction || 0),
+     'of phase time'],
+    ['findings', String(summary.num_findings || 0),
+     (summary.by_severity || {}).critical + ' critical, ' +
+     (summary.by_severity || {}).warning + ' warning'],
+  ];
+  tiles.forEach(function (spec) {
+    var tile = el('div', 'tile', host);
+    el('div', 'label', tile).textContent = spec[0];
+    el('div', 'value', tile).textContent = spec[1];
+    el('div', 'note', tile).textContent = spec[2];
+  });
+}
+
+document.getElementById('theme-toggle').addEventListener(
+  'click', function () {
+    var root = document.documentElement;
+    var next = isDark() ? 'light' : 'dark';
+    root.setAttribute('data-theme', next);
+    rerender();
+  });
+
+function rerender() {
+  ['stacks', 'heatmap', 'findings', 'phase-table', 'tiles'].forEach(
+    function (id) { document.getElementById(id).innerHTML = ''; });
+  renderTiles();
+  renderStacks();
+  renderHeatmap();
+  renderFindings();
+  renderPhaseTable();
+}
+rerender();
+if (window.matchMedia) {
+  window.matchMedia('(prefers-color-scheme: dark)')
+    .addEventListener('change', rerender);
+}
+"""
+
+
+def _embed_json(payload: object) -> str:
+    """Canonical JSON safe for inline ``<script>`` embedding."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return text.replace("</", "<\\/")
+
+
+def render_dashboard(
+    report: Dict[str, object], title: str = "Telemetry analysis"
+) -> str:
+    """Render an analysis-report dict as one self-contained HTML page."""
+    source = report.get("source", {})
+    label = str(source.get("label", ""))
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{title}</title>
+<style>{_CSS}</style>
+</head>
+<body>
+<main>
+  <button id="theme-toggle" type="button">light/dark</button>
+  <h1>{title}</h1>
+  <p class="subtitle">{label}</p>
+  <div class="card tiles" id="tiles"></div>
+  <div id="stacks"></div>
+  <div class="card">
+    <h2>Per-machine balance heatmap (straggler view)</h2>
+    <div id="heatmap"></div>
+  </div>
+  <div class="card">
+    <h2>Findings</h2>
+    <div id="findings"></div>
+  </div>
+  <div class="card">
+    <details open>
+      <summary>Phase table (all data, no color required)</summary>
+      <div id="phase-table"></div>
+    </details>
+  </div>
+</main>
+<div id="tooltip" role="status"></div>
+<script type="application/json" id="report-data">{_embed_json(report)}</script>
+<script type="application/json" id="palette-data">{_embed_json(_CATEGORICAL)}</script>
+<script type="application/json" id="ramp-data">{_embed_json(_SEQUENTIAL)}</script>
+<script>{_JS}</script>
+</body>
+</html>
+"""

@@ -1,0 +1,185 @@
+"""Terminal renderers for analysis reports and run diffs.
+
+Plain fixed-width text (no ANSI), deterministic line order — suitable
+for CI logs and for eyeballing a sweep's diagnosis without opening the
+HTML dashboard.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = ["render_report_text", "render_diff_text"]
+
+_SEVERITY_TAGS = {"critical": "CRIT", "warning": "WARN", "info": "info"}
+
+
+def _format_seconds(value: float) -> str:
+    """Compact seconds formatting for tables."""
+    return f"{value:.4g}s"
+
+
+def render_report_text(report: Dict[str, object]) -> str:
+    """Render an :class:`~.findings.AnalysisReport` dict for the
+    terminal."""
+    lines: List[str] = []
+    source = report.get("source", {})
+    summary = report.get("summary", {})
+    attribution = report.get("attribution", {})
+    findings = report.get("findings", [])
+
+    lines.append(f"analysis: {source.get('label', '?')}")
+    lines.append(
+        f"  inputs: {source.get('num_records', 0)} records, "
+        f"{source.get('num_metrics', 0)} metric series, "
+        f"{source.get('num_events', 0)} trace events"
+    )
+    if source.get("skipped_lines"):
+        lines.append(
+            f"  (skipped {source['skipped_lines']} truncated JSONL "
+            "line(s))"
+        )
+
+    phase_mix = attribution.get("phase_mix", {})
+    phases = phase_mix.get("phases", [])
+    if phases:
+        lines.append("")
+        lines.append(
+            f"critical path ({_format_seconds(phase_mix['total_seconds'])}"
+            " total phase time):"
+        )
+        for phase in phases[:10]:
+            marker = " [recovery]" if phase.get("recovery") else ""
+            lines.append(
+                f"  {phase['fraction']:6.1%}  {phase['name']}"
+                f" ({_format_seconds(phase['total_seconds'])})"
+                f"{marker}"
+            )
+        if len(phases) > 10:
+            lines.append(f"  ... and {len(phases) - 10} more phases")
+        if phase_mix.get("recovery_seconds", 0.0) > 0:
+            lines.append(
+                f"  recovery overhead: "
+                f"{phase_mix['recovery_fraction']:.1%} of phase time"
+            )
+
+    per_partitioner = attribution.get("per_partitioner", {})
+    for engine in sorted(per_partitioner):
+        lines.append("")
+        lines.append(f"{engine}: mean epoch seconds by partitioner")
+        table = per_partitioner[engine]
+        for partitioner in sorted(
+            table, key=lambda p: table[p]["mean_epoch_seconds"]
+        ):
+            entry = table[partitioner]
+            top = max(
+                entry["phase_fractions"].items(),
+                key=lambda item: (item[1], item[0]),
+                default=("-", 0.0),
+            )
+            lines.append(
+                f"  {partitioner:>10s}  "
+                f"{entry['mean_epoch_seconds']:9.4f}s  "
+                f"({entry['cells']} cells, top phase: {top[0]} "
+                f"{top[1]:.0%})"
+            )
+
+    machines = attribution.get("machines", [])
+    if machines:
+        busy = [row.get("busy_seconds", 0.0) for row in machines]
+        mean_busy = sum(busy) / len(busy) if busy else 0.0
+        lines.append("")
+        lines.append(f"machines ({len(machines)}):")
+        for row in machines:
+            ratio = (
+                row.get("busy_seconds", 0.0) / mean_busy
+                if mean_busy
+                else 0.0
+            )
+            lines.append(
+                f"  machine-{row['machine']:<3d} "
+                f"busy {_format_seconds(row.get('busy_seconds', 0.0)):>10s} "
+                f"({ratio:4.2f}x mean)"
+            )
+
+    lines.append("")
+    if findings:
+        by_severity = report.get("summary", {}).get("by_severity", {})
+        lines.append(
+            f"findings: {len(findings)} "
+            f"({by_severity.get('critical', 0)} critical, "
+            f"{by_severity.get('warning', 0)} warning, "
+            f"{by_severity.get('info', 0)} info)"
+        )
+        for finding in findings:
+            tag = _SEVERITY_TAGS.get(finding["severity"], "????")
+            lines.append(
+                f"  [{tag}] {finding['kind']}: {finding['message']}"
+            )
+    else:
+        lines.append("findings: none — nothing anomalous detected")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_diff_text(diff: Dict[str, object]) -> str:
+    """Render a :class:`~.diff.RunDiff` dict for the terminal."""
+    lines: List[str] = []
+    lines.append(
+        f"diff: {diff.get('label_a', 'a')} -> {diff.get('label_b', 'b')}"
+    )
+    if diff.get("clean"):
+        lines.append("  clean — no regressions beyond tolerance")
+        lines.append("")
+        return "\n".join(lines)
+
+    for title, key in (
+        ("metrics only in b", "added_metrics"),
+        ("metrics vanished", "removed_metrics"),
+        ("cells only in b", "added_cells"),
+        ("cells vanished", "removed_cells"),
+    ):
+        entries = diff.get(key, [])
+        if entries:
+            lines.append(f"  {title} ({len(entries)}):")
+            for name in entries[:20]:
+                lines.append(f"    {name}")
+            if len(entries) > 20:
+                lines.append(f"    ... and {len(entries) - 20} more")
+
+    for title, key, label in (
+        ("metric deltas beyond tolerance", "changed_metrics", "metric"),
+        ("cell deltas beyond tolerance", "changed_cells", "cell"),
+    ):
+        changes = diff.get(key, [])
+        if changes:
+            lines.append(f"  {title} ({len(changes)}):")
+            for change in changes[:20]:
+                lines.append(
+                    f"    {change[label]} {change['field']}: "
+                    f"{change['a']:.6g} -> {change['b']:.6g} "
+                    f"({change['rel_delta']:.2%})"
+                )
+            if len(changes) > 20:
+                lines.append(f"    ... and {len(changes) - 20} more")
+
+    phase_mix = diff.get("phase_mix", {})
+    if phase_mix.get("shifted"):
+        lines.append(
+            f"  phase-mix shift: {phase_mix['l1_shift']:.2%} L1 "
+            f"(threshold {phase_mix['threshold']:.2%})"
+        )
+        table = phase_mix.get("phases", {})
+        moved = sorted(
+            table.items(),
+            key=lambda item: -abs(
+                item[1]["b_fraction"] - item[1]["a_fraction"]
+            ),
+        )
+        for phase, row in moved[:8]:
+            lines.append(
+                f"    {phase}: {row['a_fraction']:.1%} -> "
+                f"{row['b_fraction']:.1%}"
+            )
+    lines.append("")
+    return "\n".join(lines)

@@ -84,14 +84,29 @@ class JsonlSink(EventSink):
         self._closed = True
 
 
-def read_jsonl(path: str) -> List[Dict[str, object]]:
-    """Load a JSONL event file back into a list of dicts."""
+def read_jsonl(path: str, return_skipped: bool = False):
+    """Load a JSONL event file back into a list of dicts.
+
+    A process crashing mid-write leaves a truncated final line (and a
+    killed writer can leave one mid-file); such undecodable lines are
+    *skipped* rather than raised on, so one partial record never loses
+    the whole trace. With ``return_skipped=True`` the result is
+    ``(events, skipped_count)`` so callers can surface how many lines
+    were dropped.
+    """
     events: List[Dict[str, object]] = []
+    skipped = 0
     with open(path, encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 events.append(json.loads(line))
+            except json.JSONDecodeError:
+                skipped += 1
+    if return_skipped:
+        return events, skipped
     return events
 
 

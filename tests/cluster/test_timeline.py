@@ -87,6 +87,50 @@ def test_marks_stamped_at_current_total():
     assert timeline.marks == [mark]
 
 
+def test_recovery_and_checkpoint_zero_without_marks_or_phases():
+    """A timeline with only normal work (and no marks) charges nothing
+    to recovery or checkpointing."""
+    timeline = Timeline()
+    timeline.add_phase("forward", np.array([1.0, 2.0]))
+    timeline.add_phase("backward", np.array([2.0, 1.0]))
+    assert timeline.recovery_seconds() == 0.0
+    assert timeline.checkpoint_seconds() == 0.0
+    assert timeline.marks == []
+
+
+def test_recovery_on_empty_timeline():
+    timeline = Timeline()
+    assert timeline.recovery_seconds() == 0.0
+    assert timeline.checkpoint_seconds() == 0.0
+
+
+def test_all_interrupted_phases_still_count_normal_time():
+    """Interruption flags a phase; it does not reclassify its seconds
+    as recovery — only fault-*/replay:* phases are recovery."""
+    timeline = Timeline()
+    timeline.add_phase("forward", np.array([1.0]), interrupted=True)
+    timeline.add_phase("backward", np.array([2.0]), interrupted=True)
+    assert len(timeline.interrupted_records()) == 2
+    assert timeline.recovery_seconds() == 0.0
+    assert timeline.total_seconds == pytest.approx(3.0)
+
+
+def test_marks_beyond_last_phase():
+    """Marks stamped after the final phase sit exactly at the makespan
+    and never extend it."""
+    timeline = Timeline()
+    timeline.add_phase("forward", np.array([1.0, 4.0]))
+    first = timeline.add_mark("crash", kind="fault", machine=0)
+    second = timeline.add_mark("checkpoint", kind="checkpoint")
+    assert first.at_seconds == pytest.approx(4.0)
+    assert second.at_seconds == pytest.approx(4.0)
+    assert timeline.total_seconds == pytest.approx(4.0)
+    # Marks alone add no recovery/checkpoint seconds: those are charged
+    # by phases, marks only annotate instants.
+    assert timeline.recovery_seconds() == 0.0
+    assert timeline.checkpoint_seconds() == 0.0
+
+
 def test_recovery_and_checkpoint_seconds():
     timeline = Timeline()
     timeline.add_phase("forward", np.array([2.0]))

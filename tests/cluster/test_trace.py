@@ -65,6 +65,30 @@ def test_thread_name_metadata_per_machine():
     assert names == {0: "machine-0", 1: "machine-1"}
 
 
+def test_process_name_metadata_present():
+    payload = json.loads(timeline_to_chrome_trace(make_timeline()))
+    process = [
+        e for e in payload["traceEvents"]
+        if e.get("ph") == "M" and e["name"] == "process_name"
+    ]
+    assert len(process) == 1
+    assert process[0]["args"]["name"] == "simulated-cluster"
+
+
+def test_thread_sort_index_orders_machines_numerically():
+    """Without sort indices viewers order threads lexically, putting
+    machine-10 before machine-2; each machine must pin its numeric id."""
+    timeline = Timeline()
+    timeline.add_phase("forward", np.arange(1.0, 13.0))  # 12 machines
+    payload = json.loads(timeline_to_chrome_trace(timeline))
+    sort_indices = {
+        e["tid"]: e["args"]["sort_index"]
+        for e in payload["traceEvents"]
+        if e.get("ph") == "M" and e["name"] == "thread_sort_index"
+    }
+    assert sort_indices == {m: m for m in range(12)}
+
+
 def test_interrupted_phase_flagged_in_args():
     timeline = make_timeline()
     timeline.add_phase("fault-detect", np.array([0.1, 0.1]),

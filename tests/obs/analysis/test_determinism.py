@@ -1,0 +1,64 @@
+"""End-to-end determinism: the analysis of a parallel sweep must be
+byte-identical to the analysis of the equivalent serial sweep, and a
+report must diff clean against itself."""
+
+from repro.experiments import (
+    reduced_grid,
+    run_distgnn_grid,
+    run_distgnn_grid_parallel,
+)
+from repro.obs.analysis import build_analysis_report, diff_runs
+from repro.obs.analysis.load import RunData
+
+EDGE_NAMES = ["random", "hdrf"]
+
+
+def _grid():
+    return list(reduced_grid())[:2]
+
+
+def _report(records):
+    return build_analysis_report(
+        RunData(label="sweep", records=list(records))
+    )
+
+
+def test_analysis_identical_serial_vs_parallel(tiny_or):
+    from repro import obs
+
+    obs.enable()
+    try:
+        serial = run_distgnn_grid(
+            tiny_or, EDGE_NAMES, [2], _grid(), seed=0
+        )
+        obs.reset()
+        obs.enable()
+        parallel = run_distgnn_grid_parallel(
+            tiny_or, EDGE_NAMES, [2], _grid(), seed=0, workers=2
+        )
+    finally:
+        obs.reset()
+        obs.disable()
+    assert _report(serial).to_json() == _report(parallel).to_json()
+
+
+def test_analysis_json_stable_across_invocations(tiny_or):
+    records = run_distgnn_grid(
+        tiny_or, EDGE_NAMES, [2], _grid(), seed=0
+    )
+    assert _report(records).to_json() == _report(records).to_json()
+
+
+def test_serial_vs_parallel_diff_clean(tiny_or):
+    serial = run_distgnn_grid(
+        tiny_or, EDGE_NAMES, [2], _grid(), seed=0
+    )
+    parallel = run_distgnn_grid_parallel(
+        tiny_or, EDGE_NAMES, [2], _grid(), seed=0, workers=2
+    )
+    diff = diff_runs(
+        RunData(label="serial", records=list(serial)),
+        RunData(label="parallel", records=list(parallel)),
+    )
+    assert diff.clean
+    assert diff.findings() == []

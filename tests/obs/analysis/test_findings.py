@@ -1,0 +1,86 @@
+"""Finding/AnalysisReport: validation, ordering, canonical JSON."""
+
+import pytest
+
+from repro.obs.analysis import AnalysisReport, Finding, sort_findings
+
+
+def make(kind="k", severity="info", subject="s", message="m", **kw):
+    return Finding(kind=kind, severity=severity, subject=subject,
+                   message=message, **kw)
+
+
+def test_unknown_severity_rejected():
+    with pytest.raises(ValueError, match="severity"):
+        make(severity="catastrophic")
+
+
+def test_finding_roundtrip():
+    finding = make(
+        kind="recovery-spike", severity="critical", value=0.3,
+        threshold=0.25, context={"b": 2, "a": 1},
+    )
+    assert Finding.from_dict(finding.to_dict()) == finding
+
+
+def test_to_dict_sorts_context_keys():
+    finding = make(context={"zz": 1, "aa": 2})
+    assert list(finding.to_dict()["context"]) == ["aa", "zz"]
+
+
+def test_sort_most_severe_first_then_textual():
+    findings = [
+        make(kind="b", severity="info"),
+        make(kind="a", severity="critical"),
+        make(kind="a", severity="info"),
+        make(kind="z", severity="warning"),
+    ]
+    ordered = sort_findings(findings)
+    assert [(f.severity, f.kind) for f in ordered] == [
+        ("critical", "a"), ("warning", "z"), ("info", "a"), ("info", "b"),
+    ]
+
+
+def test_sort_is_input_order_independent():
+    """Serial and parallel analyses may collect findings in different
+    orders; sorting must erase that."""
+    findings = [
+        make(kind="a", subject="x"),
+        make(kind="a", subject="y"),
+        make(kind="b", subject="x"),
+    ]
+    assert sort_findings(findings) == sort_findings(findings[::-1])
+
+
+def test_report_severity_counts_and_worst():
+    report = AnalysisReport(
+        findings=[make(severity="warning"), make(severity="warning"),
+                  make(severity="info")]
+    )
+    assert report.severity_counts() == {
+        "info": 1, "warning": 2, "critical": 0,
+    }
+    assert report.worst_severity() == "warning"
+    assert AnalysisReport().worst_severity() is None
+
+
+def test_report_json_is_canonical_and_roundtrips():
+    report = AnalysisReport(
+        source={"label": "x"},
+        summary={"total_phase_seconds": 1.0},
+        attribution={"phase_mix": {}},
+        findings=[make(severity="critical"), make(severity="info")],
+    )
+    text = report.to_json()
+    assert text.endswith("\n")
+    assert text == report.to_json()  # repeated serialization is stable
+    rebuilt = AnalysisReport.from_dict(report.to_dict())
+    assert rebuilt.to_json() == text
+
+
+def test_report_save(tmp_path):
+    path = str(tmp_path / "report.json")
+    report = AnalysisReport(source={"label": "x"})
+    report.save(path)
+    with open(path, encoding="utf-8") as handle:
+        assert handle.read() == report.to_json()

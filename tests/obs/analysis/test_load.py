@@ -1,0 +1,115 @@
+"""Artifact loading: content sniffing, trace tolerance, labels."""
+
+import json
+
+import pytest
+
+from repro.experiments import reduced_grid, run_distgnn, save_records
+from repro.obs import JsonlSink
+from repro.obs.analysis import load_run_inputs
+
+
+@pytest.fixture(scope="module")
+def record_file(tmp_path_factory, request):
+    graph = request.getfixturevalue("tiny_or")
+    params = next(iter(reduced_grid()))
+    path = tmp_path_factory.mktemp("records") / "sweep.json"
+    records = [
+        run_distgnn(graph, name, 2, params, seed=0)
+        for name in ("random", "hdrf")
+    ]
+    save_records(records, path)
+    return str(path)
+
+
+def make_snapshot_file(tmp_path, name="metrics.json"):
+    path = tmp_path / name
+    path.write_text(
+        json.dumps(
+            [
+                {
+                    "name": "cluster.bytes_sent", "kind": "counter",
+                    "unit": "bytes", "labels": {"machine": 0},
+                    "value": 10.0,
+                },
+            ]
+        )
+    )
+    return str(path)
+
+
+def test_record_json_classified_as_records(record_file):
+    run = load_run_inputs([record_file])
+    assert len(run.records) == 2
+    assert run.metrics == []
+    assert run.label == "sweep.json"
+
+
+def test_snapshot_json_classified_as_metrics(tmp_path):
+    run = load_run_inputs([make_snapshot_file(tmp_path)])
+    assert run.records == []
+    assert len(run.metrics) == 1
+
+
+def test_mixed_inputs_and_sorted_label(record_file, tmp_path):
+    snapshot = make_snapshot_file(tmp_path, "a_metrics.json")
+    run = load_run_inputs([record_file, snapshot])
+    assert len(run.records) == 2
+    assert len(run.metrics) == 1
+    # Sorted basenames, never paths, so labels are location-independent.
+    assert run.label == "a_metrics.json+sweep.json"
+
+
+def test_explicit_label_wins(tmp_path):
+    run = load_run_inputs(
+        [make_snapshot_file(tmp_path)], label="my-run"
+    )
+    assert run.label == "my-run"
+
+
+def test_trace_events_and_embedded_snapshot(tmp_path):
+    path = str(tmp_path / "trace.jsonl")
+    sink = JsonlSink(path)
+    sink.emit({"kind": "phase", "name": "forward", "seconds": 0.5})
+    sink.emit(
+        {
+            "kind": "metrics-snapshot",
+            "name": "final",
+            "metrics": [
+                {
+                    "name": "cluster.bytes_sent", "kind": "counter",
+                    "unit": "bytes", "labels": {}, "value": 1.0,
+                }
+            ],
+        }
+    )
+    sink.close()
+    run = load_run_inputs([path])
+    assert len(run.events) == 1  # snapshot extracted, not an event
+    assert len(run.metrics) == 1
+    assert run.skipped_lines == 0
+
+
+def test_truncated_trace_counts_skips(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text(
+        '{"kind": "phase", "name": "forward"}\n{"kind": "pha'
+    )
+    run = load_run_inputs([str(path)])
+    assert len(run.events) == 1
+    assert run.skipped_lines == 1
+    assert run.source_dict()["skipped_lines"] == 1
+
+
+def test_unrecognized_json_rejected(tmp_path):
+    path = tmp_path / "junk.json"
+    path.write_text('{"what": "ever"}')
+    with pytest.raises(ValueError, match="junk.json"):
+        load_run_inputs([str(path)])
+
+
+def test_empty_list_file_is_absorbed_quietly(tmp_path):
+    path = tmp_path / "empty.json"
+    path.write_text("[]")
+    run = load_run_inputs([str(path)])
+    assert run.records == [] and run.metrics == []

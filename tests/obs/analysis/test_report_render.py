@@ -1,0 +1,140 @@
+"""Report building and the renderers (text + HTML dashboard)."""
+
+import json
+import re
+
+from repro.obs.analysis import (
+    build_analysis_report,
+    per_partitioner_breakdown,
+    render_dashboard,
+    render_diff_text,
+    render_report_text,
+)
+from repro.obs.analysis.load import RunData
+
+
+def make_run(make_record, make_dgl_record):
+    records = [
+        make_record(
+            partitioner=name,
+            epoch_seconds=seconds,
+            obs_metrics={
+                "phase_seconds": {"forward": 0.4, "backward": 0.6}
+            },
+        )
+        for name, seconds in (("random", 1.0), ("hdrf", 0.5))
+    ]
+    records.append(make_dgl_record(partitioner="metis"))
+    return RunData(label="test-run", records=records)
+
+
+def test_per_partitioner_breakdown_shapes(make_record, make_dgl_record):
+    run = make_run(make_record, make_dgl_record)
+    breakdown = per_partitioner_breakdown(run.records)
+    assert set(breakdown) == {"distgnn", "distdgl"}
+    entry = breakdown["distgnn"]["hdrf"]
+    assert entry["cells"] == 1
+    assert entry["mean_epoch_seconds"] == 0.5
+    # Full-batch records decompose into forward/backward/sync.
+    assert set(entry["phase_seconds"]) == {"forward", "backward", "sync"}
+    # Mini-batch records carry their own phase table.
+    assert "fetch" in breakdown["distdgl"]["metis"]["phase_seconds"]
+    fractions = entry["phase_fractions"]
+    assert abs(sum(fractions.values()) - 1.0) < 1e-12
+
+
+def test_build_report_structure(make_record, make_dgl_record):
+    run = make_run(make_record, make_dgl_record)
+    report = build_analysis_report(run)
+    data = report.to_dict()
+    assert data["schema"] == 1
+    assert data["source"]["label"] == "test-run"
+    assert data["summary"]["engines"] == ["distdgl", "distgnn"]
+    assert "thresholds" in data["summary"]
+    assert data["attribution"]["phase_mix"]["total_seconds"] > 0
+    assert "per_partitioner" in data["attribution"]
+
+
+def test_report_notes_truncated_traces(make_record):
+    run = RunData(records=[make_record()], skipped_lines=3)
+    report = build_analysis_report(run)
+    truncated = [
+        f for f in report.findings if f.kind == "trace-truncated"
+    ]
+    assert len(truncated) == 1
+    assert truncated[0].value == 3.0
+
+
+def test_render_report_text(make_record, make_dgl_record):
+    run = make_run(make_record, make_dgl_record)
+    text = render_report_text(build_analysis_report(run).to_dict())
+    assert "analysis: test-run" in text
+    assert "critical path" in text
+    assert "distgnn" in text and "distdgl" in text
+    assert "\x1b" not in text  # no ANSI; CI-log safe
+
+
+def test_render_diff_text_clean_and_dirty():
+    clean = render_diff_text(
+        {"label_a": "x", "label_b": "y", "clean": True}
+    )
+    assert "clean" in clean
+    dirty = render_diff_text(
+        {
+            "label_a": "x",
+            "label_b": "y",
+            "clean": False,
+            "changed_cells": [
+                {
+                    "cell": "distgnn/OR/hdrf/k=4/f64",
+                    "field": "epoch_seconds",
+                    "a": 1.0, "b": 2.0, "rel_delta": 0.5,
+                }
+            ],
+        }
+    )
+    assert "epoch_seconds" in dirty
+    assert "50.00%" in dirty
+
+
+class TestDashboard:
+    def build(self, make_record, make_dgl_record):
+        run = make_run(make_record, make_dgl_record)
+        return render_dashboard(build_analysis_report(run).to_dict())
+
+    def test_single_file_no_network(self, make_record, make_dgl_record):
+        html = self.build(make_record, make_dgl_record)
+        # No external fetches of any kind: no URLs, no src/href, no
+        # css imports — the file must render offline from disk.
+        assert not re.search(
+            r"https?://|src=|href=|@import|url\(", html
+        )
+        assert html.startswith("<!DOCTYPE html>")
+
+    def test_report_json_embedded_and_parseable(
+        self, make_record, make_dgl_record
+    ):
+        html = self.build(make_record, make_dgl_record)
+        match = re.search(
+            r'<script type="application/json" id="report-data">'
+            r"(.*?)</script>",
+            html,
+            re.S,
+        )
+        assert match
+        embedded = json.loads(match.group(1).replace("<\\/", "</"))
+        assert embedded["source"]["label"] == "test-run"
+
+    def test_deterministic_output(self, make_record, make_dgl_record):
+        assert self.build(make_record, make_dgl_record) == self.build(
+            make_record, make_dgl_record
+        )
+
+    def test_dark_and_light_palettes_declared(
+        self, make_record, make_dgl_record
+    ):
+        html = self.build(make_record, make_dgl_record)
+        assert 'data-theme="dark"' in html
+        assert "prefers-color-scheme: dark" in html
+        # Status colors ship with textual labels, never color alone.
+        assert "CRITICAL" in html or "severity.toUpperCase()" in html

@@ -45,6 +45,32 @@ def test_jsonl_drops_after_close(tmp_path):
     assert len(read_jsonl(path)) == 1
 
 
+def test_read_jsonl_skips_truncated_final_line(tmp_path):
+    """A writer killed mid-line must not lose the rest of the trace."""
+    path = str(tmp_path / "truncated.jsonl")
+    sink = JsonlSink(path)
+    sink.emit({"kind": "phase", "name": "forward"})
+    sink.emit({"kind": "phase", "name": "backward"})
+    sink.close()
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"kind": "phase", "name": "upda')  # no newline
+    events = read_jsonl(path)
+    assert [e["name"] for e in events] == ["forward", "backward"]
+
+
+def test_read_jsonl_returns_skip_count(tmp_path):
+    path = str(tmp_path / "corrupt.jsonl")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write('{"kind": "a", "name": "ok"}\n')
+        handle.write("not json at all\n")
+        handle.write("\n")  # blank lines are not skips
+        handle.write('{"kind": "a", "name": "also-ok"}\n')
+        handle.write('{"trunc')
+    events, skipped = read_jsonl(path, return_skipped=True)
+    assert [e["name"] for e in events] == ["ok", "also-ok"]
+    assert skipped == 2
+
+
 def test_jsonl_appends(tmp_path):
     path = str(tmp_path / "append.jsonl")
     first = JsonlSink(path)

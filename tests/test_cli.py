@@ -140,3 +140,117 @@ def test_recommend(capsys):
     assert code == 0
     assert "best =" in out
     assert "hep100" in out
+
+
+class TestObsCommands:
+    """The telemetry-analysis subcommands: analyze, diff, dashboard."""
+
+    @pytest.fixture()
+    def record_file(self, tmp_path, tiny_or):
+        from repro.experiments import (
+            reduced_grid,
+            run_distgnn,
+            save_records,
+        )
+
+        params = next(iter(reduced_grid()))
+        path = tmp_path / "records.json"
+        records = [
+            run_distgnn(tiny_or, name, 2, params, seed=0)
+            for name in ("random", "hdrf")
+        ]
+        save_records(records, path)
+        return str(path)
+
+    def test_analyze_prints_and_saves(
+        self, capsys, tmp_path, record_file
+    ):
+        out_path = tmp_path / "analysis.json"
+        code, out = run(
+            ["obs", "analyze", record_file, "-o", str(out_path)],
+            capsys,
+        )
+        assert code == 0
+        # Records ran without obs enabled, so there is no phase mix —
+        # but the header and findings sections always render.
+        assert "analysis: records.json" in out
+        assert "findings" in out
+        assert out_path.exists()
+
+    def test_analyze_deterministic_output(
+        self, capsys, tmp_path, record_file
+    ):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        run(["obs", "analyze", record_file, "-o", str(first)], capsys)
+        run(["obs", "analyze", record_file, "-o", str(second)], capsys)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_analyze_writes_dashboard(
+        self, capsys, tmp_path, record_file
+    ):
+        dash = tmp_path / "dash.html"
+        code, _ = run(
+            ["obs", "analyze", record_file, "--dashboard", str(dash)],
+            capsys,
+        )
+        assert code == 0
+        html = dash.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert 'id="report-data"' in html
+
+    def test_self_diff_is_clean_and_exits_zero(
+        self, capsys, record_file
+    ):
+        code, out = run(
+            ["obs", "diff", record_file, record_file], capsys
+        )
+        assert code == 0
+        assert "clean" in out
+
+    def test_diff_regression_exits_nonzero(
+        self, capsys, tmp_path, tiny_or, record_file
+    ):
+        from repro.experiments import (
+            reduced_grid,
+            run_distgnn,
+            save_records,
+        )
+
+        params = next(iter(reduced_grid()))
+        other = tmp_path / "other.json"
+        save_records(
+            [run_distgnn(tiny_or, "random", 4, params, seed=0)], other
+        )
+        code, out = run(
+            ["obs", "diff", record_file, str(other)], capsys
+        )
+        assert code == 1
+        assert "cell" in out
+
+    def test_analyze_strict_passes_healthy_run(
+        self, capsys, record_file
+    ):
+        """--strict only fails on critical findings; a clean tiny
+        sweep has none."""
+        code, _ = run(
+            ["obs", "analyze", record_file, "--strict"], capsys
+        )
+        assert code == 0
+
+    def test_comma_separated_inputs_accepted(
+        self, capsys, record_file
+    ):
+        code, _ = run(
+            ["obs", "analyze", f"{record_file},{record_file}"], capsys
+        )
+        assert code == 0
+
+    def test_dashboard_command(self, capsys, tmp_path, record_file):
+        dash = tmp_path / "dash.html"
+        code, _ = run(
+            ["obs", "dashboard", record_file, "-o", str(dash)],
+            capsys,
+        )
+        assert code == 0
+        assert "</html>" in dash.read_text()
