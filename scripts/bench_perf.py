@@ -3,8 +3,9 @@
 Times every registered partitioner (plus the streaming extensions) on
 the standard small-scale synthetic graphs at ``k=32``, the HDRF
 vectorised kernel against its retained scalar reference on the largest
-graph (verifying bit-identical assignments), and the neighbourhood
-sampling kernel.
+graph (verifying bit-identical assignments), the neighbourhood
+sampling kernel, and the overhead of the observability hooks on a
+fixed simulation cell (plain / off / metrics / trace).
 
 ``BENCH_partitioning.json`` at the repo root is a *history series*
 (schema 2): a retained ``baseline`` report plus a ``history`` list to
@@ -149,6 +150,104 @@ def bench_sampling(graph, repeats: int) -> dict:
     }
 
 
+def bench_obs_overhead(repeats: int) -> dict:
+    """Cost of the observability hooks on one fixed simulation cell.
+
+    Times ``run_distgnn`` on the tiny OR graph at four instrumentation
+    settings: ``plain`` (the hook entry points replaced with no-ops —
+    the floor a hook-free build would reach), ``off`` (the shipped
+    default: hooks present but disabled), ``metrics`` and ``trace``
+    (events discarded by a null sink, so the timing isolates emission
+    cost from disk). ``scripts/check_perf.py`` gates ``off`` against
+    ``plain``: the disabled hooks must stay within a few percent, so
+    instrumentation can be left in the hot path unconditionally.
+    """
+    from repro.experiments import TrainingParams, run_distgnn
+    from repro.obs import api as obs_api
+    from repro.obs.sink import EventSink
+
+    class _NullSink(EventSink):
+        def emit(self, event):
+            pass
+
+    graph = load_dataset("OR", "tiny", seed=0)
+    params = TrainingParams()
+    # One tiny cell takes ~2ms — below timer resolution — so each
+    # timed sample runs it this many times back to back.
+    inner = 50
+
+    def cell():
+        for _ in range(inner):
+            run_distgnn(graph, "hdrf", 4, params, seed=0)
+
+    run_distgnn(graph, "hdrf", 4, params, seed=0)  # warm partition cache
+
+    hook_names = ("count", "gauge", "observe", "event")
+    flag_names = ("enabled", "tracing")
+    saved = {
+        name: getattr(obs_api, name)
+        for name in hook_names + flag_names
+    }
+
+    def _noop(*args, **kwargs):
+        return None
+
+    def enter_plain():
+        for name in hook_names:
+            setattr(obs_api, name, _noop)
+        for name in flag_names:
+            setattr(obs_api, name, lambda: False)
+
+    def make_enter(level):
+        def enter():
+            obs_api.reset()
+            obs_api.configure(
+                level, sink=_NullSink() if level == "trace" else None
+            )
+        return enter
+
+    def leave():
+        for name, fn in saved.items():
+            setattr(obs_api, name, fn)
+        obs_api.disable()
+        obs_api.reset()
+
+    variants = [("plain", enter_plain)] + [
+        (level, make_enter(level))
+        for level in ("off", "metrics", "trace")
+    ]
+    # Interleave the variants round-robin: machine drift over the
+    # benchmark's lifetime (frequency scaling, allocator growth) is of
+    # the same order as the effect being measured, and sequential
+    # blocks would fold that drift into the comparison.
+    timings = {name: float("inf") for name, _ in variants}
+    for _ in range(max(repeats, 3)):
+        for name, enter in variants:
+            enter()
+            try:
+                timings[name] = min(timings[name], _time(cell, 1))
+            finally:
+                leave()
+
+    plain = timings["plain"]
+    return {
+        "graph": "OR",
+        "scale": "tiny",
+        "k": 4,
+        "inner_repeats": inner,
+        "plain_seconds": plain,
+        "off_seconds": timings["off"],
+        "metrics_seconds": timings["metrics"],
+        "trace_seconds": timings["trace"],
+        "off_overhead_fraction": (
+            (timings["off"] - plain) / plain if plain > 0 else 0.0
+        ),
+        "metrics_overhead_fraction": (
+            (timings["metrics"] - plain) / plain if plain > 0 else 0.0
+        ),
+    }
+
+
 def run_bench(repeats: int) -> dict:
     graphs = {
         key: load_dataset(key, "small", seed=0) for key in DATASET_KEYS
@@ -165,6 +264,7 @@ def run_bench(repeats: int) -> dict:
             graphs[LARGEST_GRAPH], repeats
         ),
         "sampling": bench_sampling(graphs[LARGEST_GRAPH], repeats),
+        "obs_overhead": bench_obs_overhead(repeats),
     }
     return report
 
@@ -258,6 +358,13 @@ def main(argv=None) -> int:
         f"{hdrf['reference_seconds']:.3f}s -> "
         f"{hdrf['vectorised_seconds']:.3f}s "
         f"({hdrf['speedup']:.1f}x, identical={hdrf['identical']})"
+    )
+    overhead = report["obs_overhead"]
+    print(
+        f"obs hooks on {overhead['graph']}/{overhead['scale']} "
+        f"(k={overhead['k']}): plain {overhead['plain_seconds']:.4f}s, "
+        f"off +{overhead['off_overhead_fraction'] * 100:.1f}%, "
+        f"metrics +{overhead['metrics_overhead_fraction'] * 100:.1f}%"
     )
     slowest = sorted(
         report["kernels"].items(),

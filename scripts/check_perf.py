@@ -33,6 +33,13 @@ from bench_perf import latest_report, load_series, run_bench  # noqa: E402
 #: noise; the ratio test is applied against at least this much time.
 MIN_GATED_SECONDS = 0.01
 
+#: Disabled-hook budget: running with ``--obs-level off`` (the default)
+#: may cost at most this fraction over a hook-free build.
+OBS_OFF_MAX_OVERHEAD = 0.03
+#: ...unless the absolute delta is below this floor, where the timer
+#: cannot resolve the difference anyway.
+OBS_OFF_ABS_FLOOR_SECONDS = 0.01
+
 
 def compare(
     baseline: dict,
@@ -68,6 +75,20 @@ def compare(
         regressions.append(
             "hdrf_vs_reference: vectorised and reference assignments differ"
         )
+    overhead = fresh.get("obs_overhead")
+    if overhead:
+        plain = overhead["plain_seconds"]
+        delta = overhead["off_seconds"] - plain
+        budget = max(
+            OBS_OFF_MAX_OVERHEAD * plain, OBS_OFF_ABS_FLOOR_SECONDS
+        )
+        if delta > budget:
+            regressions.append(
+                f"obs_overhead: disabled hooks cost "
+                f"{delta:.4f}s over the {plain:.4f}s plain run "
+                f"({delta / plain * 100:.1f}% > "
+                f"{OBS_OFF_MAX_OVERHEAD * 100:.0f}% budget)"
+            )
     return regressions
 
 

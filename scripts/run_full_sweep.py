@@ -12,6 +12,7 @@ Usage::
         [--machines 4,32] [--out DIR] [--workers N]
         [--fault-rate P] [--epochs E] [--checkpoint-every C]
         [--obs-level metrics] [--obs-out sweep_obs.jsonl]
+        [--bus-out BUS_DIR] [--rules rules.json] [--abort-on critical]
 
 ``--quick`` restricts to the corner-covering reduced grid (the same one
 the benchmarks use). ``--workers N`` fans the (machines, partitioner)
@@ -29,6 +30,14 @@ parallel runs — and ``--obs-out`` receives a JSONL dump (trace events,
 when tracing, plus a final metrics-snapshot record from the coordinator
 process). Feed the saved sweeps to ``scripts/build_run_report.py`` for
 a consolidated markdown/JSON run report.
+
+``--bus-out DIR`` streams live progress events onto a telemetry bus
+(per-worker JSONL files; watch it from another terminal with
+``python -m repro obs watch DIR`` — see ``docs/live.md``). ``--rules
+FILE`` evaluates a declarative alert-rule file against every finished
+cell's records; firings are printed (and pushed onto the bus) as
+findings, and ``--abort-on {warning,critical}`` stops the sweep early
+with exit code 2 the moment a rule fires at or above that severity.
 """
 
 from __future__ import annotations
@@ -100,6 +109,16 @@ def parse_args(argv):
                              "produce identical reports")
     parser.add_argument("--analysis-dashboard", default=None,
                         help="also write the self-contained HTML dashboard")
+    parser.add_argument("--bus-out", default=None,
+                        help="telemetry-bus directory: stream live "
+                             "progress events for `repro obs watch`")
+    parser.add_argument("--rules", default=None,
+                        help="alert-rules JSON evaluated per finished "
+                             "cell (see docs/live.md)")
+    parser.add_argument("--abort-on", default=None,
+                        choices=("warning", "critical"),
+                        help="stop the sweep (exit 2) when a rule fires "
+                             "at or above this severity")
     return parser.parse_args(argv)
 
 
@@ -139,30 +158,103 @@ def main(argv=None) -> int:
             sink = obs.JsonlSink(args.obs_out)
         obs.configure(args.obs_level, sink)
 
+    rules = None
+    if args.rules:
+        from repro.obs.live import RuleSet
+
+        rules = RuleSet.load(args.rules)
+        print(f"rules: {len(rules.rules)} loaded from {args.rules}")
+    if args.abort_on and rules is None:
+        print("--abort-on needs --rules", file=sys.stderr)
+        return 1
+
+    bus = None
+    if args.bus_out:
+        from repro.obs.live import BusWriter
+
+        bus = BusWriter(args.bus_out, "coordinator")
+        cells_per_graph = len(machines) * (
+            len(EDGE_PARTITIONER_NAMES) + len(VERTEX_PARTITIONER_NAMES)
+        )
+        bus.sweep_start(
+            len(graphs) * cells_per_graph,
+            graphs=graphs, machine_counts=machines,
+            configs=len(grid),
+        )
+        print(f"bus: streaming to {args.bus_out} "
+              f"(watch: python -m repro obs watch {args.bus_out})")
+
+    fired_alerts = []
+    cell_callback = None
+    if rules is not None:
+        from repro.obs.live import SweepAborted, severity_at_least
+
+        def cell_callback(cell, cell_records):
+            firings = rules.evaluate_records(cell_records)
+            for index, finding in enumerate(firings):
+                if bus is not None:
+                    bus.finding(cell, index, finding)
+                print(
+                    f"  alert [{finding.severity}] {finding.message}"
+                )
+            fired_alerts.extend(firings)
+            if args.abort_on:
+                fatal = [
+                    f for f in firings
+                    if severity_at_least(f.severity, args.abort_on)
+                ]
+                if fatal:
+                    raise SweepAborted(fatal)
+    elif args.bus_out:
+        def cell_callback(cell, cell_records):
+            pass
+
     workers = args.workers if args.workers > 0 else None
     distgnn_records = []
     distdgl_records = []
-    for key in graphs:
-        graph = load_dataset(key, args.scale, seed=args.seed)
-        split = random_split(graph, seed=args.seed)
-        start = time.time()
-        distgnn_records.extend(
-            run_distgnn_grid_parallel(
-                graph, EDGE_PARTITIONER_NAMES, machines, grid,
-                seed=args.seed, workers=workers,
-                fault_config=fault_config, num_epochs=args.epochs,
+    aborted = None
+    cell_offset = 0
+    try:
+        for key in graphs:
+            graph = load_dataset(key, args.scale, seed=args.seed)
+            split = random_split(graph, seed=args.seed)
+            start = time.time()
+            distgnn_records.extend(
+                run_distgnn_grid_parallel(
+                    graph, EDGE_PARTITIONER_NAMES, machines, grid,
+                    seed=args.seed, workers=workers,
+                    fault_config=fault_config, num_epochs=args.epochs,
+                    bus_dir=args.bus_out, cell_callback=cell_callback,
+                    cell_offset=cell_offset,
+                )
             )
-        )
-        print(f"{key}: DistGNN grid done in {time.time() - start:.0f}s")
-        start = time.time()
-        distdgl_records.extend(
-            run_distdgl_grid_parallel(
-                graph, VERTEX_PARTITIONER_NAMES, machines, grid,
-                split=split, seed=args.seed, workers=workers,
-                fault_config=fault_config, num_epochs=args.epochs,
+            cell_offset += len(machines) * len(EDGE_PARTITIONER_NAMES)
+            print(
+                f"{key}: DistGNN grid done in {time.time() - start:.0f}s"
             )
-        )
-        print(f"{key}: DistDGL grid done in {time.time() - start:.0f}s")
+            start = time.time()
+            distdgl_records.extend(
+                run_distdgl_grid_parallel(
+                    graph, VERTEX_PARTITIONER_NAMES, machines, grid,
+                    split=split, seed=args.seed, workers=workers,
+                    fault_config=fault_config, num_epochs=args.epochs,
+                    bus_dir=args.bus_out, cell_callback=cell_callback,
+                    cell_offset=cell_offset,
+                )
+            )
+            cell_offset += len(machines) * len(VERTEX_PARTITIONER_NAMES)
+            print(
+                f"{key}: DistDGL grid done in {time.time() - start:.0f}s"
+            )
+    except Exception as error:
+        from repro.obs.live import SweepAborted
+
+        if not isinstance(error, SweepAborted):
+            raise
+        aborted = error
+    finally:
+        if bus is not None:
+            bus.close()
 
     os.makedirs(args.out, exist_ok=True)
     gnn_path = os.path.join(args.out, "sweep_distgnn.json")
@@ -171,6 +263,19 @@ def main(argv=None) -> int:
     save_records(distdgl_records, dgl_path)
     print(f"wrote {gnn_path} ({len(distgnn_records)} records)")
     print(f"wrote {dgl_path} ({len(distdgl_records)} records)")
+
+    if aborted is not None:
+        if args.obs_level != "off":
+            obs.reset()
+            obs.disable()
+        print(f"\nABORTED: {aborted}", file=sys.stderr)
+        for finding in aborted.findings:
+            print(
+                f"  [{finding.severity}] {finding.subject}: "
+                f"{finding.message}",
+                file=sys.stderr,
+            )
+        return 2
 
     if args.obs_level != "off":
         if args.obs_out:
@@ -207,6 +312,17 @@ def main(argv=None) -> int:
             ) as handle:
                 handle.write(analysis.render_dashboard(report_dict))
             print(f"wrote {args.analysis_dashboard} (dashboard)")
+
+    if rules is not None:
+        if fired_alerts:
+            print(f"\nalerts fired: {len(fired_alerts)}")
+            for finding in fired_alerts:
+                print(
+                    f"  [{finding.severity}] {finding.subject}: "
+                    f"{finding.message}"
+                )
+        else:
+            print(f"\nalerts fired: none ({len(rules.rules)} rules)")
 
     # Quick headline: mean speedups at the largest machine count.
     top_k = max(machines)

@@ -10,6 +10,7 @@ Subcommands::
     python -m repro obs analyze   RUN_ARTIFACT...   # diagnose a run
     python -m repro obs diff      A B               # regression diff
     python -m repro obs dashboard RUN... -o out.html
+    python -m repro obs watch     BUS_DIR           # live sweep monitor
 
 All numbers are simulated cluster seconds under the default cost model;
 see ``repro.costmodel`` for calibration details.
@@ -464,10 +465,71 @@ def _cmd_obs_dashboard(args) -> int:
     return 0
 
 
+def _cmd_obs_watch(args) -> int:
+    from .obs.live import BusTailer, RuleSet, WatchState, watch_loop
+
+    rules = RuleSet.load(args.rules) if args.rules else None
+    state = WatchState(rules=rules)
+    tailer = BusTailer(args.bus_dir)
+    ticks = 1 if args.once else args.ticks
+    watch_loop(
+        tailer, state, ticks=ticks, interval=args.interval,
+        out=sys.stdout, ansi=not args.no_ansi,
+    )
+    if args.summary_json:
+        with open(args.summary_json, "w", encoding="utf-8") as handle:
+            handle.write(state.to_deterministic_json())
+        print(f"summary written to {args.summary_json}")
+    if args.check_against:
+        from .experiments.export import load_records
+        from .obs import analysis
+
+        records = []
+        for path in _split_run_paths(args.check_against):
+            records.extend(load_records(path))
+        expected = [
+            finding.to_dict()
+            for finding in analysis.sort_findings(
+                analysis.detect_record_anomalies(
+                    records, state.thresholds
+                )
+            )
+        ]
+        streamed = [
+            finding.to_dict()
+            for finding in analysis.sort_findings(
+                analysis.detect_record_anomalies(
+                    state.shims(), state.thresholds
+                )
+            )
+        ]
+        if len(records) != len(state.records):
+            print(
+                f"check-against: record count mismatch — bus streamed "
+                f"{len(state.records)} records, files hold "
+                f"{len(records)}"
+            )
+            return 1
+        if expected != streamed:
+            print(
+                "check-against: streamed findings diverge from the "
+                f"post-hoc analysis ({len(streamed)} streamed vs "
+                f"{len(expected)} expected)"
+            )
+            return 1
+        print(
+            f"check-against: OK — {len(state.records)} records, "
+            f"{len(expected)} anomaly findings match the post-hoc "
+            "analysis"
+        )
+    return 0
+
+
 _OBS_COMMANDS = {
     "analyze": _cmd_obs_analyze,
     "diff": _cmd_obs_diff,
     "dashboard": _cmd_obs_dashboard,
+    "watch": _cmd_obs_watch,
 }
 
 
@@ -531,6 +593,49 @@ def _add_obs_subcommands(sub) -> None:
                            help="output HTML path")
     dashboard.add_argument("--label", default=None)
     dashboard.add_argument("--title", default="Telemetry analysis")
+
+    watch = obs_sub.add_parser(
+        "watch",
+        help="live terminal monitor over a sweep's telemetry bus "
+             "(see docs/live.md)",
+    )
+    watch.add_argument(
+        "bus_dir",
+        help="bus directory (run_full_sweep.py --bus-out DIR)",
+    )
+    watch.add_argument(
+        "--ticks", type=int, default=None,
+        help="render exactly N frames then exit "
+             "(default: until the sweep completes)",
+    )
+    watch.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between frames (default: 1.0)",
+    )
+    watch.add_argument(
+        "--once", action="store_true",
+        help="render a single frame over the current bus state and exit",
+    )
+    watch.add_argument(
+        "--rules", default=None,
+        help="alert-rules JSON evaluated over streamed records "
+             "(see docs/live.md)",
+    )
+    watch.add_argument(
+        "--no-ansi", action="store_true",
+        help="never emit ANSI clear codes (append frames instead)",
+    )
+    watch.add_argument(
+        "--summary-json", default=None,
+        help="write the deterministic (simulated-only) sweep summary "
+             "JSON here on exit",
+    )
+    watch.add_argument(
+        "--check-against", nargs="+", default=None,
+        help="record JSON file(s); verify the streamed records and "
+             "anomaly findings match a post-hoc analysis of these "
+             "files (exit 1 on divergence)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:

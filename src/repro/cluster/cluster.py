@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List
 
 import numpy as np
 
@@ -67,6 +67,13 @@ class Cluster:
         #: epochs after a restore, so recovery work is distinguishable
         #: in the timeline and Chrome trace.
         self.phase_prefix = ""
+        #: Per-phase memory watermark: for every phase name recorded
+        #: through :meth:`add_phase`, the per-machine ledger totals
+        #: observed when the phase ran (elementwise max over
+        #: occurrences). Bounded by (#phase names x machines); with
+        #: engines that allocate only at construction the timeline is
+        #: flat, but it captures any per-phase allocate/free churn.
+        self._memory_watermarks: Dict[str, np.ndarray] = {}
 
     @property
     def num_machines(self) -> int:
@@ -83,8 +90,17 @@ class Cluster:
         interrupted: bool = False,
     ) -> float:
         """Record a raw timeline phase under the current phase prefix."""
+        full_name = self.phase_prefix + name
+        totals = np.array(
+            [machine.memory.total_bytes for machine in self.machines]
+        )
+        watermark = self._memory_watermarks.get(full_name)
+        if watermark is None:
+            self._memory_watermarks[full_name] = totals
+        else:
+            np.maximum(watermark, totals, out=watermark)
         return self.timeline.add_phase(
-            self.phase_prefix + name, per_machine_seconds, interrupted
+            full_name, per_machine_seconds, interrupted
         )
 
     def run_compute_phase(
@@ -103,20 +119,50 @@ class Cluster:
             machine.add_compute(float(seconds))
         return self.add_phase(name, per_machine_seconds)
 
-    def run_comm_phase(
+    def record_traffic(
         self,
         name: str,
         sent_per_machine: np.ndarray,
         received_per_machine: np.ndarray,
         messages_per_machine: np.ndarray | None = None,
-    ) -> float:
-        """Record a communication phase: traffic plus straggler time."""
+        matrix: np.ndarray | None = None,
+    ) -> None:
+        """Record phase traffic on the fabric and machine ledgers.
+
+        No time is charged — callers that model their own phase timing
+        (e.g. the mini-batch engine, whose phases mix compute and
+        communication) use this to keep the byte ledgers and the
+        ``src x dst`` matrix consistent with what they simulated. The
+        phase name is recorded under the current :attr:`phase_prefix`.
+        """
         sent = np.asarray(sent_per_machine, dtype=np.float64)
         received = np.asarray(received_per_machine, dtype=np.float64)
         self.fabric.transfer_bulk(sent, received, messages_per_machine)
         for machine, s, r in zip(self.machines, sent, received):
             machine.bytes_sent += float(s)
             machine.bytes_received += float(r)
+        if matrix is not None:
+            self.fabric.record_matrix(self.phase_prefix + name, matrix)
+
+    def run_comm_phase(
+        self,
+        name: str,
+        sent_per_machine: np.ndarray,
+        received_per_machine: np.ndarray,
+        messages_per_machine: np.ndarray | None = None,
+        matrix: np.ndarray | None = None,
+    ) -> float:
+        """Record a communication phase: traffic plus straggler time.
+
+        ``matrix`` (optional, ``src x dst`` bytes) attributes the same
+        traffic pairwise for the fabric's per-phase matrices; it never
+        affects the returned duration.
+        """
+        sent = np.asarray(sent_per_machine, dtype=np.float64)
+        received = np.asarray(received_per_machine, dtype=np.float64)
+        self.record_traffic(
+            name, sent, received, messages_per_machine, matrix
+        )
         # Per-machine port bound, floored by the fabric's bisection bound:
         # with every machine communicating concurrently the shared fabric
         # sustains ~k/2 concurrent full-rate transfers, so a phase cannot
@@ -143,6 +189,32 @@ class Cluster:
             ]
         )
         return self.add_phase(name, per_machine_seconds)
+
+    def check_traffic_invariant(self, tolerance: float = 1e-6) -> None:
+        """Assert fabric totals equal the per-machine byte ledgers.
+
+        The invariant: ``fabric.total_bytes`` == sum of per-machine
+        ``bytes_sent`` (and the received side likewise), because every
+        phase records both through :meth:`record_traffic`. Injected lost
+        messages are pure *counts* — the dropped payload is charged to
+        neither ledger, and retransmitted bytes re-enter both sides when
+        actually resent — so they can never skew this balance. Raises
+        ``RuntimeError`` on mismatch (an accounting bug).
+        """
+        fabric_sent = float(self.fabric.sent.sum())
+        fabric_received = float(self.fabric.received.sum())
+        machine_sent = sum(m.bytes_sent for m in self.machines)
+        machine_received = sum(m.bytes_received for m in self.machines)
+        for side, fabric_total, machine_total in (
+            ("sent", fabric_sent, machine_sent),
+            ("received", fabric_received, machine_received),
+        ):
+            bound = tolerance * max(abs(fabric_total), 1.0)
+            if abs(fabric_total - machine_total) > bound:
+                raise RuntimeError(
+                    f"traffic ledger mismatch ({side}): fabric total "
+                    f"{fabric_total} != per-machine sum {machine_total}"
+                )
 
     # ------------------------------------------------------------------
     # Memory
@@ -178,3 +250,71 @@ class Cluster:
         peaks = self.memory_per_machine()
         mean = peaks.mean()
         return float(peaks.max() / mean) if mean > 0 else 1.0
+
+    def memory_watermark_timeline(self) -> Dict[str, np.ndarray]:
+        """Per-phase memory watermark: phase name -> per-machine bytes.
+
+        For each phase name recorded through :meth:`add_phase`, the
+        elementwise max of the per-machine ledger totals observed when
+        the phase ran, in first-occurrence order (copies).
+        """
+        return {
+            phase: watermark.copy()
+            for phase, watermark in self._memory_watermarks.items()
+        }
+
+    def memory_category_peaks(self) -> Dict[str, List[float]]:
+        """Per-category peak bytes per machine: category -> [bytes, ...].
+
+        Categories are the union across machines, sorted; a machine
+        without the category contributes 0.0.
+        """
+        per_machine = [
+            machine.memory.peak_by_category() for machine in self.machines
+        ]
+        categories = sorted(set().union(*per_machine)) if per_machine else []
+        return {
+            category: [float(peaks.get(category, 0.0))
+                       for peaks in per_machine]
+            for category in categories
+        }
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def emit_resource_metrics(self) -> None:
+        """Emit memory/traffic depth gauges and counters into obs.
+
+        Called once per run (not per phase) so the hot path stays clean:
+        per-machine per-category memory peaks, the per-phase memory
+        watermark, and the nonzero entries of the total ``src x dst``
+        traffic matrix. No-op when observability is disabled.
+        """
+        if not obs.enabled():
+            return
+        for category, peaks in self.memory_category_peaks().items():
+            for machine, peak in enumerate(peaks):
+                if peak:
+                    obs.gauge(
+                        "cluster.memory_category_peak_bytes",
+                        peak,
+                        machine=machine,
+                        category=category,
+                    )
+        for phase, watermark in self._memory_watermarks.items():
+            for machine, level in enumerate(watermark):
+                if level:
+                    obs.gauge(
+                        "cluster.memory_watermark_bytes",
+                        float(level),
+                        machine=machine,
+                        phase=phase,
+                    )
+        matrix = self.fabric.traffic_matrix()
+        for src, dst in zip(*np.nonzero(matrix)):
+            obs.count(
+                "cluster.traffic_matrix_bytes",
+                float(matrix[src, dst]),
+                src=int(src),
+                dst=int(dst),
+            )

@@ -6,35 +6,54 @@ from typing import Dict
 
 __all__ = ["MemoryLedger", "Machine"]
 
+#: Residual bytes below this are float noise from allocate/free pairs;
+#: a category that drops under it is removed from the ledger entirely.
+_ZERO_BYTES = 1e-9
+
 
 class MemoryLedger:
-    """Tracks bytes allocated per category, with a peak watermark.
+    """Tracks bytes allocated per category, with peak watermarks.
 
     Categories mirror the footprint breakdown the paper discusses: graph
     structure, features, activations (intermediate representations),
-    replicas, model/optimizer state, communication buffers.
+    replicas, model/optimizer state, communication buffers. Both the
+    total and every category keep a high-water mark, so transient
+    allocations remain visible after they are freed.
     """
 
     def __init__(self) -> None:
         self._current: Dict[str, float] = {}
         self._peak_total = 0.0
+        self._peak_by_category: Dict[str, float] = {}
 
     def allocate(self, category: str, num_bytes: float) -> None:
-        """Add ``num_bytes`` to ``category`` and update the peak."""
+        """Add ``num_bytes`` to ``category`` and update the peaks."""
         if num_bytes < 0:
             raise ValueError("allocate takes non-negative sizes; use free")
-        self._current[category] = self._current.get(category, 0.0) + num_bytes
+        held = self._current.get(category, 0.0) + num_bytes
+        self._current[category] = held
+        if held > self._peak_by_category.get(category, 0.0):
+            self._peak_by_category[category] = held
         self._peak_total = max(self._peak_total, self.total_bytes)
 
     def free(self, category: str, num_bytes: float) -> None:
-        """Release ``num_bytes`` previously allocated under ``category``."""
+        """Release ``num_bytes`` previously allocated under ``category``.
+
+        A category freed back to zero is removed from the current
+        ledger (its peak watermark is kept), so :meth:`by_category`
+        only ever reports live allocations.
+        """
         held = self._current.get(category, 0.0)
         if num_bytes > held + 1e-6:
             raise ValueError(
                 f"freeing {num_bytes} bytes of {category!r} "
                 f"but only {held} allocated"
             )
-        self._current[category] = held - num_bytes
+        remaining = held - num_bytes
+        if remaining <= _ZERO_BYTES:
+            self._current.pop(category, None)
+        else:
+            self._current[category] = remaining
 
     @property
     def total_bytes(self) -> float:
@@ -49,6 +68,15 @@ class MemoryLedger:
     def by_category(self) -> Dict[str, float]:
         """Current allocation per category (a copy)."""
         return dict(self._current)
+
+    def peak_by_category(self) -> Dict[str, float]:
+        """High-water mark per category (a copy).
+
+        Unlike :attr:`peak_bytes` these are per-category maxima, so they
+        need not sum to the total peak (categories can peak at different
+        times).
+        """
+        return dict(self._peak_by_category)
 
 
 class Machine:

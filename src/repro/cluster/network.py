@@ -4,9 +4,23 @@ Traffic is what the paper measures ("network communication"); the fabric
 accumulates sent/received bytes per machine and converts a communication
 phase into seconds under the cost model (bandwidth is per machine port, so
 the phase lasts as long as its busiest port).
+
+Beyond the per-port vectors, the fabric keeps a ``src x dst`` traffic
+matrix per phase name (who talked to whom, in bytes) — the resource
+profile the live monitor and the dashboard heatmap render. The matrices
+are pure bookkeeping: they never influence phase timing, which stays a
+function of the per-port vectors alone.
+
+Ledger convention: injected *lost messages* are pure counts
+(:attr:`NetworkFabric.lost_messages`); the dropped payload is charged to
+**neither** side's byte ledger. Bytes only enter the ledgers when they
+are (re)transmitted, so ``total_bytes`` always equals the sum of
+per-machine sent bytes (see ``Cluster.check_traffic_invariant``).
 """
 
 from __future__ import annotations
+
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -26,9 +40,17 @@ class NetworkFabric:
         self.received = np.zeros(num_machines, dtype=np.float64)
         self.messages = np.zeros(num_machines, dtype=np.int64)
         self.lost_messages = np.zeros(num_machines, dtype=np.int64)
+        #: ``src x dst`` byte matrices keyed by phase name, accumulated
+        #: by :meth:`record_matrix` (insertion order = first occurrence).
+        self._matrix_by_phase: Dict[str, np.ndarray] = {}
 
     def record_lost_message(self, machine: int) -> None:
-        """Count an injected lost message on ``machine``'s port."""
+        """Count an injected lost message on ``machine``'s port.
+
+        Only the count is recorded: the lost payload's bytes are dropped
+        from both ledgers (they show up again if a retransmit re-sends
+        them), so the sent/received totals stay consistent.
+        """
         self.lost_messages[machine] += 1
         obs.count("cluster.lost_messages", machine=machine)
 
@@ -65,6 +87,49 @@ class NetworkFabric:
                         float(received_per_machine[machine]),
                         machine=machine,
                     )
+
+    def record_matrix(self, phase: str, matrix: np.ndarray) -> None:
+        """Accumulate a ``src x dst`` byte matrix under ``phase``.
+
+        Bookkeeping only — the matrix never affects phase timing, and
+        its row/column sums are expected (and test-enforced for the
+        engines) to match the sent/received vectors of the same phase.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        k = self.num_machines
+        if matrix.shape != (k, k):
+            raise ValueError(
+                f"traffic matrix must be ({k}, {k}), got {matrix.shape}"
+            )
+        existing = self._matrix_by_phase.get(phase)
+        if existing is None:
+            self._matrix_by_phase[phase] = matrix.copy()
+        else:
+            existing += matrix
+
+    def traffic_matrix(self, phase: Optional[str] = None) -> np.ndarray:
+        """``src x dst`` byte matrix for ``phase`` (or all phases summed).
+
+        Returns a zero matrix for a phase that recorded no traffic.
+        """
+        k = self.num_machines
+        if phase is not None:
+            matrix = self._matrix_by_phase.get(phase)
+            return (
+                matrix.copy() if matrix is not None
+                else np.zeros((k, k), dtype=np.float64)
+            )
+        total = np.zeros((k, k), dtype=np.float64)
+        for matrix in self._matrix_by_phase.values():
+            total += matrix
+        return total
+
+    def traffic_matrix_phases(self) -> Dict[str, np.ndarray]:
+        """Per-phase ``src x dst`` matrices (copies), in recording order."""
+        return {
+            phase: matrix.copy()
+            for phase, matrix in self._matrix_by_phase.items()
+        }
 
     def phase_seconds(
         self,

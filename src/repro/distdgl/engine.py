@@ -328,6 +328,11 @@ class DistDglEngine:
         local_inputs = remote_inputs = cache_hits = 0
         sampled_edges = 0
         step_bytes = 0.0
+        # src x dst byte attribution for this step (owners -> worker for
+        # sampling/fetching, ring for the all-reduce). Bookkeeping only;
+        # phase timing stays a function of the per-worker scalars above.
+        sample_matrix = np.zeros((k, k), dtype=np.float64)
+        fetch_matrix = np.zeros((k, k), dtype=np.float64)
         batch_per_worker = max(
             self.global_batch_size // len(active_set), 1
         )
@@ -345,6 +350,7 @@ class DistDglEngine:
             # ---- sampling phase -------------------------------------
             sample_sec = 0.0
             remote_frontier = 0
+            edge_list_bytes = self.fanouts[0] * 2 * cm.index_bytes
             for block in batch.blocks:
                 dst_owned = self.owner[block.src_ids[: block.num_dst]]
                 remote = int((dst_owned != w).sum())
@@ -354,8 +360,13 @@ class DistDglEngine:
                     block.num_edges * cm.sample_seconds_per_edge
                     + remote * cm.remote_sample_overhead
                 )
-                # Remote frontiers ship their sampled edge lists back.
-                step_bytes += remote * self.fanouts[0] * 2 * cm.index_bytes
+                # Remote frontiers ship their sampled edge lists back,
+                # each remote vertex's owner -> this worker.
+                step_bytes += remote * edge_list_bytes
+                sample_matrix[:, w] += (
+                    np.bincount(dst_owned[dst_owned != w], minlength=k)
+                    * edge_list_bytes
+                )
             per_worker["sample"][w] = sample_sec * stretch[w]
 
             # ---- feature fetching phase -----------------------------
@@ -374,6 +385,10 @@ class DistDglEngine:
             fetch_bytes = cm.feature_bytes(n_remote, self.feature_size)
             fetch_bytes_per_worker[w] = fetch_bytes
             step_bytes += fetch_bytes
+            fetch_matrix[:, w] += cm.feature_bytes(
+                np.bincount(owners[remote_mask], minlength=k),
+                self.feature_size,
+            )
             # One RPC per peer that actually owns remote inputs: a good
             # partition talks to few peers, not to all k-1 of them.
             peers = int(np.unique(owners[remote_mask]).size)
@@ -410,6 +425,9 @@ class DistDglEngine:
                 + cm.transfer_seconds(fetch_bytes_per_worker[w])
             )
             step_bytes += fetch_bytes_per_worker[w]
+            # The full fetch is re-sent by the same owners; the dropped
+            # copy itself is a pure count on the fabric, no bytes.
+            fetch_matrix[:, w] *= 2.0
 
         # Gradient all-reduce is part of the backward phase, as in the
         # paper's measurement methodology (Section 5.3).
@@ -423,9 +441,31 @@ class DistDglEngine:
             * stretch[active_index]
         )
 
+        # Ring all-reduce over the surviving workers.
+        allreduce_matrix = np.zeros((k, k), dtype=np.float64)
+        num_active = len(active_index)
+        if num_active > 1:
+            per_link = 2.0 * grad_bytes * (num_active - 1) / num_active
+            for i, src in enumerate(active_index):
+                allreduce_matrix[
+                    src, active_index[(i + 1) % num_active]
+                ] = per_link
+
         total_per_worker = sum(per_worker[phase] for phase in PHASES)
         for phase in PHASES:
-            self.cluster.timeline.add_phase(phase, per_worker[phase])
+            self.cluster.add_phase(phase, per_worker[phase])
+        for phase, matrix in (
+            ("sample", sample_matrix),
+            ("fetch", fetch_matrix),
+            ("backward", allreduce_matrix),  # all-reduce rides backward
+        ):
+            if matrix.any():
+                self.cluster.record_traffic(
+                    phase,
+                    matrix.sum(axis=1),
+                    matrix.sum(axis=0),
+                    matrix=matrix,
+                )
         active = input_counts[input_counts > 0]
         balance = (
             float(active.max() / active.mean()) if active.size else 1.0

@@ -122,6 +122,17 @@ class DistGnnEngine:
         self.master_excess_per_machine = np.bincount(
             pairs[:, 0], weights=excess, minlength=k
         ).astype(np.float64)
+        # Pairwise sync topology: pair_counts[i, j] = non-master replicas
+        # hosted on machine i whose master lives on machine j. Row sums
+        # equal nonmaster_per_machine, column sums master_excess — the
+        # basis of the src x dst traffic matrices.
+        nonmaster_pairs = pairs[~is_master_replica]
+        flat = nonmaster_pairs[:, 0] * k + masters[nonmaster_pairs[:, 1]]
+        self.pair_counts = (
+            np.bincount(flat, minlength=k * k)
+            .reshape(k, k)
+            .astype(np.float64)
+        )
 
         self.num_params = sum(
             2 * self.dims[i] * self.dims[i + 1] + self.dims[i + 1]
@@ -223,6 +234,32 @@ class DistGnnEngine:
         received = push_recv + bcast_recv
         return sent, received, float(sent.sum())
 
+    def _layer_sync_matrix(self, dim_in: int, dim_out: int) -> np.ndarray:
+        """``src x dst`` bytes of one layer's halo sync.
+
+        Replica machine ``i`` pushes ``dim_in`` partial aggregates to
+        the master machine ``j`` and receives the ``dim_out`` result
+        back, so the matrix is the pair-count matrix weighted one way
+        plus its transpose weighted the other. Row/column sums equal the
+        sent/received vectors of :meth:`_layer_sync`; the backward sync
+        is the same matrix with the dimensions swapped.
+        """
+        cm = self.cost_model
+        return (
+            cm.feature_bytes(self.pair_counts, dim_in)
+            + cm.feature_bytes(self.pair_counts, dim_out).T
+        )
+
+    def _allreduce_matrix(self, grad_bytes: float) -> np.ndarray:
+        """``src x dst`` bytes of the ring gradient all-reduce."""
+        k = self.num_machines
+        matrix = np.zeros((k, k), dtype=np.float64)
+        if k > 1:
+            per_link = 2.0 * grad_bytes * (k - 1) / k
+            for i in range(k):
+                matrix[i, (i + 1) % k] = per_link
+        return matrix
+
     def simulate_epoch(
         self, speed_multipliers: np.ndarray | None = None
     ) -> EpochBreakdown:
@@ -249,7 +286,8 @@ class DistGnnEngine:
                 f"forward-l{layer}", compute
             )
             forward += cluster.run_comm_phase(
-                f"forward-sync-l{layer}", sent, received
+                f"forward-sync-l{layer}", sent, received,
+                matrix=self._layer_sync_matrix(dim_in, dim_out),
             )
             # Backward mirrors the forward: same sync volume (gradients
             # flow along the same replica links), ~2x the compute.
@@ -257,7 +295,8 @@ class DistGnnEngine:
                 f"backward-l{layer}", BACKWARD_FACTOR * compute
             )
             backward += cluster.run_comm_phase(
-                f"backward-sync-l{layer}", received, sent
+                f"backward-sync-l{layer}", received, sent,
+                matrix=self._layer_sync_matrix(dim_out, dim_in),
             )
             total_bytes += 2 * layer_bytes
 
@@ -266,6 +305,13 @@ class DistGnnEngine:
         cluster.add_phase(
             "gradient-allreduce",
             np.full(self.num_machines, sync_seconds),
+        )
+        allreduce_matrix = self._allreduce_matrix(grad_bytes)
+        cluster.record_traffic(
+            "gradient-allreduce",
+            allreduce_matrix.sum(axis=1),
+            allreduce_matrix.sum(axis=0),
+            matrix=allreduce_matrix,
         )
         total_bytes += 2 * grad_bytes * max(self.num_machines - 1, 0)
 

@@ -21,12 +21,28 @@ worker process, and each record carries its own deterministic
 parallel sweeps stay record-identical. Worker-process registries and
 trace sinks are per process and are not merged back — stream traces
 (``--obs-out``) from serial runs.
+
+Live telemetry: with ``bus_dir`` set, every worker appends
+cell-start/record-done/cell-done/heartbeat events to its own JSONL
+stream in the bus directory (see :mod:`repro.obs.live.bus`), which
+``repro obs watch`` tails; cell indices are global submission order
+(``cell_offset`` threads the running index across multiple grid
+invocations of one sweep). With ``cell_callback`` set, the coordinator
+invokes it as ``callback(cell_index, records)`` for every finished
+cell *in submission order*; the callback raising (e.g.
+:class:`~repro.obs.live.rules.SweepAborted` from an alert rule)
+cancels all not-yet-started cells and propagates — the early-stop path
+of ``run_full_sweep.py --abort-on``. Both features also work on the
+``workers<=1`` path, which then drives the same per-cell helpers
+in-process in the same order.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..costmodel import DEFAULT_COST_MODEL, CostModel
 from ..graph import Graph, VertexSplit, random_split
@@ -42,6 +58,21 @@ from .runner import (
 
 __all__ = ["run_distgnn_grid_parallel", "run_distdgl_grid_parallel"]
 
+#: Per-process bus writers, keyed by bus directory: a worker process
+#: reuses one stream file (and one cseq state) across all its cells.
+_BUS_WRITERS: Dict[str, object] = {}
+
+
+def _bus_writer(bus_dir: str):
+    """The process-local :class:`~repro.obs.live.bus.BusWriter`."""
+    writer = _BUS_WRITERS.get(bus_dir)
+    if writer is None:
+        from ..obs.live.bus import BusWriter
+
+        writer = BusWriter(bus_dir, f"pid{os.getpid()}")
+        _BUS_WRITERS[bus_dir] = writer
+    return writer
+
 
 def _distgnn_cell(
     graph: Graph,
@@ -53,16 +84,33 @@ def _distgnn_cell(
     fault_config: Optional[FaultConfig],
     num_epochs: int,
     obs_level: str = "off",
+    cell: int = -1,
+    bus_dir: Optional[str] = None,
 ) -> List[DistGnnRecord]:
     """One (machines, partitioner) cell of the DistGNN grid."""
     obs.configure(obs_level)
-    return [
-        run_distgnn(
+    writer = _bus_writer(bus_dir) if bus_dir else None
+    started = time.perf_counter()
+    if writer:
+        writer.cell_start(
+            cell, "distgnn", graph.name, partitioner, num_machines,
+            len(grid),
+        )
+    records = []
+    for index, params in enumerate(grid):
+        record = run_distgnn(
             graph, partitioner, num_machines, params, seed, cost_model,
             fault_config=fault_config, num_epochs=num_epochs,
         )
-        for params in grid
-    ]
+        records.append(record)
+        if writer:
+            writer.record_done(cell, index, record, "distgnn")
+            writer.heartbeat()
+    if writer:
+        writer.cell_done(
+            cell, len(records), time.perf_counter() - started
+        )
+    return records
 
 
 def _distdgl_cell(
@@ -76,17 +124,57 @@ def _distdgl_cell(
     fault_config: Optional[FaultConfig],
     num_epochs: int,
     obs_level: str = "off",
+    cell: int = -1,
+    bus_dir: Optional[str] = None,
 ) -> List[DistDglRecord]:
     """One (machines, partitioner) cell of the DistDGL grid."""
     obs.configure(obs_level)
-    return [
-        run_distdgl(
+    writer = _bus_writer(bus_dir) if bus_dir else None
+    started = time.perf_counter()
+    if writer:
+        writer.cell_start(
+            cell, "distdgl", graph.name, partitioner, num_machines,
+            len(grid),
+        )
+    records = []
+    for index, params in enumerate(grid):
+        record = run_distdgl(
             graph, partitioner, num_machines, params, split=split,
             num_epochs=num_epochs, seed=seed, cost_model=cost_model,
             fault_config=fault_config,
         )
-        for params in grid
-    ]
+        records.append(record)
+        if writer:
+            writer.record_done(cell, index, record, "distdgl")
+            writer.heartbeat()
+    if writer:
+        writer.cell_done(
+            cell, len(records), time.perf_counter() - started
+        )
+    return records
+
+
+def _collect_cells(
+    pool: ProcessPoolExecutor,
+    futures: List,
+    records: List,
+    cell_callback: Optional[Callable[[int, List], None]],
+    cell_offset: int,
+) -> None:
+    """Gather cell futures in submission order, invoking the callback
+    per cell; a callback (or cell) exception cancels every pending
+    cell before propagating, so ``--abort-on`` stops the sweep without
+    burning the rest of the grid."""
+    try:
+        for index, future in enumerate(futures):
+            cell_records = future.result()
+            records.extend(cell_records)
+            if cell_callback is not None:
+                cell_callback(cell_offset + index, cell_records)
+    except BaseException:
+        for future in futures:
+            future.cancel()
+        raise
 
 
 def run_distgnn_grid_parallel(
@@ -99,26 +187,45 @@ def run_distgnn_grid_parallel(
     workers: Optional[int] = None,
     fault_config: Optional[FaultConfig] = None,
     num_epochs: int = 1,
+    bus_dir: Optional[str] = None,
+    cell_callback: Optional[Callable[[int, List], None]] = None,
+    cell_offset: int = 0,
 ) -> List[DistGnnRecord]:
     """Parallel :func:`~.runner.run_distgnn_grid` (same records, same order)."""
     grid = list(grid)
+    cells = [
+        (k, name) for k in machine_counts for name in partitioners
+    ]
     if workers is not None and workers <= 1:
-        return run_distgnn_grid(
-            graph, partitioners, machine_counts, grid, seed, cost_model,
-            fault_config=fault_config, num_epochs=num_epochs,
-        )
-    records: List[DistGnnRecord] = []
+        if bus_dir is None and cell_callback is None:
+            return run_distgnn_grid(
+                graph, partitioners, machine_counts, grid, seed,
+                cost_model, fault_config=fault_config,
+                num_epochs=num_epochs,
+            )
+        records: List[DistGnnRecord] = []
+        for index, (k, name) in enumerate(cells):
+            cell_records = _distgnn_cell(
+                graph, name, k, grid, seed, cost_model, fault_config,
+                num_epochs, obs.level(), cell_offset + index, bus_dir,
+            )
+            records.extend(cell_records)
+            if cell_callback is not None:
+                cell_callback(cell_offset + index, cell_records)
+        return records
+    records = []
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [
             pool.submit(
                 _distgnn_cell, graph, name, k, grid, seed, cost_model,
                 fault_config, num_epochs, obs.level(),
+                cell_offset + index, bus_dir,
             )
-            for k in machine_counts
-            for name in partitioners
+            for index, (k, name) in enumerate(cells)
         ]
-        for future in futures:
-            records.extend(future.result())
+        _collect_cells(
+            pool, futures, records, cell_callback, cell_offset
+        )
     return records
 
 
@@ -133,27 +240,46 @@ def run_distdgl_grid_parallel(
     workers: Optional[int] = None,
     fault_config: Optional[FaultConfig] = None,
     num_epochs: int = 1,
+    bus_dir: Optional[str] = None,
+    cell_callback: Optional[Callable[[int, List], None]] = None,
+    cell_offset: int = 0,
 ) -> List[DistDglRecord]:
     """Parallel :func:`~.runner.run_distdgl_grid` (same records, same order)."""
     if split is None:
         split = random_split(graph, seed=seed)
     grid = list(grid)
+    cells = [
+        (k, name) for k in machine_counts for name in partitioners
+    ]
     if workers is not None and workers <= 1:
-        return run_distdgl_grid(
-            graph, partitioners, machine_counts, grid,
-            split=split, seed=seed, cost_model=cost_model,
-            fault_config=fault_config, num_epochs=num_epochs,
-        )
-    records: List[DistDglRecord] = []
+        if bus_dir is None and cell_callback is None:
+            return run_distdgl_grid(
+                graph, partitioners, machine_counts, grid,
+                split=split, seed=seed, cost_model=cost_model,
+                fault_config=fault_config, num_epochs=num_epochs,
+            )
+        records: List[DistDglRecord] = []
+        for index, (k, name) in enumerate(cells):
+            cell_records = _distdgl_cell(
+                graph, name, k, grid, split, seed, cost_model,
+                fault_config, num_epochs, obs.level(),
+                cell_offset + index, bus_dir,
+            )
+            records.extend(cell_records)
+            if cell_callback is not None:
+                cell_callback(cell_offset + index, cell_records)
+        return records
+    records = []
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [
             pool.submit(
                 _distdgl_cell, graph, name, k, grid, split, seed,
                 cost_model, fault_config, num_epochs, obs.level(),
+                cell_offset + index, bus_dir,
             )
-            for k in machine_counts
-            for name in partitioners
+            for index, (k, name) in enumerate(cells)
         ]
-        for future in futures:
-            records.extend(future.result())
+        _collect_cells(
+            pool, futures, records, cell_callback, cell_offset
+        )
     return records

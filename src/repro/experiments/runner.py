@@ -53,6 +53,9 @@ def _obs_record_metrics(engine) -> Dict[str, object]:
     marks: Dict[str, int] = {}
     for mark in timeline.marks:
         marks[mark.kind] = marks.get(mark.kind, 0) + 1
+    cluster.check_traffic_invariant()
+    cluster.emit_resource_metrics()
+    matrix = cluster.fabric.traffic_matrix()
     return {
         "phase_seconds": timeline.phase_totals(),
         "marks": marks,
@@ -62,6 +65,21 @@ def _obs_record_metrics(engine) -> Dict[str, object]:
         "memory_peak_bytes_max": float(
             cluster.memory_per_machine().max()
         ),
+        # Resource depth (PR 5): pairwise traffic and the per-phase
+        # memory profile, all simulated quantities.
+        "traffic_matrix": [
+            [float(x) for x in row] for row in matrix
+        ],
+        "traffic_phase_bytes": {
+            phase: float(m.sum())
+            for phase, m in cluster.fabric.traffic_matrix_phases().items()
+        },
+        "memory_category_peaks": cluster.memory_category_peaks(),
+        "memory_timeline": {
+            phase: [float(x) for x in watermark]
+            for phase, watermark
+            in cluster.memory_watermark_timeline().items()
+        },
     }
 
 

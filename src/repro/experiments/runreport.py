@@ -71,6 +71,9 @@ def _obs_summary(records: List) -> Optional[Dict[str, object]]:
     marks: Dict[str, int] = {}
     bytes_sent = bytes_received = 0.0
     lost = 0
+    memory_peaks: Dict[str, float] = {}
+    traffic_phase: Dict[str, float] = {}
+    cross_traffic = 0.0
     for record in observed:
         metrics = record.obs_metrics
         for phase, seconds in metrics.get("phase_seconds", {}).items():
@@ -80,7 +83,22 @@ def _obs_summary(records: List) -> Optional[Dict[str, object]]:
         bytes_sent += metrics.get("bytes_sent_total", 0.0)
         bytes_received += metrics.get("bytes_received_total", 0.0)
         lost += metrics.get("lost_messages_total", 0)
-    return {
+        for category, peaks in metrics.get(
+            "memory_category_peaks", {}
+        ).items():
+            memory_peaks[category] = max(
+                memory_peaks.get(category, 0.0), max(peaks)
+            )
+        for phase, total in metrics.get(
+            "traffic_phase_bytes", {}
+        ).items():
+            traffic_phase[phase] = (
+                traffic_phase.get(phase, 0.0) + float(total)
+            )
+        matrix = metrics.get("traffic_matrix")
+        if matrix:
+            cross_traffic += sum(sum(row) for row in matrix)
+    summary = {
         "num_observed_records": len(observed),
         "phase_seconds": dict(sorted(phase_seconds.items())),
         "marks": dict(sorted(marks.items())),
@@ -88,6 +106,16 @@ def _obs_summary(records: List) -> Optional[Dict[str, object]]:
         "bytes_received_total": bytes_received,
         "lost_messages_total": lost,
     }
+    if memory_peaks:
+        summary["memory_category_peaks"] = dict(
+            sorted(memory_peaks.items())
+        )
+    if traffic_phase:
+        summary["traffic_phase_bytes"] = dict(
+            sorted(traffic_phase.items())
+        )
+        summary["traffic_matrix_bytes_total"] = cross_traffic
+    return summary
 
 
 def _analysis_summary(records: List) -> Dict[str, object]:
@@ -200,6 +228,27 @@ def _render_markdown(report: Dict[str, object]) -> str:
                 for kind, count in telemetry["marks"].items()
             )
             lines.append(f"- timeline marks: {marks}")
+        if telemetry.get("memory_category_peaks"):
+            peaks = ", ".join(
+                f"{category}={peak / 1e6:.1f} MB"
+                for category, peak
+                in telemetry["memory_category_peaks"].items()
+            )
+            lines.append(f"- memory peaks by category (worst machine): "
+                         f"{peaks}")
+        if telemetry.get("traffic_phase_bytes"):
+            top = sorted(
+                telemetry["traffic_phase_bytes"].items(),
+                key=lambda kv: (-kv[1], kv[0]),
+            )[:5]
+            phases = ", ".join(
+                f"{phase}={total / 1e6:.2f} MB" for phase, total in top
+            )
+            lines.append(
+                f"- pairwise traffic "
+                f"({telemetry['traffic_matrix_bytes_total'] / 1e6:.2f} "
+                f"MB attributed src->dst), top phases: {phases}"
+            )
         lines.append("")
         lines.append("| Phase | Total simulated s |")
         lines.append("|---|---|")

@@ -8,7 +8,9 @@ identical reports render byte-identical HTML.
 
 Views: stat tiles (headline numbers), phase-stacked epoch-time bars per
 partitioner (the paper's Figs. 19/21/22 shape), a per-machine heatmap
-(busy time, traffic, memory — the straggler/balance view), the findings
+(busy time, traffic, memory — the straggler/balance view), per-engine
+resource depth (the ``src x dst`` traffic-matrix heatmap, per-category
+memory peaks and the per-phase memory-watermark timeline), the findings
 list, and a plain-table fallback of every chart's data.
 
 The palette follows the repo's chart conventions: a fixed-order
@@ -354,6 +356,93 @@ function renderHeatmap() {
   });
 }
 
+function fmtBytes(v) {
+  if (v >= 1e9) return (v / 1e9).toPrecision(3) + ' GB';
+  if (v >= 1e6) return (v / 1e6).toPrecision(3) + ' MB';
+  if (v >= 1e3) return (v / 1e3).toPrecision(3) + ' kB';
+  return v.toPrecision(3) + ' B';
+}
+
+// Generic heat table: rows x cols of magnitudes on the sequential
+// ramp, each cell tooltipped with its exact value.
+function heatTable(host, rowLabels, colLabels, values, cellText) {
+  var table = el('table', null, host);
+  var head = el('tr', null, el('thead', null, table));
+  el('th', null, head).textContent = '';
+  colLabels.forEach(function (label) {
+    el('th', null, head).textContent = label;
+  });
+  var max = 0;
+  values.forEach(function (row) {
+    row.forEach(function (v) { max = Math.max(max, v); });
+  });
+  var body = el('tbody', null, table);
+  rowLabels.forEach(function (label, i) {
+    var tr = el('tr', null, body);
+    el('td', null, tr).textContent = label;
+    values[i].forEach(function (value, j) {
+      var fraction = max ? value / max : 0;
+      var td = el('td', 'cell', tr);
+      td.style.background = value > 0 ? heatColor(fraction)
+        : 'transparent';
+      td.style.color = fraction > 0.45 ? '#ffffff'
+        : 'var(--text-primary)';
+      td.textContent = value > 0 ? cellText(value) : '\\u00b7';
+      hover(td, function () {
+        return label + ' \\u2192 ' + colLabels[j] + ': ' +
+          cellText(value) + ' (' + fmtPct(fraction) + ' of max)';
+      });
+    });
+  });
+}
+
+function renderResources() {
+  var host = document.getElementById('resources');
+  var resources = report.attribution.resources || {};
+  var engines = Object.keys(resources).sort();
+  if (!engines.length) {
+    el('p', 'empty', host).textContent =
+      'No resource-depth telemetry loaded - the traffic matrix and ' +
+      'memory timeline need records swept with --obs-level metrics.';
+    return;
+  }
+  engines.forEach(function (engine) {
+    var entry = resources[engine];
+    var machineLabels = [];
+    for (var m = 0; m < entry.k; m++) machineLabels.push('m' + m);
+
+    var card = el('div', 'card', host);
+    el('h2', null, card).textContent = engine +
+      ' - traffic matrix, bytes src \\u2192 dst (k=' + entry.k +
+      ', summed over ' + entry.cells + ' cells)';
+    heatTable(card, machineLabels, machineLabels,
+      entry.traffic_matrix, fmtBytes);
+
+    var categories = Object.keys(entry.memory_category_peaks || {});
+    if (categories.length) {
+      card = el('div', 'card', host);
+      el('h2', null, card).textContent = engine +
+        ' - per-machine memory peaks by ledger category (k=' +
+        entry.k + ')';
+      heatTable(card, categories, machineLabels,
+        categories.map(function (c) {
+          return entry.memory_category_peaks[c];
+        }), fmtBytes);
+    }
+
+    var phases = Object.keys(entry.memory_timeline || {});
+    if (phases.length) {
+      card = el('div', 'card', host);
+      el('h2', null, card).textContent = engine +
+        ' - memory watermark by phase (k=' + entry.k +
+        '; flat when all allocation happens at construction)';
+      heatTable(card, phases, machineLabels,
+        phases.map(function (p) { return entry.memory_timeline[p]; }),
+        fmtBytes);
+    }
+  });
+}
+
 var SEVERITY_ICONS = { critical: '\\u25b2', warning: '\\u25c6',
   info: '\\u25cb' };
 
@@ -434,11 +523,13 @@ document.getElementById('theme-toggle').addEventListener(
   });
 
 function rerender() {
-  ['stacks', 'heatmap', 'findings', 'phase-table', 'tiles'].forEach(
+  ['stacks', 'heatmap', 'resources', 'findings', 'phase-table',
+   'tiles'].forEach(
     function (id) { document.getElementById(id).innerHTML = ''; });
   renderTiles();
   renderStacks();
   renderHeatmap();
+  renderResources();
   renderFindings();
   renderPhaseTable();
 }
@@ -481,6 +572,7 @@ def render_dashboard(
     <h2>Per-machine balance heatmap (straggler view)</h2>
     <div id="heatmap"></div>
   </div>
+  <div id="resources"></div>
   <div class="card">
     <h2>Findings</h2>
     <div id="findings"></div>

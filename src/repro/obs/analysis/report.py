@@ -26,7 +26,11 @@ from .attribution import attribute_phase_totals
 from .findings import AnalysisReport
 from .load import RunData
 
-__all__ = ["build_analysis_report", "per_partitioner_breakdown"]
+__all__ = [
+    "build_analysis_report",
+    "per_partitioner_breakdown",
+    "resource_depth",
+]
 
 
 def _engine_of(record) -> str:
@@ -95,6 +99,61 @@ def per_partitioner_breakdown(
                     for name, seconds in phases.items()
                 },
             }
+    return result
+
+
+def resource_depth(records: Sequence) -> Dict[str, Dict[str, object]]:
+    """Per-engine traffic-matrix and memory depth at the largest k.
+
+    For each engine, aggregates the records at that engine's largest
+    machine count whose ``obs_metrics`` carry the resource-depth fields
+    (PR 5): the ``src x dst`` traffic matrix summed over partitioners
+    and parameter configs, the per-category memory peaks and the
+    per-phase memory watermark (both elementwise max over records, so
+    they stay *peaks*). Everything is a simulated quantity, so the
+    result is identical for serial and parallel sweeps.
+    """
+    by_engine: Dict[str, List] = {}
+    for record in records:
+        metrics = getattr(record, "obs_metrics", None) or {}
+        if "traffic_matrix" in metrics:
+            by_engine.setdefault(_engine_of(record), []).append(record)
+
+    result: Dict[str, Dict[str, object]] = {}
+    for engine in sorted(by_engine):
+        group = by_engine[engine]
+        top_k = max(r.num_machines for r in group)
+        group = [r for r in group if r.num_machines == top_k]
+        matrix = [[0.0] * top_k for _ in range(top_k)]
+        peaks: Dict[str, List[float]] = {}
+        timeline: Dict[str, List[float]] = {}
+        for record in group:
+            metrics = record.obs_metrics
+            for i, row in enumerate(metrics["traffic_matrix"]):
+                for j, value in enumerate(row):
+                    matrix[i][j] += float(value)
+            for table, source in (
+                (peaks, metrics.get("memory_category_peaks", {})),
+                (timeline, metrics.get("memory_timeline", {})),
+            ):
+                for key, values in source.items():
+                    if key not in table:
+                        table[key] = [float(v) for v in values]
+                    else:
+                        table[key] = [
+                            max(old, float(new))
+                            for old, new in zip(table[key], values)
+                        ]
+        result[engine] = {
+            "k": top_k,
+            "cells": len(group),
+            "traffic_matrix": matrix,
+            "memory_category_peaks": {
+                category: peaks[category]
+                for category in sorted(peaks)
+            },
+            "memory_timeline": timeline,
+        }
     return result
 
 
@@ -229,6 +288,7 @@ def build_analysis_report(
             "phase_mix": phase_mix,
             "per_partitioner": breakdown,
             "machines": machines,
+            "resources": resource_depth(run.records),
         },
         findings=findings,
     )

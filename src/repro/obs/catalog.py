@@ -99,6 +99,27 @@ CATALOG: Tuple[MetricSpec, ...] = (
         labels=("machine",),
     ),
     MetricSpec(
+        "cluster.memory_category_peak_bytes", "gauge", "bytes",
+        "Per-machine peak of one memory-ledger category (structure, "
+        "features, activations, feature-cache, comm-buffers); the "
+        "footprint breakdown behind cluster.memory_peak_bytes.",
+        labels=("machine", "category"),
+    ),
+    MetricSpec(
+        "cluster.memory_watermark_bytes", "gauge", "bytes",
+        "Per-phase memory watermark: the highest per-machine ledger "
+        "total observed while the named phase ran (flat when all "
+        "allocations happen at engine construction).",
+        labels=("machine", "phase"),
+    ),
+    MetricSpec(
+        "cluster.traffic_matrix_bytes", "counter", "bytes",
+        "Pairwise traffic attribution: bytes machine ``src`` sent "
+        "directly to machine ``dst`` across all communication phases "
+        "(the dashboard's traffic-matrix heatmap).",
+        labels=("src", "dst"),
+    ),
+    MetricSpec(
         "cluster.marks", "counter", "count",
         "Instant timeline events by kind: fault, recovery, checkpoint.",
         labels=("kind",),

@@ -1,0 +1,282 @@
+"""The sweep telemetry bus: per-worker JSONL streams plus a tailer.
+
+Writers (sweep workers and the coordinator) append events to their own
+file in a shared bus directory — ``events-<writer>.jsonl``, one compact
+JSON object per line via :class:`~repro.obs.sink.JsonlSink`, so no file
+is ever written by two processes and a crashed worker loses at most its
+final partial line. The tailer merges all streams incrementally.
+
+Determinism. Every cell-scoped event carries the cell's *global index*
+(submission order of the sweep: graphs outermost, then machine counts,
+then partitioners — the same order the serial runner uses) and a
+per-cell sequence number ``cseq``. One worker owns a whole cell, so
+``(cell, cseq)`` is unique and totally orders the merged stream the
+same way regardless of worker count or interleaving. Wall-clock fields
+(``t_wall``, ``wall_seconds``) and worker identities ride along for the
+live display but are excluded from all deterministic state; events that
+are *only* wall-clock (heartbeats) are excluded from the deterministic
+merge entirely.
+
+Event kinds:
+
+``sweep-start``
+    Coordinator, once: ``{"cells": N, ...}`` — the denominator for all
+    progress displays.
+``cell-start``
+    Worker, per cell: engine/graph/partitioner/k plus
+    ``records_total`` (the parameter-grid length).
+``record-done``
+    Worker, one per finished record, carrying every *simulated* field
+    the online anomaly detector and alert rules need (see
+    :func:`record_event_fields`).
+``cell-done``
+    Worker, per cell: record count plus the cell's wall time (the ETA
+    input; wall-only, so excluded from deterministic summaries).
+``heartbeat``
+    Worker liveness; pure wall clock, never merged deterministically.
+``finding``
+    Coordinator: an alert-rule firing, as a serialized
+    :class:`~repro.obs.analysis.findings.Finding`.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..sink import JsonlSink
+
+__all__ = [
+    "EVENT_KINDS",
+    "WALL_ONLY_KINDS",
+    "BusWriter",
+    "BusTailer",
+    "record_event_fields",
+    "merge_key",
+]
+
+#: Every event kind the bus knows about.
+EVENT_KINDS = (
+    "sweep-start",
+    "cell-start",
+    "record-done",
+    "cell-done",
+    "heartbeat",
+    "finding",
+)
+
+#: Kinds that exist only for liveness display: they carry no simulated
+#: state and are excluded from the deterministic merge.
+WALL_ONLY_KINDS = frozenset({"heartbeat"})
+
+#: ``cseq`` offset for coordinator findings, so they sort after every
+#: record of their cell no matter how large the parameter grid is.
+FINDING_CSEQ_BASE = 100000
+
+
+def merge_key(event: Dict[str, object]) -> Tuple[int, int]:
+    """Deterministic total order for merged cell-scoped events."""
+    return (int(event.get("cell", -1)), int(event.get("cseq", 0)))
+
+
+def record_event_fields(record, engine: str) -> Dict[str, object]:
+    """The simulated fields of one sweep record a ``record-done`` event
+    carries: everything the online anomaly detector
+    (:func:`repro.obs.analysis.anomaly.detect_record_anomalies`) and the
+    alert rules (:func:`~.rules.record_totals`) consume. All values are
+    simulated quantities, so serial and parallel sweeps emit identical
+    payloads.
+    """
+    metrics = getattr(record, "obs_metrics", None) or {}
+    fields: Dict[str, object] = {
+        "engine": engine,
+        "graph": record.graph,
+        "partitioner": record.partitioner,
+        "k": record.num_machines,
+        "params_label": record.params.label(),
+        "epoch_seconds": float(record.epoch_seconds),
+        "makespan_seconds": float(
+            getattr(record, "makespan_seconds", 0.0)
+        ),
+        "recovery_seconds": float(
+            getattr(record, "recovery_seconds", 0.0)
+        ),
+        "network_bytes": float(record.network_bytes),
+        "lost_messages": int(getattr(record, "lost_messages", 0)),
+        "crashes": int(getattr(record, "crashes", 0)),
+    }
+    if engine == "distdgl":
+        fields["degraded_steps"] = int(
+            getattr(record, "degraded_steps", 0)
+        )
+    for key in (
+        "bytes_sent_total",
+        "lost_messages_total",
+        "memory_peak_bytes_max",
+    ):
+        if key in metrics:
+            fields[key] = metrics[key]
+    if "phase_seconds" in metrics:
+        # As ordered [name, seconds] pairs: the sink serializes objects
+        # with sorted keys, which would reorder the phase dict and
+        # change float-summation order downstream — the replayed dict
+        # must sum bit-identically to the original record's.
+        fields["phase_seconds"] = [
+            [name, float(seconds)]
+            for name, seconds in metrics["phase_seconds"].items()
+        ]
+    return fields
+
+
+class BusWriter:
+    """Appends bus events to this process's stream file.
+
+    ``writer_id`` defaults to ``pid<os.getpid()>`` so concurrent worker
+    processes never share a file. The writer assigns ``cseq`` per cell;
+    a cell must be driven by a single writer (the sweep runners
+    guarantee this: a cell is one executor task).
+    """
+
+    def __init__(self, bus_dir: str, writer_id: Optional[str] = None) -> None:
+        os.makedirs(bus_dir, exist_ok=True)
+        self.bus_dir = bus_dir
+        self.writer_id = writer_id or f"pid{os.getpid()}"
+        self.path = os.path.join(
+            bus_dir, f"events-{self.writer_id}.jsonl"
+        )
+        self._sink = JsonlSink(self.path)
+        self._cseq: Dict[int, int] = {}
+
+    def _next_cseq(self, cell: int) -> int:
+        cseq = self._cseq.get(cell, 0)
+        self._cseq[cell] = cseq + 1
+        return cseq
+
+    def emit(self, event: Dict[str, object]) -> None:
+        """Append one raw event (adds the writer id, never raises)."""
+        event = dict(event)
+        event.setdefault("worker", self.writer_id)
+        self._sink.emit(event)
+
+    # -------------------------------------------------------- builders
+    def sweep_start(self, cells: int, **meta: object) -> None:
+        """Coordinator: announce the sweep and its total cell count."""
+        self.emit({
+            "kind": "sweep-start", "cell": -1, "cseq": 0,
+            "cells": int(cells), "t_wall": time.time(), **meta,
+        })
+
+    def cell_start(
+        self,
+        cell: int,
+        engine: str,
+        graph: str,
+        partitioner: str,
+        k: int,
+        records_total: int,
+    ) -> None:
+        """Worker: a cell's parameter grid is starting."""
+        self.emit({
+            "kind": "cell-start", "cell": int(cell),
+            "cseq": self._next_cseq(cell),
+            "engine": engine, "graph": graph,
+            "partitioner": partitioner, "k": int(k),
+            "records_total": int(records_total),
+            "t_wall": time.time(),
+        })
+
+    def record_done(self, cell: int, index: int, record, engine: str) -> None:
+        """Worker: one record of the cell finished."""
+        self.emit({
+            "kind": "record-done", "cell": int(cell),
+            "cseq": self._next_cseq(cell), "index": int(index),
+            **record_event_fields(record, engine),
+        })
+
+    def cell_done(self, cell: int, records: int, wall_seconds: float) -> None:
+        """Worker: the whole cell finished (``wall_seconds`` is real
+        elapsed time — the ETA input, excluded from determinism)."""
+        self.emit({
+            "kind": "cell-done", "cell": int(cell),
+            "cseq": self._next_cseq(cell),
+            "records": int(records),
+            "wall_seconds": float(wall_seconds),
+        })
+
+    def heartbeat(self, **extra: object) -> None:
+        """Worker liveness ping (wall-only, never merged)."""
+        self.emit({
+            "kind": "heartbeat", "t_wall": time.time(), **extra,
+        })
+
+    def finding(self, cell: int, index: int, finding) -> None:
+        """Coordinator: an alert-rule firing for ``cell``."""
+        self.emit({
+            "kind": "finding", "cell": int(cell),
+            "cseq": FINDING_CSEQ_BASE + int(index),
+            "finding": finding.to_dict(),
+        })
+
+    def close(self) -> None:
+        """Flush and close the stream file."""
+        self._sink.close()
+
+
+class BusTailer:
+    """Incremental, resumable reader over every stream in a bus dir.
+
+    Keeps a byte offset per file and only ever consumes
+    newline-*terminated* lines, so a line mid-append is left for the
+    next poll rather than mis-parsed; an undecodable complete line
+    (truncated by a killed writer) is counted in :attr:`skipped` and
+    dropped, mirroring :func:`~repro.obs.sink.read_jsonl`. New stream
+    files are discovered on every poll.
+    """
+
+    def __init__(self, bus_dir: str) -> None:
+        self.bus_dir = bus_dir
+        self._offsets: Dict[str, int] = {}
+        #: Complete-but-undecodable lines dropped so far.
+        self.skipped = 0
+
+    def _paths(self) -> List[str]:
+        return sorted(
+            glob.glob(os.path.join(self.bus_dir, "*.jsonl"))
+        )
+
+    def poll(self) -> List[Dict[str, object]]:
+        """Return all events appended since the last poll, in file
+        order then offset order (callers wanting the deterministic
+        order sort accumulated events with :func:`merge_key`)."""
+        events: List[Dict[str, object]] = []
+        for path in self._paths():
+            offset = self._offsets.get(path, 0)
+            try:
+                with open(path, "rb") as handle:
+                    handle.seek(offset)
+                    chunk = handle.read()
+            except OSError:
+                continue
+            if not chunk:
+                continue
+            end = chunk.rfind(b"\n")
+            if end < 0:  # no complete line yet
+                continue
+            complete = chunk[: end + 1]
+            self._offsets[path] = offset + len(complete)
+            for line in complete.split(b"\n"):
+                if not line.strip():
+                    continue
+                try:
+                    events.append(json.loads(line.decode("utf-8")))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    self.skipped += 1
+        return events
+
+    def drain(self) -> Iterator[Dict[str, object]]:
+        """One full poll as an iterator (convenience for finished
+        buses)."""
+        return iter(self.poll())

@@ -56,8 +56,13 @@ class MemorySink(EventSink):
 class JsonlSink(EventSink):
     """Appends one compact JSON object per line to ``path``.
 
-    The file is opened lazily on the first event and written in UTF-8;
-    :meth:`close` flushes and further events are dropped (never raised).
+    The file is opened lazily on the first event and written in UTF-8.
+    The handle is *line-buffered*: each event reaches the OS as a single
+    append of one complete newline-terminated line, so multiple
+    processes appending to the same file (the telemetry bus does this
+    per worker; a shared file also works on POSIX ``O_APPEND``
+    semantics) never interleave partial lines. :meth:`close` flushes and
+    further events are dropped (never raised).
     """
 
     def __init__(self, path: str) -> None:
@@ -71,7 +76,9 @@ class JsonlSink(EventSink):
         if self._closed:
             return
         if self._handle is None:
-            self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle = open(
+                self.path, "a", buffering=1, encoding="utf-8"
+            )
         self._handle.write(
             json.dumps(event, separators=(",", ":"), sort_keys=True) + "\n"
         )

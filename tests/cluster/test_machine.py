@@ -31,6 +31,70 @@ class TestMemoryLedger:
         with pytest.raises(ValueError):
             MemoryLedger().allocate("a", -5)
 
+    def test_per_category_peaks_survive_frees(self):
+        ledger = MemoryLedger()
+        ledger.allocate("activations", 100)
+        ledger.free("activations", 100)
+        ledger.allocate("features", 40)
+        assert ledger.peak_by_category() == {
+            "activations": 100,
+            "features": 40,
+        }
+        # The transient category is gone from the live view...
+        assert ledger.by_category() == {"features": 40}
+        # ...but its watermark remains.
+        assert ledger.peak_bytes == 100
+
+    def test_category_peaks_are_independent_maxima(self):
+        # Categories peaking at different times: the per-category peaks
+        # need not sum to the total peak.
+        ledger = MemoryLedger()
+        ledger.allocate("a", 100)
+        ledger.free("a", 100)
+        ledger.allocate("b", 80)
+        assert ledger.peak_by_category() == {"a": 100, "b": 80}
+        assert ledger.peak_bytes == 100
+        assert sum(ledger.peak_by_category().values()) > ledger.peak_bytes
+
+    def test_free_to_zero_removes_category(self):
+        ledger = MemoryLedger()
+        ledger.allocate("buffers", 64)
+        ledger.free("buffers", 64)
+        assert "buffers" not in ledger.by_category()
+        assert ledger.total_bytes == 0.0
+        # Re-allocating after a full free works and grows the peak.
+        ledger.allocate("buffers", 128)
+        assert ledger.by_category() == {"buffers": 128}
+        assert ledger.peak_by_category()["buffers"] == 128
+
+    def test_float_roundoff_free_clears_category(self):
+        # Freeing in parts that sum to the allocation (modulo float
+        # error) must not leave a dust entry behind.
+        ledger = MemoryLedger()
+        ledger.allocate("a", 0.3)
+        ledger.free("a", 0.1)
+        ledger.free("a", 0.2)
+        assert ledger.by_category() == {}
+
+    def test_interleaved_alloc_free_watermarks(self):
+        ledger = MemoryLedger()
+        ledger.allocate("a", 10)
+        ledger.allocate("b", 20)
+        ledger.free("a", 5)
+        ledger.allocate("a", 30)  # a now 35, total 55
+        ledger.free("b", 20)
+        assert ledger.by_category() == {"a": 35}
+        assert ledger.peak_by_category() == {"a": 35, "b": 20}
+        assert ledger.peak_bytes == 55
+
+    def test_over_free_still_rejected_per_category(self):
+        ledger = MemoryLedger()
+        ledger.allocate("a", 10)
+        ledger.allocate("b", 100)
+        # Plenty held overall, but not under this category.
+        with pytest.raises(ValueError):
+            ledger.free("a", 11)
+
 
 class TestMachine:
     def test_compute_accumulates(self):

@@ -1,6 +1,7 @@
 """The parallel grid runners must reproduce the serial runs exactly."""
 
 import numpy as np
+import pytest
 
 from repro.experiments import (
     FaultConfig,
@@ -151,6 +152,70 @@ class TestObsParallel:
             tiny_or, EDGE_NAMES, [2], _grid(), seed=0, workers=2
         )
         assert all(r.obs_metrics is None for r in records)
+
+
+class TestCellCallback:
+    """The coordinator callback fires once per cell, in submission
+    order, and its exceptions abort the remaining grid."""
+
+    def test_callback_in_submission_order(self, tiny_or):
+        seen = []
+        records = run_distgnn_grid_parallel(
+            tiny_or, EDGE_NAMES, MACHINES, _grid(), seed=0, workers=2,
+            cell_callback=lambda cell, recs: seen.append(
+                (cell, len(recs))
+            ),
+        )
+        cells = len(MACHINES) * len(EDGE_NAMES)
+        assert seen == [(i, len(_grid())) for i in range(cells)]
+        assert len(records) == cells * len(_grid())
+
+    def test_cell_offset_threads_through(self, tiny_or):
+        seen = []
+        run_distgnn_grid_parallel(
+            tiny_or, EDGE_NAMES, [2], _grid(), seed=0, workers=1,
+            cell_offset=7,
+            cell_callback=lambda cell, recs: seen.append(cell),
+        )
+        assert seen == [7, 8]
+
+    def test_callback_exception_aborts_and_propagates(self, tiny_or):
+        from repro.obs.live import SweepAborted
+
+        seen = []
+
+        def abort_on_second(cell, recs):
+            seen.append(cell)
+            if cell == 1:
+                raise SweepAborted([])
+
+        with pytest.raises(SweepAborted):
+            run_distgnn_grid_parallel(
+                tiny_or, EDGE_NAMES, MACHINES, _grid(), seed=0,
+                workers=2, cell_callback=abort_on_second,
+            )
+        assert seen == [0, 1]  # later cells never reach the callback
+
+    def test_bus_plus_callback_on_serial_path(self, tiny_or, tmp_path):
+        """workers=1 with live features drives the same per-cell
+        helpers in-process: records stay identical to the serial grid
+        and the bus carries every record."""
+        from repro.obs.live import BusTailer
+
+        seen = []
+        records = run_distgnn_grid_parallel(
+            tiny_or, EDGE_NAMES, [2], _grid(), seed=0, workers=1,
+            bus_dir=str(tmp_path),
+            cell_callback=lambda cell, recs: seen.append(cell),
+        )
+        serial = run_distgnn_grid(
+            tiny_or, EDGE_NAMES, [2], _grid(), seed=0
+        )
+        assert records == serial
+        assert seen == [0, 1]
+        events = BusTailer(str(tmp_path)).poll()
+        done = [e for e in events if e["kind"] == "record-done"]
+        assert len(done) == len(serial)
 
 
 def test_record_order_is_serial_order(tiny_or):

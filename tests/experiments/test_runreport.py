@@ -104,3 +104,34 @@ def test_obs_section(tiny_or, params):
         sum(r.obs_metrics["phase_seconds"].values()) for r in records
     )
     assert total == pytest.approx(per_record)
+
+
+def test_resource_depth_in_obs_section(tiny_or, params):
+    """Records swept with metrics on carry the PR-5 resource keys, and
+    the report surfaces them: per-category memory peaks (worst machine),
+    per-phase traffic totals, and the summed cross-machine matrix."""
+    from repro import obs
+
+    obs.enable()
+    try:
+        records = [
+            run_distgnn(tiny_or, "random", 4, params),
+            run_distgnn(tiny_or, "hdrf", 4, params),
+        ]
+    finally:
+        obs.reset()
+        obs.disable()
+    markdown, report = build_run_report(records)
+    telemetry = report["obs"]
+    peaks = telemetry["memory_category_peaks"]
+    assert peaks and all(v > 0 for v in peaks.values())
+    assert telemetry["traffic_phase_bytes"]
+    matrix_total = sum(
+        sum(sum(row) for row in r.obs_metrics["traffic_matrix"])
+        for r in records
+    )
+    assert telemetry["traffic_matrix_bytes_total"] == pytest.approx(
+        matrix_total
+    )
+    assert "- memory peaks by category (worst machine): " in markdown
+    assert "- pairwise traffic " in markdown

@@ -158,3 +158,51 @@ def test_check_docstrings_ignores_private(tmp_path):
         "    pass\n"
     )
     assert lint.main([str(package)]) == 0
+
+
+def test_sweep_with_alert_rules_clean_run_passes(tmp_path, capsys):
+    sweep = load_script("run_full_sweep.py")
+    rules = os.path.abspath(
+        os.path.join(SCRIPTS_DIR, os.pardir, "examples",
+                     "alert_rules.json")
+    )
+    code = sweep.main(
+        [
+            "--quick", "--graphs", "OR", "--machines", "2",
+            "--scale", "tiny", "--out", str(tmp_path),
+            "--obs-level", "metrics",
+            "--rules", rules, "--abort-on", "critical",
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "ABORTED" not in captured.err
+
+
+def test_sweep_abort_on_critical_rule(tmp_path, capsys):
+    """Injected message loss trips the no-lost-messages rule: the sweep
+    stops early with exit code 2, names the rule, and still saves the
+    records finished so far."""
+    sweep = load_script("run_full_sweep.py")
+    rules = os.path.abspath(
+        os.path.join(SCRIPTS_DIR, os.pardir, "examples",
+                     "alert_rules.json")
+    )
+    code = sweep.main(
+        [
+            "--quick", "--graphs", "OR", "--machines", "2",
+            "--scale", "tiny", "--out", str(tmp_path),
+            "--obs-level", "metrics", "--loss-rate", "0.5",
+            "--epochs", "4",
+            "--rules", rules, "--abort-on", "critical",
+        ]
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "ABORTED" in err
+    assert "no-lost-messages" in err
+    # The partial-save path still runs: the records file is written
+    # even when the very first cell trips the rule (so it may be
+    # empty, but it must exist and parse).
+    saved = json.loads((tmp_path / "sweep_distgnn.json").read_text())
+    assert isinstance(saved, list)

@@ -138,3 +138,71 @@ class TestDashboard:
         assert "prefers-color-scheme: dark" in html
         # Status colors ship with textual labels, never color alone.
         assert "CRITICAL" in html or "severity.toUpperCase()" in html
+
+
+def _resource_metrics(k=2, scale=1.0):
+    return {
+        "phase_seconds": {"forward": 0.4, "backward": 0.6},
+        "traffic_matrix": [
+            [0.0, 10.0 * scale], [5.0 * scale, 0.0]
+        ],
+        "traffic_phase_bytes": {"sync": 15.0 * scale},
+        "memory_category_peaks": {
+            "features": [100.0 * scale, 80.0 * scale]
+        },
+        "memory_timeline": {"forward": [120.0 * scale, 90.0 * scale]},
+    }
+
+
+class TestResourceDepth:
+    def test_aggregates_largest_k_per_engine(self, make_record):
+        from repro.obs.analysis.report import resource_depth
+
+        records = [
+            make_record(num_machines=2, obs_metrics=_resource_metrics()),
+            make_record(num_machines=2, partitioner="hdrf",
+                        obs_metrics=_resource_metrics(scale=2.0)),
+            # Smaller k: excluded from the depth view.
+            make_record(num_machines=1, obs_metrics={
+                "traffic_matrix": [[0.0]],
+            }),
+        ]
+        depth = resource_depth(records)
+        assert set(depth) == {"distgnn"}
+        entry = depth["distgnn"]
+        assert entry["k"] == 2
+        assert entry["cells"] == 2
+        # Matrices sum across records; memory tables keep the max.
+        assert entry["traffic_matrix"] == [[0.0, 30.0], [15.0, 0.0]]
+        assert entry["memory_category_peaks"] == {
+            "features": [200.0, 160.0]
+        }
+        assert entry["memory_timeline"] == {"forward": [240.0, 180.0]}
+
+    def test_records_without_matrix_ignored(self, make_record):
+        from repro.obs.analysis.report import resource_depth
+
+        assert resource_depth([make_record()]) == {}
+        assert resource_depth(
+            [make_record(obs_metrics={"phase_seconds": {"f": 1.0}})]
+        ) == {}
+
+    def test_report_attribution_carries_resources(self, make_record):
+        run = RunData(label="r", records=[
+            make_record(obs_metrics=_resource_metrics()),
+        ])
+        report = build_analysis_report(run)
+        resources = report.to_dict()["attribution"]["resources"]
+        assert "distgnn" in resources
+        assert resources["distgnn"]["traffic_matrix"]
+
+    def test_dashboard_renders_resource_sections(self, make_record):
+        run = RunData(label="r", records=[
+            make_record(obs_metrics=_resource_metrics()),
+        ])
+        html = render_dashboard(build_analysis_report(run).to_dict())
+        assert "renderResources" in html
+        assert 'id="resources"' in html
+        assert "heatTable" in html
+        assert "memory peaks by ledger category" in html
+        assert "memory watermark by phase" in html

@@ -1,0 +1,177 @@
+"""The telemetry bus: writers, tailing, merge determinism."""
+
+import json
+import os
+
+from repro.obs.live import BusTailer, BusWriter, record_event_fields
+from repro.obs.live.bus import FINDING_CSEQ_BASE, merge_key
+
+
+class _Params:
+    def label(self):
+        return "f8 h4 L2"
+
+
+class _Record:
+    """Minimal stand-in for a sweep record."""
+
+    graph = "OR"
+    partitioner = "hdrf"
+    num_machines = 4
+    params = _Params()
+    epoch_seconds = 1.25
+    makespan_seconds = 5.0
+    recovery_seconds = 0.5
+    network_bytes = 1e6
+    lost_messages = 2
+    crashes = 1
+    obs_metrics = {
+        "phase_seconds": {"forward-l0": 0.3, "allreduce": 0.1},
+        "bytes_sent_total": 1e6,
+        "lost_messages_total": 2,
+    }
+
+
+class TestRecordEventFields:
+    def test_simulated_fields(self):
+        fields = record_event_fields(_Record(), "distgnn")
+        assert fields["graph"] == "OR"
+        assert fields["partitioner"] == "hdrf"
+        assert fields["k"] == 4
+        assert fields["params_label"] == "f8 h4 L2"
+        assert fields["epoch_seconds"] == 1.25
+        assert fields["lost_messages"] == 2
+        assert fields["bytes_sent_total"] == 1e6
+        assert "degraded_steps" not in fields
+
+    def test_phase_seconds_as_ordered_pairs(self):
+        # The sink writes sorted-key JSON, so phases must travel as a
+        # list that preserves the record's insertion order — float
+        # summation order downstream depends on it.
+        fields = record_event_fields(_Record(), "distgnn")
+        assert fields["phase_seconds"] == [
+            ["forward-l0", 0.3], ["allreduce", 0.1],
+        ]
+
+    def test_distdgl_gets_degraded_steps(self):
+        record = _Record()
+        record.degraded_steps = 3
+        fields = record_event_fields(record, "distdgl")
+        assert fields["degraded_steps"] == 3
+
+
+class TestBusWriter:
+    def test_per_writer_file_and_cseq(self, tmp_path):
+        bus = str(tmp_path)
+        writer = BusWriter(bus, "w0")
+        writer.cell_start(0, "distgnn", "OR", "hdrf", 4, 2)
+        writer.record_done(0, 0, _Record(), "distgnn")
+        writer.record_done(0, 1, _Record(), "distgnn")
+        writer.cell_start(1, "distgnn", "OR", "random", 4, 2)
+        writer.close()
+        with open(os.path.join(bus, "events-w0.jsonl")) as fh:
+            events = [json.loads(line) for line in fh]
+        assert [e["cseq"] for e in events if e["cell"] == 0] == [0, 1, 2]
+        assert [e["cseq"] for e in events if e["cell"] == 1] == [0]
+        assert all(e["worker"] == "w0" for e in events)
+
+    def test_finding_cseq_sorts_after_records(self):
+        finding_event = {
+            "kind": "finding", "cell": 3,
+            "cseq": FINDING_CSEQ_BASE + 0,
+        }
+        record_event = {"kind": "record-done", "cell": 3, "cseq": 99}
+        assert merge_key(record_event) < merge_key(finding_event)
+        # ...but still inside its own cell.
+        assert merge_key(finding_event) < merge_key(
+            {"kind": "cell-start", "cell": 4, "cseq": 0}
+        )
+
+    def test_writer_id_defaults_to_pid(self, tmp_path):
+        writer = BusWriter(str(tmp_path))
+        assert writer.writer_id == f"pid{os.getpid()}"
+        writer.close()
+
+
+class TestBusTailer:
+    def _write_lines(self, path, lines, terminate_last=True):
+        with open(path, "a", encoding="utf-8") as fh:
+            for i, line in enumerate(lines):
+                fh.write(line)
+                if terminate_last or i < len(lines) - 1:
+                    fh.write("\n")
+
+    def test_merge_is_order_independent(self, tmp_path):
+        # Two interleavings of the same per-writer streams must merge
+        # to the same (cell, cseq) order.
+        a, b = str(tmp_path / "a"), str(tmp_path / "b")
+        for bus in (a, b):
+            os.makedirs(bus)
+        events = [
+            {"kind": "cell-start", "cell": c, "cseq": 0}
+            for c in (0, 1, 2)
+        ] + [
+            {"kind": "cell-done", "cell": c, "cseq": 1}
+            for c in (0, 1, 2)
+        ]
+        # Bus a: cells 0,2 on w0 and 1 on w1; bus b: the reverse split.
+        def route_a(e):
+            return "w0" if e["cell"] in (0, 2) else "w1"
+
+        def route_b(e):
+            return "w1" if e["cell"] in (0, 2) else "w0"
+
+        for bus, route in ((a, route_a), (b, route_b)):
+            for event in events:
+                self._write_lines(
+                    os.path.join(bus, f"events-{route(event)}.jsonl"),
+                    [json.dumps(event)],
+                )
+        merged_a = sorted(BusTailer(a).poll(), key=merge_key)
+        merged_b = sorted(BusTailer(b).poll(), key=merge_key)
+        keys = [merge_key(e) for e in merged_a]
+        assert keys == sorted(keys)
+        assert [merge_key(e) for e in merged_b] == keys
+
+    def test_resumable_offsets(self, tmp_path):
+        path = str(tmp_path / "events-w0.jsonl")
+        tailer = BusTailer(str(tmp_path))
+        self._write_lines(path, ['{"kind": "heartbeat", "n": 1}'])
+        assert len(tailer.poll()) == 1
+        assert tailer.poll() == []  # nothing new
+        self._write_lines(path, ['{"kind": "heartbeat", "n": 2}'])
+        again = tailer.poll()
+        assert [e["n"] for e in again] == [2]
+
+    def test_partial_tail_line_left_for_next_poll(self, tmp_path):
+        path = str(tmp_path / "events-w0.jsonl")
+        tailer = BusTailer(str(tmp_path))
+        self._write_lines(path, ['{"kind": "heartbeat", "n": 1}'])
+        # A line still being appended (no trailing newline yet).
+        self._write_lines(
+            path, ['{"kind": "heartbeat", '], terminate_last=False
+        )
+        events = tailer.poll()
+        assert [e["n"] for e in events] == [1]
+        assert tailer.skipped == 0
+        # The writer finishes the line: now it parses.
+        self._write_lines(path, ['"n": 2}'])
+        assert [e["n"] for e in tailer.poll()] == [2]
+
+    def test_corrupt_complete_line_counted_and_skipped(self, tmp_path):
+        path = str(tmp_path / "events-w0.jsonl")
+        self._write_lines(
+            path, ['{"kind": "heartbeat"}', "{not json", '{"ok": 1}']
+        )
+        tailer = BusTailer(str(tmp_path))
+        events = tailer.poll()
+        assert len(events) == 2
+        assert tailer.skipped == 1
+
+    def test_new_stream_files_discovered_between_polls(self, tmp_path):
+        tailer = BusTailer(str(tmp_path))
+        assert tailer.poll() == []
+        self._write_lines(
+            str(tmp_path / "events-late.jsonl"), ['{"n": 1}']
+        )
+        assert [e["n"] for e in tailer.poll()] == [1]

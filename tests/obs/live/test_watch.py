@@ -1,0 +1,221 @@
+"""The watch monitor: state folding, rendering, the tick loop."""
+
+import io
+import json
+
+from repro.obs.live import BusTailer, BusWriter, RuleSet, WatchState
+from repro.obs.live import render_frame, watch_loop
+from repro.obs.live.rules import AlertRule
+
+
+def sweep_start(cells):
+    return {"kind": "sweep-start", "cell": -1, "cseq": 0,
+            "cells": cells, "t_wall": 10.0, "worker": "coord"}
+
+
+def cell_start(cell, worker="w0", partitioner="hdrf", k=4):
+    return {"kind": "cell-start", "cell": cell, "cseq": 0,
+            "engine": "distgnn", "graph": "OR",
+            "partitioner": partitioner, "k": k, "records_total": 2,
+            "worker": worker, "t_wall": 11.0}
+
+
+def record_done(cell, index, epoch=1.5, phases=None):
+    return {
+        "kind": "record-done", "cell": cell, "cseq": 1 + index,
+        "index": index, "engine": "distgnn", "graph": "OR",
+        "partitioner": "hdrf", "k": 4, "params_label": "p",
+        "epoch_seconds": epoch, "makespan_seconds": 4 * epoch,
+        "recovery_seconds": 0.0, "network_bytes": 1e5,
+        "lost_messages": 0, "crashes": 0, "worker": "w0",
+        "phase_seconds": phases or [["forward", 1.0], ["sync", 0.5]],
+    }
+
+
+def cell_done(cell, records=2, wall=3.0):
+    return {"kind": "cell-done", "cell": cell, "cseq": 10,
+            "records": records, "wall_seconds": wall, "worker": "w0"}
+
+
+def full_sweep_events():
+    # Distinct epoch times per record, so rule firings (which embed the
+    # observed value) stay distinct under the findings dedup.
+    return [
+        sweep_start(2),
+        cell_start(0), record_done(0, 0, epoch=1.5),
+        record_done(0, 1, epoch=1.6), cell_done(0),
+        cell_start(1, worker="w1", partitioner="random"),
+        record_done(1, 0, epoch=1.7), record_done(1, 1, epoch=1.8),
+        cell_done(1),
+    ]
+
+
+class TestWatchState:
+    def test_fold_counts(self):
+        state = WatchState()
+        state.apply_all(full_sweep_events())
+        assert state.total_cells == 2
+        assert state.cells_done() == 2
+        assert len(state.records) == 4
+        assert state.records_done(0) == 2
+        assert state.complete()
+
+    def test_order_insensitive_and_idempotent(self):
+        events = full_sweep_events()
+        forward = WatchState()
+        forward.apply_all(events)
+        shuffled = WatchState()
+        shuffled.apply_all(reversed(events))
+        shuffled.apply_all(events)  # replays must be harmless
+        assert (
+            forward.to_deterministic_json()
+            == shuffled.to_deterministic_json()
+        )
+
+    def test_heartbeats_update_liveness_only(self):
+        state = WatchState()
+        baseline = None
+        state.apply_all(full_sweep_events())
+        baseline = state.to_deterministic_json()
+        state.apply({"kind": "heartbeat", "worker": "w9",
+                     "t_wall": 99.0})
+        assert state.workers["w9"] == 99.0
+        assert state.to_deterministic_json() == baseline
+
+    def test_worker_timestamp_keeps_max(self):
+        state = WatchState()
+        state.apply({"kind": "heartbeat", "worker": "w0", "t_wall": 50.0})
+        state.apply({"kind": "heartbeat", "worker": "w0", "t_wall": 40.0})
+        assert state.workers["w0"] == 50.0
+
+    def test_records_done_beats_stale_cell_done(self):
+        state = WatchState()
+        state.apply(cell_done(0, records=1))
+        state.apply(record_done(0, 0))
+        state.apply(record_done(0, 1))
+        assert state.records_done(0) == 2
+
+    def test_incomplete_without_sweep_start(self):
+        state = WatchState()
+        state.apply_all(full_sweep_events()[1:])
+        assert not state.complete()
+
+    def test_eta_from_completed_cell_walls(self):
+        state = WatchState()
+        state.apply_all([
+            sweep_start(4),
+            cell_start(0), cell_done(0, wall=2.0),
+            cell_start(1), cell_done(1, wall=4.0),
+        ])
+        # Two cells left at a mean of 3s each.
+        assert state.eta_seconds() == 6.0
+
+    def test_phase_mix_sums_ordered_pairs(self):
+        state = WatchState()
+        state.apply_all(full_sweep_events())
+        mix = state.phase_mix()
+        assert mix == {"forward": 4.0, "sync": 2.0}
+
+    def test_bus_findings_deduplicated(self):
+        finding = {
+            "kind": "alert:threshold", "severity": "critical",
+            "subject": "s", "message": "m",
+        }
+        state = WatchState()
+        state.apply({"kind": "finding", "cell": 0, "cseq": 100000,
+                     "finding": finding})
+        state.apply({"kind": "finding", "cell": 0, "cseq": 100000,
+                     "finding": dict(finding)})
+        assert len(state.bus_findings) == 1
+
+    def test_local_rules_fire_in_findings(self):
+        ruleset = RuleSet((
+            AlertRule(
+                name="epoch-cap", kind="threshold",
+                metric="distgnn.epoch_seconds", op=">", value=1.0,
+                severity="critical",
+            ),
+        ))
+        state = WatchState(rules=ruleset)
+        state.apply_all(full_sweep_events())
+        fired = [
+            f for f in state.findings() if f.kind == "alert:threshold"
+        ]
+        assert len(fired) == 4  # every record breaches the 1.0s cap
+        assert all(f.severity == "critical" for f in fired)
+
+    def test_deterministic_summary_has_no_wall_fields(self):
+        state = WatchState()
+        state.apply_all(full_sweep_events())
+        summary = state.deterministic_summary()
+        text = json.dumps(summary)
+        assert "wall" not in text
+        assert "worker" not in text
+        assert summary["cells"]["0"]["records_done"] == 2
+
+
+class TestRenderFrame:
+    def test_frame_sections(self):
+        state = WatchState()
+        state.apply_all(full_sweep_events())
+        frame = render_frame(state, now=20.0)
+        assert "sweep: 2/2 cells, 4 records [complete]" in frame
+        assert "[#" in frame  # progress bar full
+        assert "phase mix: forward 67%, sync 33%" in frame
+        assert "findings: none" in frame
+        assert "\x1b" not in frame  # rendering itself is ANSI-free
+
+    def test_running_cell_shown_against_worker(self):
+        state = WatchState()
+        state.apply_all([
+            sweep_start(2), cell_start(0), record_done(0, 0),
+        ])
+        frame = render_frame(state, now=20.0)
+        assert "w0: cell 0: distgnn/OR/hdrf/k=4 [1/2]" in frame
+        assert "(seen 9s ago)" in frame
+
+    def test_skipped_lines_surface_in_header(self):
+        state = WatchState()
+        state.apply(sweep_start(1))
+        state.skipped = 3
+        assert "(3 corrupt lines skipped)" in render_frame(state)
+
+
+class TestWatchLoop:
+    def _bus(self, tmp_path):
+        writer = BusWriter(str(tmp_path), "w0")
+        for event in full_sweep_events():
+            writer.emit(event)
+        writer.close()
+        return BusTailer(str(tmp_path))
+
+    def test_fixed_ticks_with_injected_clock(self, tmp_path):
+        out = io.StringIO()
+        slept = []
+        state = watch_loop(
+            self._bus(tmp_path), ticks=2, interval=0.5, out=out,
+            clock=lambda: 42.0, sleep=slept.append, ansi=False,
+        )
+        assert state.complete()
+        assert slept == [0.5]  # no sleep after the final tick
+        frames = out.getvalue()
+        assert frames.count("sweep: 2/2 cells") == 2
+        assert "\x1b" not in frames
+
+    def test_ansi_clear_prefixes_frames(self, tmp_path):
+        out = io.StringIO()
+        watch_loop(
+            self._bus(tmp_path), ticks=1, out=out,
+            clock=lambda: 0.0, sleep=lambda _s: None,
+        )
+        assert out.getvalue().startswith("\x1b[2J\x1b[H")
+
+    def test_stops_when_complete(self, tmp_path):
+        ticks = []
+        state = watch_loop(
+            self._bus(tmp_path), ticks=None, out=None,
+            clock=lambda: 0.0,
+            sleep=lambda s: ticks.append(s),
+        )
+        assert state.complete()
+        assert ticks == []  # complete on the very first poll

@@ -123,9 +123,24 @@ class TestRecordObsMetrics:
         assert set(metrics) == {
             "phase_seconds", "marks", "bytes_sent_total",
             "bytes_received_total", "lost_messages_total",
-            "memory_peak_bytes_max",
+            "memory_peak_bytes_max", "traffic_matrix",
+            "traffic_phase_bytes", "memory_category_peaks",
+            "memory_timeline",
         }
         assert metrics["bytes_sent_total"] > 0
+        k = record.num_machines
+        matrix = metrics["traffic_matrix"]
+        assert len(matrix) == k and all(len(row) == k for row in matrix)
+        total = sum(sum(row) for row in matrix)
+        assert total == pytest.approx(metrics["bytes_sent_total"])
+        assert sum(metrics["traffic_phase_bytes"].values()) == (
+            pytest.approx(total)
+        )
+        assert all(matrix[i][i] == 0.0 for i in range(k))
+        peaks = metrics["memory_category_peaks"]
+        assert "features" in peaks
+        assert all(len(v) == k for v in peaks.values())
+        assert all(len(v) == k for v in metrics["memory_timeline"].values())
 
     def test_obs_metrics_deterministic(self, tiny_or, tiny_or_split,
                                        params):

@@ -71,6 +71,53 @@ def test_read_jsonl_returns_skip_count(tmp_path):
     assert skipped == 2
 
 
+def _append_worker(path, worker, count):
+    sink = JsonlSink(path)
+    for i in range(count):
+        sink.emit({
+            "kind": "stress", "name": f"w{worker}", "i": i,
+            # Enough payload that a torn write would show as a skip.
+            "pad": "x" * 200,
+        })
+    sink.close()
+
+
+def test_jsonl_concurrent_multiprocess_appends(tmp_path):
+    """Several processes appending to one shared JSONL file: every
+    event emits as exactly one line-buffered ``write()`` of a complete
+    line, so lines from different processes may interleave but no line
+    is ever torn — every line parses and nothing is skipped.
+
+    (The live bus avoids even this interleaving by giving each writer
+    its own file; this pins the sink-level guarantee the bus relies
+    on.)"""
+    import multiprocessing
+
+    path = str(tmp_path / "shared.jsonl")
+    workers, per_worker = 4, 200
+    ctx = multiprocessing.get_context("spawn")
+    procs = [
+        ctx.Process(target=_append_worker, args=(path, w, per_worker))
+        for w in range(workers)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join()
+    assert all(p.exitcode == 0 for p in procs)
+    events, skipped = read_jsonl(path, return_skipped=True)
+    assert skipped == 0
+    assert len(events) == workers * per_worker
+    # Every worker's events all arrived, each exactly once, in its
+    # own emission order.
+    by_worker = {}
+    for event in events:
+        by_worker.setdefault(event["name"], []).append(event["i"])
+    assert set(by_worker) == {f"w{w}" for w in range(workers)}
+    for indices in by_worker.values():
+        assert indices == list(range(per_worker))
+
+
 def test_jsonl_appends(tmp_path):
     path = str(tmp_path / "append.jsonl")
     first = JsonlSink(path)
