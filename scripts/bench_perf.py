@@ -4,8 +4,14 @@ Times every registered partitioner (plus the streaming extensions) on
 the standard small-scale synthetic graphs at ``k=32``, the HDRF
 vectorised kernel against its retained scalar reference on the largest
 graph (verifying bit-identical assignments), the neighbourhood
-sampling kernel, and the overhead of the observability hooks on a
-fixed simulation cell (plain / off / metrics / trace).
+sampling kernel, the overhead of the observability hooks on a fixed
+simulation cell (plain / off / metrics / trace), and — new with the
+out-of-core pipeline — a *scale sweep*: RMAT streams of 10^4 … 10^7
+edges spooled through the chunk store and driven through every
+streaming partitioner, recording edges/sec and the peak memory of the
+drive (``tracemalloc`` high-water plus RSS) per decade, so
+``scripts/check_perf.py`` can assert that out-of-core peak memory
+grows sublinearly in the edge count.
 
 ``BENCH_partitioning.json`` at the repo root is a *history series*
 (schema 2): a retained ``baseline`` report plus a ``history`` list to
@@ -18,10 +24,12 @@ baseline and the fresh run starts the history.
 Usage::
 
     python scripts/bench_perf.py [--out FILE] [--repeats N] [--quick]
-        [--set-baseline] [--keep N]
+        [--set-baseline] [--keep N] [--scale-sweep-max EDGES]
 
-``--quick`` runs a single repeat per kernel (used by the perf gate);
-the committed baseline should be produced with the default repeats.
+``--quick`` runs a single repeat per kernel and restricts the scale
+sweep to the fast algorithms (used by the perf gate); the committed
+baseline should be produced with the default repeats and
+``--scale-sweep-max 10000000`` so the 10^7 decade is on record.
 ``--set-baseline`` promotes this run to the retained baseline; ``--keep``
 bounds the history length (oldest entries are dropped).
 """
@@ -32,19 +40,34 @@ import argparse
 import json
 import os
 import platform
+import shutil
 import sys
+import tempfile
 import time
 
 import numpy as np
 
 from repro.gnn.sampling import default_fanouts, sample_blocks
-from repro.graph import DATASET_KEYS, load_dataset
+from repro.graph import (
+    DATASET_KEYS,
+    EdgeChunkReader,
+    load_dataset,
+    rmat_edge_chunks,
+    spool_edges,
+)
+from repro.obs import PeakMemoryTracker
 from repro.partitioning import (
     EDGE_PARTITIONER_NAMES,
     VERTEX_PARTITIONER_NAMES,
+    DbhPartitioner,
+    EdgePartitioner,
     HdrfPartitioner,
+    LdgPartitioner,
+    RandomEdgePartitioner,
+    TwoPsLPartitioner,
     make_edge_partitioner,
     make_vertex_partitioner,
+    shuffle_stream,
 )
 from repro.partitioning.extensions.fennel import FennelPartitioner
 from repro.partitioning.extensions.reldg import RestreamingLdgPartitioner
@@ -54,6 +77,43 @@ BENCH_K = 32
 #: The largest standard synthetic graph (by edges) — HDRF's 5x
 #: speedup acceptance bar is measured here.
 LARGEST_GRAPH = "HW"
+
+#: RMAT scale for the out-of-core sweep. Fixed across decades so the
+#: O(num_vertices) partitioner state is a *constant*: any growth in
+#: peak memory with the edge count is the pipeline's own doing.
+SCALE_SWEEP_SCALE = 18
+#: Edge-count decades of the sweep (multigraph RMAT streams).
+SCALE_SWEEP_DECADES = (10**4, 10**5, 10**6, 10**7)
+#: Spool chunk size (rows) — deliberately smaller than the store
+#: default so the bounded-memory claim is exercised, not hidden.
+SCALE_SWEEP_CHUNK = 1 << 16
+#: Stream seed shared by every decade (same generator, longer prefix).
+SCALE_SWEEP_SEED = 42
+#: Largest decade each algorithm runs: the Python-loop-heavy kernels
+#: (union-find clustering, multi-pass restreaming) stop a decade early
+#: to keep the full sweep under a few minutes.
+SCALE_SWEEP_CAPS = {
+    "hdrf": 10**7,
+    "dbh": 10**7,
+    "random": 10**7,
+    "ldg": 10**6,
+    "fennel": 10**6,
+    "2ps-l": 10**6,
+    "reldg": 10**6,
+}
+#: Subset the perf gate sweeps (tracemalloc slows the slower kernels
+#: by minutes; the full set is recorded by the committed baseline run).
+SCALE_SWEEP_QUICK_ALGOS = ("hdrf", "dbh", "random", "ldg")
+
+_SWEEP_FACTORIES = {
+    "hdrf": HdrfPartitioner,
+    "dbh": DbhPartitioner,
+    "random": RandomEdgePartitioner,
+    "ldg": LdgPartitioner,
+    "fennel": FennelPartitioner,
+    "2ps-l": TwoPsLPartitioner,
+    "reldg": RestreamingLdgPartitioner,
+}
 
 
 def _time(fn, repeats: int) -> float:
@@ -248,7 +308,120 @@ def bench_obs_overhead(repeats: int) -> dict:
     }
 
 
-def run_bench(repeats: int) -> dict:
+def _spool_sweep_stream(num_edges: int, directory: str) -> float:
+    """Spool a ``num_edges``-arc RMAT stream; returns elapsed seconds."""
+    start = time.perf_counter()
+    spool_edges(
+        rmat_edge_chunks(
+            SCALE_SWEEP_SCALE, num_edges, seed=SCALE_SWEEP_SEED
+        ),
+        directory,
+        chunk_size=SCALE_SWEEP_CHUNK,
+        num_vertices=1 << SCALE_SWEEP_SCALE,
+        directed=True,
+    )
+    return time.perf_counter() - start
+
+
+def _drive_stream(partitioner, reader: EdgeChunkReader) -> None:
+    """Consume the streaming path the way the shuffle does.
+
+    Edge partitioners are driven through ``stream_assignments`` with
+    every block discarded — the bounded-memory use-case, where the
+    assignment goes straight to per-partition buckets instead of being
+    materialised. Vertex partitioners return an O(num_vertices)
+    assignment, constant across the sweep's decades.
+    """
+    if isinstance(partitioner, EdgePartitioner):
+        for _edges, _assignment in partitioner.stream_assignments(
+            reader, BENCH_K, seed=0
+        ):
+            pass
+    else:
+        partitioner.partition_stream(reader, BENCH_K, seed=0)
+
+
+def _run_pipeline(num_edges: int, directory: str) -> None:
+    """End-to-end out-of-core pass: generate → spool → HDRF → shuffle."""
+    spool_dir = os.path.join(directory, "spool")
+    _spool_sweep_stream(num_edges, spool_dir)
+    shuffle_stream(
+        EdgeChunkReader(spool_dir),
+        HdrfPartitioner(),
+        BENCH_K,
+        os.path.join(directory, "buckets"),
+        seed=0,
+    )
+
+
+def bench_scale_sweep(max_edges: int, algos=None) -> dict:
+    """Out-of-core throughput and peak memory per edge-count decade.
+
+    Each decade spools a fresh RMAT multigraph stream (fixed vertex
+    count ``2**SCALE_SWEEP_SCALE``), then each algorithm gets two
+    passes:
+    an untracked timing pass (edges/sec) and a ``PeakMemoryTracker``
+    pass — tracemalloc slows allocation, so the two must not share a
+    run. A ``pipeline`` entry measures the full generate → spool →
+    partition → shuffle chain for HDRF at every decade.
+    """
+    names = list(algos) if algos is not None else list(_SWEEP_FACTORIES)
+    series = []
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-") as tmp:
+        for decade in SCALE_SWEEP_DECADES:
+            if decade > max_edges:
+                break
+            spool_dir = os.path.join(tmp, f"spool-{decade}")
+            spool_seconds = _spool_sweep_stream(decade, spool_dir)
+            reader = EdgeChunkReader(spool_dir)
+            entry = {
+                "edges": decade,
+                "spool_seconds": spool_seconds,
+                "algorithms": {},
+            }
+            for name in names:
+                if decade > SCALE_SWEEP_CAPS[name]:
+                    continue
+                factory = _SWEEP_FACTORIES[name]
+                seconds = _time(
+                    lambda: _drive_stream(factory(), reader), 1
+                )
+                with PeakMemoryTracker() as tracker:
+                    _drive_stream(factory(), reader)
+                entry["algorithms"][name] = {
+                    "seconds": seconds,
+                    "edges_per_sec": decade / seconds,
+                    "memory": tracker.as_dict(),
+                }
+            pipe_dir = os.path.join(tmp, f"pipe-{decade}")
+            seconds = _time(lambda: _run_pipeline(decade, pipe_dir), 1)
+            shutil.rmtree(pipe_dir)
+            with PeakMemoryTracker() as tracker:
+                _run_pipeline(decade, pipe_dir)
+            shutil.rmtree(pipe_dir)
+            entry["pipeline"] = {
+                "seconds": seconds,
+                "edges_per_sec": decade / seconds,
+                "memory": tracker.as_dict(),
+            }
+            series.append(entry)
+            # Bound disk usage: the 10^7 spool alone is ~160 MB.
+            shutil.rmtree(spool_dir)
+    return {
+        "rmat_scale": SCALE_SWEEP_SCALE,
+        "k": BENCH_K,
+        "store_chunk_size": SCALE_SWEEP_CHUNK,
+        "seed": SCALE_SWEEP_SEED,
+        "algorithms": names,
+        "series": series,
+    }
+
+
+def run_bench(
+    repeats: int,
+    scale_sweep_max: int = 10**6,
+    scale_sweep_algos=None,
+) -> dict:
     graphs = {
         key: load_dataset(key, "small", seed=0) for key in DATASET_KEYS
     }
@@ -259,12 +432,17 @@ def run_bench(repeats: int) -> dict:
         "repeats": repeats,
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
         "kernels": bench_partitioners(graphs, repeats),
         "hdrf_vs_reference": bench_hdrf_reference(
             graphs[LARGEST_GRAPH], repeats
         ),
         "sampling": bench_sampling(graphs[LARGEST_GRAPH], repeats),
         "obs_overhead": bench_obs_overhead(repeats),
+        "scale_sweep": bench_scale_sweep(
+            scale_sweep_max, scale_sweep_algos
+        ),
     }
     return report
 
@@ -332,10 +510,20 @@ def main(argv=None) -> int:
         "--keep", type=int, default=50,
         help="history entries to retain (oldest dropped first)",
     )
+    parser.add_argument(
+        "--scale-sweep-max", type=int, default=10**6,
+        help="largest out-of-core sweep decade (edges); the committed "
+        "baseline run should use 10000000",
+    )
     args = parser.parse_args(argv)
     repeats = 1 if args.quick else args.repeats
+    sweep_algos = SCALE_SWEEP_QUICK_ALGOS if args.quick else None
 
-    report = run_bench(repeats)
+    report = run_bench(
+        repeats,
+        scale_sweep_max=args.scale_sweep_max,
+        scale_sweep_algos=sweep_algos,
+    )
     timestamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
     series = append_run(
         load_series(args.out),
@@ -373,6 +561,19 @@ def main(argv=None) -> int:
     print("slowest kernels:")
     for name, entry in slowest:
         print(f"  {name}: {entry['seconds']:.3f}s")
+    sweep = report["scale_sweep"]
+    print(
+        f"out-of-core sweep (RMAT scale {sweep['rmat_scale']}, "
+        f"k={sweep['k']}, chunk {sweep['store_chunk_size']} rows):"
+    )
+    for entry in sweep["series"]:
+        pipe = entry["pipeline"]
+        traced = pipe["memory"]["traced_peak_bytes"] / 2**20
+        print(
+            f"  {entry['edges']:>9,} edges: pipeline "
+            f"{pipe['edges_per_sec']:>11,.0f} edges/s, "
+            f"peak {traced:.1f} MiB traced"
+        )
     return 0
 
 

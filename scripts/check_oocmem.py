@@ -1,0 +1,135 @@
+"""Bounded-memory gate for the out-of-core partitioning pipeline.
+
+Runs the full chunk-store pipeline — chunk-native RMAT generation →
+spool → streaming HDRF → per-partition shuffle — on a 10^6-edge graph
+and fails (exit 1) when the peak memory exceeds explicit caps:
+
+* ``--max-traced-mb`` (default 96) bounds the Python-heap high-water
+  mark measured by ``tracemalloc``. The measured peak is ~47 MiB,
+  dominated by the k=32 bucket-writer buffers (32 × 1 MiB) plus HDRF's
+  O(num_vertices · k) state — a full in-memory pass over the same
+  stream would need the 10^6 × 2 int64 edge array *per copy held*, and
+  the pipeline's peak must stay independent of the edge count.
+* ``--max-rss-mb`` (default 512) sanity-bounds the process RSS
+  high-water mark. RSS includes the interpreter, numpy, and (on Linux)
+  any page-cache-resident memmap pages, so the cap is loose; it exists
+  to catch a pipeline that silently materialises the stream.
+
+CI runs this as the bounded-memory smoke job::
+
+    PYTHONPATH=src python scripts/check_oocmem.py
+
+Scale or caps can be overridden for local experiments
+(``--edges 10000000 --max-traced-mb 128``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.graph import EdgeChunkReader, rmat_edge_chunks, spool_edges
+from repro.obs import PeakMemoryTracker
+from repro.partitioning import HdrfPartitioner, shuffle_stream
+
+#: Fixed vertex count (2^18) — matches the bench scale sweep.
+RMAT_SCALE = 18
+#: Spool chunk size in rows; the quantity the peak memory is bounded by.
+CHUNK_ROWS = 1 << 16
+#: Machine count (the paper's largest).
+NUM_PARTITIONS = 32
+
+
+def run_pipeline(num_edges: int, directory: str) -> dict:
+    """Generate → spool → partition → shuffle; returns a summary."""
+    spool_dir = os.path.join(directory, "spool")
+    bucket_dir = os.path.join(directory, "buckets")
+    start = time.perf_counter()
+    with PeakMemoryTracker() as tracker:
+        spool_edges(
+            rmat_edge_chunks(RMAT_SCALE, num_edges, seed=42),
+            spool_dir,
+            chunk_size=CHUNK_ROWS,
+            num_vertices=1 << RMAT_SCALE,
+            directed=True,
+        )
+        reader = EdgeChunkReader(spool_dir)
+        result = shuffle_stream(
+            reader,
+            HdrfPartitioner(),
+            NUM_PARTITIONS,
+            bucket_dir,
+            seed=0,
+        )
+    elapsed = time.perf_counter() - start
+    if int(result.edge_counts.sum()) != num_edges:
+        raise AssertionError(
+            f"shuffle lost edges: buckets hold "
+            f"{int(result.edge_counts.sum())} of {num_edges}"
+        )
+    return {
+        "edges": num_edges,
+        "seconds": elapsed,
+        "traced_peak_bytes": tracker.traced_peak_bytes,
+        "rss_peak_bytes": tracker.rss_peak_bytes,
+        "rss_resettable": tracker.rss_resettable,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--edges", type=int, default=10**6)
+    parser.add_argument("--max-traced-mb", type=float, default=96.0)
+    parser.add_argument("--max-rss-mb", type=float, default=512.0)
+    parser.add_argument(
+        "--workdir", default=None,
+        help="scratch directory (default: a fresh temp dir)",
+    )
+    args = parser.parse_args(argv)
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-oocmem-")
+    try:
+        summary = run_pipeline(args.edges, workdir)
+    finally:
+        if args.workdir is None:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    traced_mb = summary["traced_peak_bytes"] / 2**20
+    rss_mb = (summary["rss_peak_bytes"] or 0) / 2**20
+    print(
+        f"out-of-core pipeline: {summary['edges']:,} edges in "
+        f"{summary['seconds']:.1f}s "
+        f"({summary['edges'] / summary['seconds']:,.0f} edges/s)"
+    )
+    print(
+        f"peak memory: {traced_mb:.1f} MiB traced "
+        f"(cap {args.max_traced_mb:.0f}), {rss_mb:.1f} MiB RSS "
+        f"(cap {args.max_rss_mb:.0f}, "
+        f"resettable={summary['rss_resettable']})"
+    )
+    failures = []
+    if traced_mb > args.max_traced_mb:
+        failures.append(
+            f"traced peak {traced_mb:.1f} MiB exceeds the "
+            f"{args.max_traced_mb:.0f} MiB cap"
+        )
+    if summary["rss_peak_bytes"] is not None and rss_mb > args.max_rss_mb:
+        failures.append(
+            f"RSS peak {rss_mb:.1f} MiB exceeds the "
+            f"{args.max_rss_mb:.0f} MiB cap"
+        )
+    if failures:
+        print("bounded-memory gate FAILED:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print("bounded-memory gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,16 @@ schema-1 files still work). Fails (exit code 1) when any kernel is
 more than ``--threshold`` times slower — the default 2x tolerates
 machine-to-machine variance while catching real regressions.
 
+The out-of-core scale sweep is gated for *sublinearity*: for every
+algorithm whose sweep series spans at least a 100x edge-count ratio,
+the traced peak memory of the largest decade must stay within
+``sqrt(edge ratio)`` of the smallest decade's (with a 1 MiB floor so
+timer-scale allocations don't trip it). A pipeline whose peak memory
+grew linearly with the stream would blow this bound by 10x at a 100x
+span. The check runs against both the fresh sweep (fast algorithms,
+up to 10^6 edges) and the committed latest report, whose full-sweep
+series carries the 10^7 decade.
+
 Opt-in from pytest via the ``perf`` marker::
 
     PYTHONPATH=src python -m pytest -m perf tests/test_perf_gate.py
@@ -20,13 +30,19 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import math
 import os
 import sys
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from bench_perf import latest_report, load_series, run_bench  # noqa: E402
+from bench_perf import (  # noqa: E402
+    SCALE_SWEEP_QUICK_ALGOS,
+    latest_report,
+    load_series,
+    run_bench,
+)
 
 
 #: Kernels faster than this are dominated by call overhead and timer
@@ -39,6 +55,61 @@ OBS_OFF_MAX_OVERHEAD = 0.03
 #: ...unless the absolute delta is below this floor, where the timer
 #: cannot resolve the difference anyway.
 OBS_OFF_ABS_FLOOR_SECONDS = 0.01
+
+#: The out-of-core sweep is only gate-worthy across at least this
+#: edge-count ratio between its smallest and largest decades.
+SWEEP_MIN_SPAN = 100
+#: Traced peaks below this are allocator noise; the sublinearity
+#: ratio is taken against at least this much memory.
+SWEEP_PEAK_FLOOR_BYTES = 1 << 20
+
+
+def check_scale_sweep(report: dict, label: str) -> list:
+    """Sublinearity check: regressions for the ``scale_sweep`` section.
+
+    For each algorithm (and the end-to-end ``pipeline`` entry)
+    spanning at least :data:`SWEEP_MIN_SPAN` in edges, the largest
+    decade's traced peak must not exceed ``sqrt(edge ratio)`` times
+    the smallest decade's. Linear growth fails by a wide margin;
+    chunk-bounded growth passes by one.
+    """
+    regressions = []
+    sweep = report.get("scale_sweep")
+    if not sweep or not sweep.get("series"):
+        return [f"{label}: no scale_sweep series to gate"]
+    peaks: dict = {}
+    for entry in sweep["series"]:
+        records = dict(entry.get("algorithms", {}))
+        if entry.get("pipeline"):
+            records["pipeline"] = entry["pipeline"]
+        for name, record in records.items():
+            peaks.setdefault(name, []).append(
+                (entry["edges"], record["memory"]["traced_peak_bytes"])
+            )
+    gated = 0
+    for name, points in sorted(peaks.items()):
+        points.sort()
+        lo_edges, lo_peak = points[0]
+        hi_edges, hi_peak = points[-1]
+        if hi_edges < SWEEP_MIN_SPAN * lo_edges:
+            continue
+        gated += 1
+        allowed = math.sqrt(hi_edges / lo_edges) * max(
+            lo_peak, SWEEP_PEAK_FLOOR_BYTES
+        )
+        if hi_peak > allowed:
+            regressions.append(
+                f"{label}/{name}: peak memory not sublinear in edges: "
+                f"{lo_edges:,} edges -> {lo_peak / 2**20:.1f} MiB but "
+                f"{hi_edges:,} edges -> {hi_peak / 2**20:.1f} MiB "
+                f"(allowed {allowed / 2**20:.1f} MiB)"
+            )
+    if not gated:
+        regressions.append(
+            f"{label}: scale sweep spans less than "
+            f"{SWEEP_MIN_SPAN}x in edges; nothing to gate"
+        )
+    return regressions
 
 
 def compare(
@@ -109,8 +180,12 @@ def main(argv=None) -> int:
         print(f"{args.baseline}: empty history series; nothing to gate on")
         return 1
 
-    fresh = run_bench(repeats=1)
+    fresh = run_bench(
+        repeats=1, scale_sweep_algos=SCALE_SWEEP_QUICK_ALGOS
+    )
     regressions = compare(baseline, fresh, args.threshold)
+    regressions += check_scale_sweep(fresh, "fresh")
+    regressions += check_scale_sweep(baseline, "baseline")
     if regressions:
         print("perf regressions detected:")
         for line in regressions:
@@ -118,7 +193,8 @@ def main(argv=None) -> int:
         return 1
     print(
         f"perf gate passed: {len(baseline.get('kernels', {}))} kernels "
-        f"within {args.threshold:.1f}x of baseline"
+        f"within {args.threshold:.1f}x of baseline; out-of-core peak "
+        f"memory sublinear across the scale sweep"
     )
     return 0
 

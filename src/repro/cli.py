@@ -3,7 +3,10 @@
 Subcommands::
 
     python -m repro datasets                         # list the stand-ins
+    python -m repro spool      --rmat-scale 18 --rmat-edges 10000000 --out DIR
     python -m repro partition  --graph OR --cut edge-cut --algorithm metis -k 8
+    python -m repro partition  --store DIR --cut vertex-cut --algorithm hdrf \
+        -k 32 --shuffle-out BUCKETS                  # out-of-core
     python -m repro distgnn    --graph OR --partitioner hep100 -k 8
     python -m repro distdgl    --graph OR --partitioner metis -k 8
     python -m repro amortize   --graph OR -k 16 --epochs 100
@@ -20,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -35,18 +39,25 @@ from .experiments import (
 )
 from .graph import (
     DATASET_KEYS,
+    EdgeChunkReader,
     dataset_specs,
     graph_stats,
     load_dataset,
     random_split,
     read_edge_list,
+    rmat_edge_chunks,
+    spool_edges,
+    spool_graph,
 )
+from .graph.chunkstore import DEFAULT_STORE_CHUNK
 from .partitioning import (
     EDGE_PARTITIONER_NAMES,
     VERTEX_PARTITIONER_NAMES,
+    EdgePartitioner,
     edge_partition_quality,
     make_edge_partitioner,
     make_vertex_partitioner,
+    shuffle_stream,
     vertex_partition_quality,
 )
 
@@ -217,8 +228,103 @@ def _cmd_datasets(_args) -> int:
     return 0
 
 
+def _cmd_spool(args) -> int:
+    """Write an edge stream to an on-disk chunk store."""
+    if args.rmat_edges is not None:
+        # Chunk-native RMAT: the stream goes straight to disk without
+        # ever materialising the full edge array.
+        spool_edges(
+            rmat_edge_chunks(
+                args.rmat_scale,
+                args.rmat_edges,
+                seed=args.rmat_seed,
+                directed=args.rmat_directed,
+            ),
+            args.out,
+            chunk_size=args.chunk_size,
+            num_vertices=1 << args.rmat_scale,
+            directed=args.rmat_directed,
+        )
+    else:
+        graph = _load_graph(args)
+        spool_graph(
+            graph,
+            args.out,
+            chunk_size=args.chunk_size,
+            undirected_view=not args.arcs,
+        )
+    reader = EdgeChunkReader(args.out)
+    print(
+        f"spooled {reader.num_edges:,} edges over "
+        f"{reader.num_vertices:,} vertices to {args.out} "
+        f"({len(reader)} chunks of {reader.manifest.chunk_size:,} rows, "
+        f"fingerprint {reader.fingerprint[:12]})"
+    )
+    return 0
+
+
+def _cmd_partition_store(args) -> int:
+    """Out-of-core branch of ``repro partition``: drive a chunk store."""
+    from .obs.memory import PeakMemoryTracker
+
+    reader = EdgeChunkReader(args.store)
+    if args.cut == "vertex-cut":
+        partitioner = make_edge_partitioner(args.algorithm)
+    else:
+        partitioner = make_vertex_partitioner(args.algorithm)
+    if not partitioner.supports_stream:
+        print(
+            f"{partitioner.name} has no streaming drive path; "
+            f"out-of-core algorithms: hdrf, dbh, random, 2ps-l "
+            f"(vertex-cut); ldg (edge-cut)"
+        )
+        return 2
+    start = time.perf_counter()
+    with PeakMemoryTracker() as tracker:
+        if args.shuffle_out:
+            if not isinstance(partitioner, EdgePartitioner):
+                print("--shuffle-out buckets edges: use --cut vertex-cut")
+                return 2
+            result = shuffle_stream(
+                reader, partitioner, args.machines,
+                args.shuffle_out, seed=args.seed,
+            )
+            counts = result.edge_counts
+        else:
+            partition = partitioner.partition_stream(
+                reader, args.machines, seed=args.seed
+            )
+            counts = (
+                partition.edge_counts()
+                if isinstance(partitioner, EdgePartitioner)
+                else partition.vertex_counts()
+            )
+    elapsed = time.perf_counter() - start
+    print(
+        f"{partitioner.name} ({partitioner.cut_type}) over "
+        f"{reader.num_edges:,} spooled edges, k={args.machines}"
+    )
+    balance = counts.max() / max(counts.mean(), 1e-12)
+    print(
+        f"bucket sizes: min {counts.min():,} / max {counts.max():,} "
+        f"(balance {balance:.3f})"
+    )
+    print(f"partitioning time: {elapsed:.3f}s")
+    print(
+        f"peak memory: {tracker.traced_peak_bytes / 2**20:.1f} MiB "
+        f"traced, {(tracker.rss_peak_bytes or 0) / 2**20:.1f} MiB RSS"
+    )
+    if args.shuffle_out:
+        print(f"per-partition buckets written to {args.shuffle_out}")
+    return 0
+
+
 def _cmd_partition(args) -> int:
     _configure_obs(args)
+    if args.store:
+        status = _cmd_partition_store(args)
+        _finish_obs(args)
+        return status
     graph = _load_graph(args)
     split = random_split(graph, seed=args.seed)
     if args.cut == "vertex-cut":
@@ -648,6 +754,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="list the built-in dataset stand-ins")
 
+    spool = sub.add_parser(
+        "spool",
+        help="write an edge stream to an on-disk chunk store "
+             "(see docs/partitioners.md, out-of-core pipeline)",
+    )
+    _add_graph_arguments(spool)
+    spool.add_argument(
+        "--out", required=True, help="chunk-store directory to create"
+    )
+    spool.add_argument(
+        "--chunk-size", type=int, default=DEFAULT_STORE_CHUNK,
+        help="rows per chunk file (bounds pipeline peak memory)",
+    )
+    spool.add_argument(
+        "--arcs", action="store_true",
+        help="spool raw directed arcs instead of the canonical "
+             "undirected edge view the partitioners consume",
+    )
+    rmat = spool.add_argument_group(
+        "chunk-native RMAT (never materialises the edge list)"
+    )
+    rmat.add_argument(
+        "--rmat-scale", type=int, default=18,
+        help="log2 of the vertex count (default: 18)",
+    )
+    rmat.add_argument(
+        "--rmat-edges", type=int, default=None,
+        help="generate this many RMAT edges instead of loading --graph",
+    )
+    rmat.add_argument("--rmat-seed", type=int, default=42)
+    rmat.add_argument(
+        "--rmat-directed", action="store_true",
+        help="keep arcs directed (default: canonical undirected pairs)",
+    )
+
     partition = sub.add_parser("partition", help="run one partitioner")
     _add_graph_arguments(partition)
     partition.add_argument(
@@ -660,6 +801,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     partition.add_argument("-k", "--machines", type=int, default=8)
     partition.add_argument("--output", default=None)
+    ooc = partition.add_argument_group("out-of-core (chunk-store) drive")
+    ooc.add_argument(
+        "--store", default=None,
+        help="partition a spooled chunk store (from `repro spool`) "
+             "instead of an in-memory graph",
+    )
+    ooc.add_argument(
+        "--shuffle-out", default=None,
+        help="with --store and --cut vertex-cut: bucket every edge "
+             "into per-partition stores under this directory",
+    )
     _add_obs_arguments(partition)
 
     distgnn = sub.add_parser("distgnn", help="simulate full-batch training")
@@ -701,6 +853,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 _COMMANDS = {
     "datasets": _cmd_datasets,
+    "spool": _cmd_spool,
     "partition": _cmd_partition,
     "distgnn": _cmd_distgnn,
     "distdgl": _cmd_distdgl,

@@ -1,12 +1,20 @@
 """Graph substrate: storage, generation, datasets, splits, IO and stats."""
 
 from .builder import GraphBuilder
+from .chunkstore import (
+    ChunkManifest,
+    EdgeChunkReader,
+    EdgeChunkWriter,
+    spool_edges,
+    spool_graph,
+)
 from .csr import Graph, build_csr
 from .datasets import DATASET_KEYS, DatasetSpec, dataset_specs, load_dataset
 from .generators import (
     affiliation_graph,
     powerlaw_cluster_graph,
     preferential_attachment_graph,
+    rmat_edge_chunks,
     rmat_graph,
     road_network_graph,
     web_host_graph,
@@ -27,6 +35,12 @@ __all__ = [
     "Graph",
     "GraphBuilder",
     "build_csr",
+    "ChunkManifest",
+    "EdgeChunkReader",
+    "EdgeChunkWriter",
+    "spool_edges",
+    "spool_graph",
+    "rmat_edge_chunks",
     "DATASET_KEYS",
     "DatasetSpec",
     "dataset_specs",

@@ -36,7 +36,7 @@ All generators are deterministic given ``seed``.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Iterator, List
 
 import numpy as np
 
@@ -44,12 +44,18 @@ from .csr import Graph
 
 __all__ = [
     "rmat_graph",
+    "rmat_edge_chunks",
     "powerlaw_cluster_graph",
     "affiliation_graph",
     "road_network_graph",
     "preferential_attachment_graph",
     "web_host_graph",
 ]
+
+#: Rows drawn per internal R-MAT generation round. Fixed (not tied to
+#: any store chunk size) so a given ``(scale, num_edges, seed)`` always
+#: produces the same edge stream however the consumer re-chunks it.
+_RMAT_BLOCK = 1 << 16
 
 
 # ----------------------------------------------------------------------
@@ -161,6 +167,113 @@ def _holme_kim_edges(
 # ----------------------------------------------------------------------
 # Generators
 # ----------------------------------------------------------------------
+def _rmat_block(
+    rng: np.random.Generator,
+    rows: int,
+    scale: int,
+    a: float,
+    b: float,
+    c: float,
+    directed: bool,
+) -> np.ndarray:
+    """Draw one ``(rows, 2)`` block of raw R-MAT edges.
+
+    Per-level quadrant recursion over the whole block at once; self-loops
+    are remapped to the next vertex, and undirected rows are canonicalised
+    to ``lo <= hi``.
+    """
+    num_vertices = 1 << scale
+    src = np.zeros(rows, dtype=np.int64)
+    dst = np.zeros(rows, dtype=np.int64)
+    for level in range(scale):
+        r = rng.random(rows)
+        right = (r >= a + c) | ((r >= a) & (r < a + b))
+        down = r >= a + b
+        bit = np.int64(1 << (scale - level - 1))
+        src += down * bit
+        dst += right * bit
+    loops = src == dst
+    dst[loops] = (dst[loops] + 1) % num_vertices
+    if not directed:
+        lo = np.minimum(src, dst)
+        hi = np.maximum(src, dst)
+        src, dst = lo, hi
+    return np.stack([src, dst], axis=1)
+
+
+def rmat_edge_chunks(
+    scale: int,
+    num_edges: int,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+    directed: bool = True,
+    distinct: bool = False,
+) -> Iterator[np.ndarray]:
+    """Stream R-MAT edges as numpy blocks without building the full list.
+
+    Yields ``(b, 2)`` int64 blocks totalling exactly ``num_edges`` rows.
+    With ``distinct=False`` (the default, Graph500 style) the stream is a
+    multigraph — duplicates are kept — and peak memory is bounded by the
+    internal generation block, independent of ``num_edges``; this is the
+    mode the out-of-core pipeline spools from. With ``distinct=True``
+    generation loops until ``num_edges`` *distinct* edges have been
+    emitted (first occurrence in stream order wins); the duplicate filter
+    keeps a packed-key set of everything emitted, so memory is O(num_edges)
+    — it exists for exact graph construction, not for out-of-core use.
+
+    The stream is deterministic in ``(scale, num_edges, seed, distinct)``
+    and does not depend on how the consumer re-chunks it.
+    """
+    d = 1.0 - a - b - c
+    if d < 0:
+        raise ValueError("quadrant probabilities must sum to at most 1")
+    if scale <= 0 or num_edges <= 0:
+        raise ValueError("scale and num_edges must be positive")
+    if distinct and 2 * scale > 62:
+        raise ValueError("distinct mode supports scale <= 31")
+    rng = np.random.default_rng(seed)
+    if not distinct:
+        remaining = num_edges
+        while remaining > 0:
+            rows = min(_RMAT_BLOCK, remaining)
+            yield _rmat_block(rng, rows, scale, a, b, c, directed)
+            remaining -= rows
+        return
+    # Distinct mode: filter each raw block against everything already
+    # emitted (sorted packed keys), keeping first occurrences in stream
+    # order, until the target count is reached.
+    seen = np.empty(0, dtype=np.int64)
+    emitted = 0
+    dry_rounds = 0
+    while emitted < num_edges:
+        block = _rmat_block(rng, _RMAT_BLOCK, scale, a, b, c, directed)
+        keys = (block[:, 0] << np.int64(scale)) | block[:, 1]
+        if seen.size:
+            pos = np.minimum(np.searchsorted(seen, keys), seen.size - 1)
+            dup = seen[pos] == keys
+        else:
+            dup = np.zeros(keys.size, dtype=bool)
+        uniq_keys, first = np.unique(keys, return_index=True)
+        is_first = np.zeros(keys.size, dtype=bool)
+        is_first[first] = True
+        fresh = np.flatnonzero(is_first & ~dup)
+        if fresh.size == 0:
+            dry_rounds += 1
+            if dry_rounds > 64:
+                raise ValueError(
+                    f"R-MAT(scale={scale}) saturated at {emitted} distinct "
+                    f"edges; cannot reach num_edges={num_edges}"
+                )
+            continue
+        dry_rounds = 0
+        fresh = fresh[: num_edges - emitted]
+        seen = np.union1d(seen, keys[fresh])
+        emitted += fresh.size
+        yield block[fresh]
+
+
 def rmat_graph(
     scale: int,
     num_edges: int,
@@ -175,36 +288,19 @@ def rmat_graph(
 
     Kept as a general-purpose skewed generator (Graph500 defaults); the EU
     stand-in uses :func:`web_host_graph` instead, which adds the host
-    locality of real crawls.
+    locality of real crawls. Built from :func:`rmat_edge_chunks` in
+    ``distinct`` mode, which loops generation until ``num_edges`` distinct
+    edges exist (rather than hoping a fixed oversample buffer suffices),
+    so large or sparse configurations cannot come up short.
     """
-    d = 1.0 - a - b - c
-    if d < 0:
-        raise ValueError("quadrant probabilities must sum to at most 1")
-    if scale <= 0 or num_edges <= 0:
-        raise ValueError("scale and num_edges must be positive")
-    rng = np.random.default_rng(seed)
-    num_vertices = 1 << scale
-    src = np.zeros(int(num_edges * 1.3), dtype=np.int64)
-    dst = np.zeros_like(src)
-    for level in range(scale):
-        r = rng.random(src.shape[0])
-        right = (r >= a + c) | ((r >= a) & (r < a + b))
-        down = r >= a + b
-        bit = np.int64(1 << (scale - level - 1))
-        src += down * bit
-        dst += right * bit
-    loops = src == dst
-    dst[loops] = (dst[loops] + 1) % num_vertices
-    edges = np.stack([src, dst], axis=1)
-    if not directed:
-        lo = np.minimum(src, dst)
-        hi = np.maximum(src, dst)
-        edges = np.stack([lo, hi], axis=1)
-    edges = np.unique(edges, axis=0)
-    if edges.shape[0] > num_edges:
-        keep = rng.choice(edges.shape[0], size=num_edges, replace=False)
-        edges = edges[np.sort(keep)]
-    return Graph(num_vertices, edges, directed=directed, name=name)
+    chunks = list(
+        rmat_edge_chunks(
+            scale, num_edges, a=a, b=b, c=c, seed=seed,
+            directed=directed, distinct=True,
+        )
+    )
+    edges = np.concatenate(chunks, axis=0)
+    return Graph(1 << scale, edges, directed=directed, name=name)
 
 
 def powerlaw_cluster_graph(

@@ -41,6 +41,11 @@ from .api import (
 )
 from .catalog import CATALOG, MetricSpec, find_spec, metric_names
 from .docs import render_metric_docs
+from .memory import (
+    PeakMemoryTracker,
+    read_rss_high_water,
+    reset_rss_high_water,
+)
 from .registry import Counter, Gauge, Histogram, MetricsRegistry, Timer
 from .sink import EventSink, JsonlSink, MemorySink, read_jsonl
 
@@ -83,4 +88,8 @@ __all__ = [
     "read_jsonl",
     # docs
     "render_metric_docs",
+    # memory
+    "PeakMemoryTracker",
+    "read_rss_high_water",
+    "reset_rss_high_water",
 ]

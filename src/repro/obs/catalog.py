@@ -236,6 +236,42 @@ CATALOG: Tuple[MetricSpec, ...] = (
         "throughput.",
         labels=("kernel",), buckets=_TIME_BUCKETS,
     ),
+    MetricSpec(
+        "partitioner.stream_passes", "counter", "count",
+        "Full passes over the on-disk edge stream made by an out-of-core "
+        "partitioning run (degree pass, clustering passes, placement), "
+        "labelled with the algorithm name.",
+        labels=("algorithm",),
+    ),
+    # ----------------------------------------------------------- chunkstore
+    MetricSpec(
+        "chunkstore.chunks_written", "counter", "count",
+        "Edge chunks flushed to an on-disk store, labelled with the "
+        "store role (spool for primary edge spools, bucket for shuffle "
+        "outputs).",
+        labels=("role",),
+    ),
+    MetricSpec(
+        "chunkstore.bytes_written", "counter", "bytes",
+        "Raw edge bytes flushed to an on-disk store, by store role.",
+        labels=("role",),
+    ),
+    MetricSpec(
+        "chunkstore.chunks_read", "counter", "count",
+        "Edge chunks loaded back from an on-disk store, by store role.",
+        labels=("role",),
+    ),
+    MetricSpec(
+        "chunkstore.bytes_read", "counter", "bytes",
+        "Raw edge bytes loaded back from an on-disk store, by store "
+        "role.",
+        labels=("role",),
+    ),
+    MetricSpec(
+        "chunkstore.spills", "counter", "count",
+        "Pending-edge buffers spilled from a GraphBuilder to an on-disk "
+        "store.",
+    ),
     # ----------------------------------------------------- partition cache
     MetricSpec(
         "partition_cache.hits", "counter", "count",

@@ -1,0 +1,118 @@
+"""Peak-memory measurement for the out-of-core pipeline.
+
+The bounded-memory claim of the chunk-store pipeline ("peak memory is
+a function of the chunk size, not the edge count") needs a measurement
+primitive that can be reset between phases of one process. Two signals
+are combined:
+
+``tracemalloc``
+    Tracks the Python-heap high-water mark exactly and is resettable
+    (:func:`tracemalloc.reset_peak`), at the price of slowing
+    allocation — so memory runs are kept separate from timing runs.
+
+resident set size (RSS)
+    ``VmHWM`` from ``/proc/self/status`` reports the process-wide
+    high-water mark, including numpy buffer allocations that bypass the
+    Python allocator only when tracemalloc hooks are absent (numpy
+    routes through PyMem, so tracemalloc does see its buffers) and any
+    mmap'd pages actually touched. On Linux it can be *reset* by
+    writing ``5`` to ``/proc/self/clear_refs``; elsewhere the
+    non-resettable ``ru_maxrss`` is reported as an upper bound with
+    ``rss_resettable=False`` so gates know not to trust deltas.
+
+:class:`PeakMemoryTracker` is a context manager snapshotting both::
+
+    with PeakMemoryTracker() as tracker:
+        run_pipeline()
+    print(tracker.traced_peak_bytes, tracker.rss_peak_bytes)
+"""
+
+from __future__ import annotations
+
+import os
+import tracemalloc
+from typing import Optional
+
+__all__ = [
+    "PeakMemoryTracker",
+    "read_rss_high_water",
+    "reset_rss_high_water",
+]
+
+_PROC_STATUS = "/proc/self/status"
+_CLEAR_REFS = "/proc/self/clear_refs"
+
+
+def read_rss_high_water() -> Optional[int]:
+    """Current RSS high-water mark in bytes, or ``None`` off-Linux."""
+    try:
+        with open(_PROC_STATUS) as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except OSError:
+        pass
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - resource is POSIX-only
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    scale = 1 if os.uname().sysname == "Darwin" else 1024
+    return usage.ru_maxrss * scale
+
+
+def reset_rss_high_water() -> bool:
+    """Reset ``VmHWM`` to the current RSS; ``True`` if it worked."""
+    try:
+        with open(_CLEAR_REFS, "w") as handle:
+            handle.write("5")
+        return True
+    except OSError:
+        return False
+
+
+class PeakMemoryTracker:
+    """Measure the peak memory of a code block.
+
+    After ``__exit__``:
+
+    ``traced_peak_bytes``
+        Python-heap high-water mark over the block (tracemalloc). This
+        is the gate-worthy number: it is exact and always resettable.
+    ``rss_peak_bytes``
+        Process RSS high-water mark in bytes; covers the block only
+        when ``rss_resettable`` is ``True``, otherwise it is a
+        process-lifetime upper bound (or ``None`` when unavailable).
+    """
+
+    def __init__(self) -> None:
+        self.traced_peak_bytes: int = 0
+        self.rss_peak_bytes: Optional[int] = None
+        self.rss_resettable: bool = False
+        self._started_tracing = False
+
+    def __enter__(self) -> "PeakMemoryTracker":
+        self.rss_resettable = reset_rss_high_water()
+        if tracemalloc.is_tracing():
+            tracemalloc.reset_peak()
+        else:
+            self._started_tracing = True
+            tracemalloc.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _, peak = tracemalloc.get_traced_memory()
+        self.traced_peak_bytes = peak
+        if self._started_tracing:
+            tracemalloc.stop()
+            self._started_tracing = False
+        self.rss_peak_bytes = read_rss_high_water()
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (used by bench reports)."""
+        return {
+            "traced_peak_bytes": self.traced_peak_bytes,
+            "rss_peak_bytes": self.rss_peak_bytes,
+            "rss_resettable": self.rss_resettable,
+        }

@@ -2,6 +2,14 @@
 
 from .assignment import EdgePartition, VertexPartition
 from .base import EdgePartitioner, Partitioner, VertexPartitioner
+from .outofcore import (
+    StoreGraphView,
+    StreamEdgePartition,
+    StreamVertexPartition,
+    build_stream_csr,
+    stream_degrees,
+)
+from .shuffle import ShuffleResult, shuffle_stream
 from .edgecut import (
     ByteGnnPartitioner,
     KahipPartitioner,
@@ -104,4 +112,11 @@ __all__ = [
     "load_vertex_partition",
     "save_edge_partition",
     "load_edge_partition",
+    "StoreGraphView",
+    "StreamEdgePartition",
+    "StreamVertexPartition",
+    "build_stream_csr",
+    "stream_degrees",
+    "ShuffleResult",
+    "shuffle_stream",
 ]

@@ -8,19 +8,35 @@ Every partitioner in the study implements one of two abstract bases:
 Both expose ``partition(graph, num_partitions, seed=0)`` and record the
 wall-clock partitioning time of the last run (used by the amortization
 analysis, Tables 4 and 5 of the paper).
+
+The streaming algorithms additionally expose an out-of-core drive path
+over an on-disk edge spool (:class:`~repro.graph.chunkstore.EdgeChunkReader`):
+``partition_stream(reader, num_partitions, seed=0)`` and — for
+vertex-cut, where the per-edge assignment itself is O(m) — the fully
+streaming ``stream_assignments(...)`` generator. Classes advertising
+``supports_stream = True`` guarantee the out-of-core assignments are
+bit-identical to the in-memory path over the same stream order (spool
+the graph with :func:`~repro.graph.chunkstore.spool_graph` and disable
+stream shuffling where the algorithm has it).
 """
 
 from __future__ import annotations
 
 import abc
 import time
-from typing import Optional
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
 from ..graph import Graph
+from ..graph.chunkstore import EdgeChunkReader
 from ..obs import api as obs
 from .assignment import EdgePartition, VertexPartition
+from .outofcore import (
+    StoreGraphView,
+    StreamEdgePartition,
+    StreamVertexPartition,
+)
 
 __all__ = ["Partitioner", "EdgePartitioner", "VertexPartitioner"]
 
@@ -34,6 +50,9 @@ class Partitioner(abc.ABC):
     cut_type: str = ""
     #: Paper's category: stateless/stateful streaming, hybrid, in-memory.
     category: str = ""
+    #: True when the algorithm has an out-of-core drive path whose
+    #: assignments are bit-identical to the in-memory one.
+    supports_stream: bool = False
 
     def __init__(self) -> None:
         self.last_partitioning_seconds: Optional[float] = None
@@ -43,6 +62,18 @@ class Partitioner(abc.ABC):
             raise ValueError("num_partitions must be positive")
         if graph.num_vertices == 0:
             raise ValueError("cannot partition an empty graph")
+
+    def _check_stream_args(
+        self, reader: EdgeChunkReader, num_partitions: int
+    ) -> None:
+        if not self.supports_stream:
+            raise NotImplementedError(
+                f"{self.name} has no out-of-core streaming path"
+            )
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        if reader.num_vertices <= 0:
+            raise ValueError("cannot partition an empty store")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
@@ -86,6 +117,67 @@ class EdgePartitioner(Partitioner):
     ) -> np.ndarray:
         """Return a partition id per row of ``edges``."""
 
+    # ------------------------------------------------------------------
+    # Out-of-core drive path
+    # ------------------------------------------------------------------
+    def stream_assignments(
+        self, reader: EdgeChunkReader, num_partitions: int, seed: int = 0
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Stream the store once, yielding ``(edges, assignment)`` blocks.
+
+        The fully out-of-core API: nothing O(m) is materialised — peak
+        memory is bounded by the block size plus the algorithm's own
+        state. Blocks cover the store in order; their boundaries are an
+        implementation detail (kernels may re-chunk the store's chunks).
+        """
+        self._check_stream_args(reader, num_partitions)
+        return self._assign_stream(reader, num_partitions, seed)
+
+    def partition_stream(
+        self, reader: EdgeChunkReader, num_partitions: int, seed: int = 0
+    ) -> StreamEdgePartition:
+        """Out-of-core run materialising the full per-edge assignment.
+
+        Convenience wrapper over :meth:`stream_assignments` for
+        moderate stores (the assignment is O(m) int32); the shuffle
+        pass and the scale benchmarks consume the generator directly.
+        """
+        self._check_stream_args(reader, num_partitions)
+        start = time.perf_counter()
+        parts = [
+            assignment
+            for _, assignment in self._assign_stream(
+                reader, num_partitions, seed
+            )
+        ]
+        self.last_partitioning_seconds = time.perf_counter() - start
+        assignment = (
+            np.concatenate(parts)
+            if parts
+            else np.empty(0, dtype=np.int32)
+        )
+        if obs.enabled():
+            obs.count("partitioner.runs", algorithm=self.name)
+            obs.observe(
+                "partitioner.seconds",
+                self.last_partitioning_seconds,
+                algorithm=self.name,
+            )
+            obs.count(
+                "partitioner.edges_assigned",
+                int(assignment.shape[0]),
+                algorithm=self.name,
+            )
+        return StreamEdgePartition(reader, assignment, num_partitions)
+
+    def _assign_stream(
+        self, reader: EdgeChunkReader, num_partitions: int, seed: int
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(edges, assignment)`` blocks covering the store."""
+        raise NotImplementedError(
+            f"{self.name} has no out-of-core streaming path"
+        )
+
 
 class VertexPartitioner(Partitioner):
     """Edge-cut partitioner: assigns every vertex to a partition."""
@@ -119,3 +211,52 @@ class VertexPartitioner(Partitioner):
         self, graph: Graph, num_partitions: int, seed: int
     ) -> np.ndarray:
         """Return a partition id per vertex."""
+
+    # ------------------------------------------------------------------
+    # Out-of-core drive path
+    # ------------------------------------------------------------------
+    def partition_stream(
+        self, reader: EdgeChunkReader, num_partitions: int, seed: int = 0
+    ) -> StreamVertexPartition:
+        """Out-of-core run against a spooled edge stream.
+
+        The vertex assignment is O(n) and is always materialised; only
+        the edge data stays out-of-core (the symmetric CSR is built in
+        two store passes with a memmap-backed neighbour array).
+        """
+        self._check_stream_args(reader, num_partitions)
+        start = time.perf_counter()
+        assignment = self._assign_stream(reader, num_partitions, seed)
+        self.last_partitioning_seconds = time.perf_counter() - start
+        if obs.enabled():
+            obs.count("partitioner.runs", algorithm=self.name)
+            obs.observe(
+                "partitioner.seconds",
+                self.last_partitioning_seconds,
+                algorithm=self.name,
+            )
+            obs.count(
+                "partitioner.vertices_assigned",
+                int(assignment.shape[0]),
+                algorithm=self.name,
+            )
+        return StreamVertexPartition(reader, assignment, num_partitions)
+
+    def _assign_stream(
+        self, reader: EdgeChunkReader, num_partitions: int, seed: int
+    ) -> np.ndarray:
+        """Run the unchanged in-memory kernel against a store-backed view.
+
+        The CSR-driven streamers (LDG, Fennel, reLDG) are
+        neighbour-order-independent, so the out-of-core CSR of
+        :class:`StoreGraphView` reproduces their in-memory assignments
+        bit-identically; the two store passes of the CSR build are the
+        only edge-data passes.
+        """
+        view = StoreGraphView(reader)
+        assignment = self._assign(view, num_partitions, seed)
+        if obs.enabled():
+            obs.count(
+                "partitioner.stream_passes", 2, algorithm=self.name
+            )
+        return assignment

@@ -12,9 +12,11 @@ size.
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from typing import Iterable, Iterator, Tuple
 
-__all__ = ["DEFAULT_CHUNK", "MIN_CHUNK", "chunk_spans"]
+import numpy as np
+
+__all__ = ["DEFAULT_CHUNK", "MIN_CHUNK", "chunk_spans", "iter_ramp_blocks"]
 
 #: Default ceiling of the chunk-size ramp.
 DEFAULT_CHUNK = 1024
@@ -35,3 +37,44 @@ def chunk_spans(
         yield start, stop
         start = stop
         size = min(size * 2, chunk_size)
+
+
+def iter_ramp_blocks(
+    blocks: Iterable[np.ndarray], chunk_size: int = DEFAULT_CHUNK
+) -> Iterator[np.ndarray]:
+    """Re-chunk an iterable of arbitrary-size blocks into the ramp spans.
+
+    The out-of-core path streams edges from an on-disk store whose chunk
+    size has nothing to do with the kernels' :func:`chunk_spans` ramp.
+    This generator stitches the incoming blocks back into exactly the
+    span sequence ``chunk_spans(total, chunk_size)`` would produce over
+    the concatenated stream — carrying partial spans across block
+    boundaries — so a kernel driven through it is bit-identical to the
+    in-memory kernel over the full array, whatever the store chunking.
+    Only spans that straddle a block boundary are copied (concatenated);
+    interior spans are views into the incoming block.
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    size = min(MIN_CHUNK, chunk_size)
+    pending: list = []
+    pending_rows = 0
+    for block in blocks:
+        offset = 0
+        length = block.shape[0]
+        while offset < length:
+            take = min(size - pending_rows, length - offset)
+            pending.append(block[offset : offset + take])
+            pending_rows += take
+            offset += take
+            if pending_rows == size:
+                yield (
+                    pending[0]
+                    if len(pending) == 1
+                    else np.concatenate(pending)
+                )
+                pending = []
+                pending_rows = 0
+                size = min(size * 2, chunk_size)
+    if pending_rows:
+        yield pending[0] if len(pending) == 1 else np.concatenate(pending)

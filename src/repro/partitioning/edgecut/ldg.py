@@ -23,6 +23,9 @@ class LdgPartitioner(VertexPartitioner):
     """Linear Deterministic Greedy streaming vertex placement (LDG)."""
     name = "LDG"
     category = "stateful streaming"
+    # The kernel only observes neighbour partition tallies (bincount),
+    # so the store-backed CSR drives it bit-identically out-of-core.
+    supports_stream = True
 
     def __init__(
         self,

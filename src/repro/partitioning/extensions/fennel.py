@@ -29,6 +29,9 @@ class FennelPartitioner(VertexPartitioner):
     """Fennel: streaming vertex placement with a tunable balance penalty."""
     name = "Fennel"
     category = "stateful streaming"
+    # The kernel only observes neighbour partition tallies (bincount),
+    # so the store-backed CSR drives it bit-identically out-of-core.
+    supports_stream = True
 
     def __init__(
         self,

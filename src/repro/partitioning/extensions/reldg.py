@@ -26,6 +26,9 @@ class RestreamingLdgPartitioner(VertexPartitioner):
     """LDG with multiple restreaming passes (reLDG)."""
     name = "reLDG"
     category = "stateful streaming"
+    # The kernel only observes neighbour partition tallies (bincount),
+    # so the store-backed CSR drives it bit-identically out-of-core.
+    supports_stream = True
 
     def __init__(
         self,

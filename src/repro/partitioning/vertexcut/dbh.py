@@ -9,10 +9,15 @@ cuts. Stateless streaming.
 
 from __future__ import annotations
 
+from typing import Iterator, Tuple
+
 import numpy as np
 
 from ...graph import Graph
+from ...graph.chunkstore import EdgeChunkReader
+from ...obs import api as obs
 from ..base import EdgePartitioner
+from ..outofcore import stream_degrees
 
 __all__ = ["DbhPartitioner"]
 
@@ -26,10 +31,28 @@ def _splitmix64(values: np.ndarray, seed: int) -> np.ndarray:
     return x ^ (x >> np.uint64(31))
 
 
+def _hash_assign(
+    edges: np.ndarray,
+    degrees: np.ndarray,
+    num_partitions: int,
+    seed: int,
+) -> np.ndarray:
+    """The DBH rule for a block of edges: a pure per-edge function."""
+    u, v = edges[:, 0], edges[:, 1]
+    # Hash on the endpoint with the smaller degree (ties -> smaller id).
+    u_smaller = (degrees[u] < degrees[v]) | (
+        (degrees[u] == degrees[v]) & (u < v)
+    )
+    anchor = np.where(u_smaller, u, v)
+    hashed = _splitmix64(anchor, seed)
+    return (hashed % np.uint64(num_partitions)).astype(np.int32)
+
+
 class DbhPartitioner(EdgePartitioner):
     """Degree-Based Hashing: cut the higher-degree endpoint (DBH)."""
     name = "DBH"
     category = "stateless streaming"
+    supports_stream = True
 
     def _assign(
         self,
@@ -38,12 +61,15 @@ class DbhPartitioner(EdgePartitioner):
         num_partitions: int,
         seed: int,
     ) -> np.ndarray:
-        degrees = graph.degrees()
-        u, v = edges[:, 0], edges[:, 1]
-        # Hash on the endpoint with the smaller degree (ties -> smaller id).
-        u_smaller = (degrees[u] < degrees[v]) | (
-            (degrees[u] == degrees[v]) & (u < v)
-        )
-        anchor = np.where(u_smaller, u, v)
-        hashed = _splitmix64(anchor, seed)
-        return (hashed % np.uint64(num_partitions)).astype(np.int32)
+        return _hash_assign(edges, graph.degrees(), num_partitions, seed)
+
+    def _assign_stream(
+        self, reader: EdgeChunkReader, num_partitions: int, seed: int
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        # Degree pass first, then a per-chunk application of the same
+        # pure per-edge rule — identical to the in-memory assignment.
+        degrees = stream_degrees(reader)
+        if obs.enabled():
+            obs.count("partitioner.stream_passes", 2, algorithm=self.name)
+        for chunk in reader.iter_chunks():
+            yield chunk, _hash_assign(chunk, degrees, num_partitions, seed)

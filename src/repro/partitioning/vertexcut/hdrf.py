@@ -9,9 +9,13 @@ low-degree vertices whole), and (b) penalises imbalance.
 
 from __future__ import annotations
 
+from typing import Iterator, Tuple
+
 import numpy as np
 
 from ...graph import Graph
+from ...graph.chunkstore import EdgeChunkReader
+from ...obs import api as obs
 from ..base import EdgePartitioner
 from .streaming import DEFAULT_CHUNK, HdrfState
 
@@ -22,12 +26,14 @@ class HdrfPartitioner(EdgePartitioner):
     """High-Degree Replicated First greedy streaming edge placement (HDRF)."""
     name = "HDRF"
     category = "stateful streaming"
+    supports_stream = True
 
     def __init__(
         self,
         lambda_balance: float = 1.1,
         chunk_size: int = DEFAULT_CHUNK,
         vectorised: bool = True,
+        shuffle_stream: bool = True,
     ) -> None:
         super().__init__()
         self.lambda_balance = lambda_balance
@@ -35,6 +41,11 @@ class HdrfPartitioner(EdgePartitioner):
         # ``vectorised=False`` runs the retained scalar reference kernel
         # (identical output; used by equivalence tests and benchmarks).
         self.vectorised = vectorised
+        # ``shuffle_stream=False`` streams edges in their given order
+        # instead of a seeded permutation — the order the out-of-core
+        # path necessarily uses (permuting is O(m) memory), so the two
+        # paths are comparable bit-for-bit.
+        self.shuffle_stream = shuffle_stream
 
     def _assign(
         self,
@@ -43,8 +54,6 @@ class HdrfPartitioner(EdgePartitioner):
         num_partitions: int,
         seed: int,
     ) -> np.ndarray:
-        rng = np.random.default_rng(seed)
-        order = rng.permutation(edges.shape[0])
         state = HdrfState(
             graph.num_vertices,
             num_partitions,
@@ -56,6 +65,23 @@ class HdrfPartitioner(EdgePartitioner):
             if self.vectorised
             else state.place_edges_reference
         )
+        if not self.shuffle_stream:
+            return place(edges)
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(edges.shape[0])
         assignment = np.empty(edges.shape[0], dtype=np.int32)
         assignment[order] = place(edges[order])
         return assignment
+
+    def _assign_stream(
+        self, reader: EdgeChunkReader, num_partitions: int, seed: int
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        state = HdrfState(
+            reader.num_vertices,
+            num_partitions,
+            self.lambda_balance,
+            chunk_size=self.chunk_size,
+        )
+        if obs.enabled():
+            obs.count("partitioner.stream_passes", algorithm=self.name)
+        return state.place_blocks(reader.iter_chunks())

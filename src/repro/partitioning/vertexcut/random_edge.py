@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
+from typing import Iterator, Tuple
+
 import numpy as np
 
 from ...graph import Graph
+from ...graph.chunkstore import EdgeChunkReader
+from ...obs import api as obs
 from ..base import EdgePartitioner
 
 __all__ = ["RandomEdgePartitioner"]
@@ -20,6 +24,7 @@ class RandomEdgePartitioner(EdgePartitioner):
 
     name = "Random"
     category = "stateless streaming"
+    supports_stream = True
 
     def _assign(
         self,
@@ -32,3 +37,17 @@ class RandomEdgePartitioner(EdgePartitioner):
         return rng.integers(
             0, num_partitions, size=edges.shape[0], dtype=np.int32
         )
+
+    def _assign_stream(
+        self, reader: EdgeChunkReader, num_partitions: int, seed: int
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        # Sequential draws from one Generator concatenate to exactly the
+        # single full-size draw of the in-memory path, so the chunked
+        # assignment is identical whatever the store chunking.
+        rng = np.random.default_rng(seed)
+        if obs.enabled():
+            obs.count("partitioner.stream_passes", algorithm=self.name)
+        for chunk in reader.iter_chunks():
+            yield chunk, rng.integers(
+                0, num_partitions, size=chunk.shape[0], dtype=np.int32
+            )

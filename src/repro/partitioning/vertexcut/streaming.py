@@ -35,7 +35,12 @@ import time
 import numpy as np
 
 from ...obs import api as obs
-from ..chunking import DEFAULT_CHUNK, MIN_CHUNK, chunk_spans
+from ..chunking import (
+    DEFAULT_CHUNK,
+    MIN_CHUNK,
+    chunk_spans,
+    iter_ramp_blocks,
+)
 
 __all__ = ["HdrfState", "DEFAULT_CHUNK", "MIN_CHUNK", "chunk_spans"]
 
@@ -176,6 +181,36 @@ class HdrfState:
                 "partitioner.chunk_items", float(stop - start), kernel="hdrf"
             )
         return assignment
+
+    def place_blocks(self, blocks):
+        """Stream an iterable of edge blocks, yielding per-span results.
+
+        The out-of-core counterpart of :meth:`place_edges`: ``blocks``
+        (e.g. :meth:`EdgeChunkReader.iter_chunks`) is re-chunked through
+        :func:`~repro.partitioning.chunking.iter_ramp_blocks` into the
+        same span sequence :meth:`place_edges` would use over the
+        concatenated stream, so the assignments are bit-identical to the
+        in-memory path whatever the incoming block sizes. Yields
+        ``(span_edges, span_assignment)`` pairs; peak memory is bounded
+        by the largest incoming block plus the O(n k) state.
+        """
+        instrumented = obs.enabled()
+        for span in iter_ramp_blocks(blocks, self.chunk_size):
+            out = np.empty(span.shape[0], dtype=np.int32)
+            began = time.perf_counter() if instrumented else 0.0
+            self._place_chunk(span, out)
+            if instrumented:
+                obs.observe(
+                    "partitioner.chunk_seconds",
+                    time.perf_counter() - began,
+                    kernel="hdrf",
+                )
+                obs.observe(
+                    "partitioner.chunk_items",
+                    float(span.shape[0]),
+                    kernel="hdrf",
+                )
+            yield span, out
 
     def place_edges_reference(self, edges: np.ndarray) -> np.ndarray:
         """Retained scalar reference for :meth:`place_edges`."""

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graph import GraphBuilder
+from repro.graph import EdgeChunkReader, EdgeChunkWriter, GraphBuilder
 
 
 def test_add_edge_and_build():
@@ -58,3 +58,51 @@ def test_duplicate_edges_deduped_at_build():
     builder = GraphBuilder()
     builder.add_edges([(0, 1), (1, 0), (0, 1)])
     assert builder.build().num_edges == 1
+
+
+def test_add_edges_ndarray_fast_path():
+    array = np.array([[0, 1], [2, 3], [4, 5]])
+    builder = GraphBuilder()
+    builder.add_edges(array)
+    # Bulk input must land as a single chunk, not a python loop of
+    # scalar adds.
+    assert builder.num_pending_edges == 3
+    assert builder._sources == []
+    assert builder.build().num_edges == 3
+
+
+def test_add_edges_list_of_pairs_uses_bulk_path():
+    builder = GraphBuilder()
+    builder.add_edges([(0, 1), (2, 3)])
+    assert builder._sources == []
+    assert builder.num_pending_edges == 2
+
+
+def test_add_edges_generator_still_works():
+    builder = GraphBuilder()
+    builder.add_edges((i, i + 1) for i in range(5))
+    assert builder.num_pending_edges == 5
+    assert builder.build().num_edges == 5
+
+
+def test_add_edges_negative_rejected_on_bulk_path():
+    builder = GraphBuilder()
+    with pytest.raises(ValueError):
+        builder.add_edges([(0, 1), (2, -3)])
+
+
+def test_spill_to_round_trips_and_clears(tmp_path):
+    builder = GraphBuilder()
+    builder.add_edge(9, 3)
+    builder.add_edge_array(np.array([[1, 2], [3, 4]]))
+    writer = EdgeChunkWriter(str(tmp_path / "s"), chunk_size=2)
+    assert builder.spill_to(writer) == 3
+    assert builder.num_pending_edges == 0
+    builder.add_edge(5, 6)
+    assert builder.spill_to(writer) == 1
+    writer.close()
+    reader = EdgeChunkReader(str(tmp_path / "s"))
+    assert np.array_equal(
+        reader.read_all(),
+        np.array([[1, 2], [3, 4], [9, 3], [5, 6]]),
+    )

@@ -8,6 +8,7 @@ from repro.graph import (
     graph_stats,
     powerlaw_cluster_graph,
     preferential_attachment_graph,
+    rmat_edge_chunks,
     rmat_graph,
     road_network_graph,
     web_host_graph,
@@ -42,7 +43,23 @@ class TestRmat:
         g = rmat_graph(9, 4000, seed=0)
         assert g.num_vertices == 512
         assert g.directed
-        assert g.num_edges <= 4000
+        # The generator loops until it has the requested count of
+        # *distinct* edges (no 1.3x-oversample undershoot).
+        assert g.num_edges == 4000
+
+    def test_exact_count_across_sizes(self):
+        for m in (1, 100, 2500):
+            assert rmat_graph(9, m, seed=1).num_edges == m
+
+    def test_edges_are_distinct(self):
+        g = rmat_graph(8, 2000, seed=0)
+        keys = g.edges[:, 0] * g.num_vertices + g.edges[:, 1]
+        assert np.unique(keys).size == keys.size
+
+    def test_saturation_rejected(self):
+        # 2^3 vertices cannot host 200 distinct non-loop edges.
+        with pytest.raises(ValueError):
+            rmat_graph(3, 200, seed=0)
 
     def test_skewed_degrees(self):
         g = rmat_graph(10, 8000, seed=0)
@@ -56,6 +73,44 @@ class TestRmat:
     def test_invalid_scale(self):
         with pytest.raises(ValueError):
             rmat_graph(0, 100)
+
+
+class TestRmatChunks:
+    """The chunk generator feeding the out-of-core pipeline."""
+
+    def test_blocks_concatenate_to_exact_count(self):
+        blocks = list(rmat_edge_chunks(10, 5000, seed=3))
+        edges = np.concatenate(blocks)
+        assert edges.shape == (5000, 2)
+        assert edges.min() >= 0 and edges.max() < 1024
+
+    def test_deterministic(self):
+        a = np.concatenate(list(rmat_edge_chunks(9, 3000, seed=5)))
+        b = np.concatenate(list(rmat_edge_chunks(9, 3000, seed=5)))
+        assert np.array_equal(a, b)
+
+    def test_distinct_chunks_match_rmat_graph(self):
+        # rmat_graph is the distinct chunk stream finalised through
+        # Graph (which canonicalises row order): same edge *set*.
+        g = rmat_graph(9, 3000, seed=7)
+        chunks = np.concatenate(
+            list(rmat_edge_chunks(9, 3000, seed=7, distinct=True))
+        )
+        assert chunks.shape == g.edges.shape
+        pack = lambda e: np.sort(e[:, 0] * g.num_vertices + e[:, 1])
+        assert np.array_equal(pack(g.edges), pack(chunks))
+
+    def test_undirected_rows_are_canonical(self):
+        edges = np.concatenate(
+            list(rmat_edge_chunks(9, 2000, seed=0, directed=False))
+        )
+        assert (edges[:, 0] <= edges[:, 1]).all()
+
+    def test_no_self_loops(self):
+        edges = np.concatenate(
+            list(rmat_edge_chunks(8, 3000, seed=2))
+        )
+        assert (edges[:, 0] != edges[:, 1]).all()
 
 
 class TestPowerlawCluster:

@@ -1,0 +1,58 @@
+"""Tests for the peak-memory tracker."""
+
+import numpy as np
+
+from repro.obs import (
+    PeakMemoryTracker,
+    read_rss_high_water,
+    reset_rss_high_water,
+)
+
+
+def test_traced_peak_sees_large_allocation():
+    with PeakMemoryTracker() as tracker:
+        block = np.zeros(2_000_000, dtype=np.int64)  # 16 MB
+        del block
+    assert tracker.traced_peak_bytes >= 16_000_000
+
+
+def test_peak_resets_between_uses():
+    with PeakMemoryTracker() as big:
+        block = np.zeros(2_000_000, dtype=np.int64)
+        del block
+    with PeakMemoryTracker() as small:
+        block = np.zeros(10_000, dtype=np.int64)
+        del block
+    # A fresh tracker must not inherit the previous block's peak.
+    assert small.traced_peak_bytes < big.traced_peak_bytes / 10
+
+
+def test_as_dict_shape():
+    with PeakMemoryTracker() as tracker:
+        pass
+    summary = tracker.as_dict()
+    assert set(summary) == {
+        "traced_peak_bytes", "rss_peak_bytes", "rss_resettable",
+    }
+    assert summary["traced_peak_bytes"] >= 0
+
+
+def test_rss_helpers_are_consistent():
+    rss = read_rss_high_water()
+    if rss is None:
+        return  # platform without /proc or resource
+    assert rss > 0
+    # Reset (where supported) must leave a readable high-water mark.
+    reset_rss_high_water()
+    assert read_rss_high_water() > 0
+
+
+def test_nested_trackers_do_not_stop_outer_tracing():
+    with PeakMemoryTracker() as outer:
+        with PeakMemoryTracker() as inner:
+            block = np.zeros(1_000_000, dtype=np.int64)
+            del block
+        after_inner = np.zeros(500_000, dtype=np.int64)
+        del after_inner
+    assert inner.traced_peak_bytes >= 8_000_000
+    assert outer.traced_peak_bytes >= 4_000_000

@@ -254,3 +254,83 @@ class TestObsCommands:
         )
         assert code == 0
         assert "</html>" in dash.read_text()
+
+
+class TestOutOfCoreCommands:
+    """`repro spool` and the --store drive of `repro partition`."""
+
+    def test_spool_dataset_then_partition_store(self, capsys, tmp_path):
+        store = tmp_path / "spool"
+        code, out = run(
+            ["spool", "--graph", "OR", "--scale", "tiny",
+             "--out", str(store), "--chunk-size", "1000"],
+            capsys,
+        )
+        assert code == 0
+        assert "spooled" in out and "fingerprint" in out
+        code, out = run(
+            ["partition", "--store", str(store), "--cut", "vertex-cut",
+             "--algorithm", "hdrf", "-k", "4"],
+            capsys,
+        )
+        assert code == 0
+        assert "HDRF" in out
+        assert "peak memory" in out
+
+    def test_spool_rmat_and_shuffle(self, capsys, tmp_path):
+        store = tmp_path / "spool"
+        buckets = tmp_path / "buckets"
+        code, out = run(
+            ["spool", "--rmat-edges", "5000", "--rmat-scale", "10",
+             "--out", str(store), "--chunk-size", "1024"],
+            capsys,
+        )
+        assert code == 0
+        assert "5,000 edges" in out
+        code, out = run(
+            ["partition", "--store", str(store), "--cut", "vertex-cut",
+             "--algorithm", "dbh", "-k", "4",
+             "--shuffle-out", str(buckets)],
+            capsys,
+        )
+        assert code == 0
+        assert "buckets written" in out
+        from repro.graph import EdgeChunkReader
+
+        total = sum(
+            EdgeChunkReader(str(buckets / f"part-{p:03d}")).num_edges
+            for p in range(4)
+        )
+        assert total == 5000
+
+    def test_partition_store_edge_cut(self, capsys, tmp_path):
+        store = tmp_path / "spool"
+        run(
+            ["spool", "--graph", "OR", "--scale", "tiny",
+             "--out", str(store)],
+            capsys,
+        )
+        code, out = run(
+            ["partition", "--store", str(store), "--cut", "edge-cut",
+             "--algorithm", "ldg", "-k", "4"],
+            capsys,
+        )
+        assert code == 0
+        assert "LDG" in out
+
+    def test_partition_store_rejects_non_streaming(
+        self, capsys, tmp_path
+    ):
+        store = tmp_path / "spool"
+        run(
+            ["spool", "--graph", "OR", "--scale", "tiny",
+             "--out", str(store)],
+            capsys,
+        )
+        code, out = run(
+            ["partition", "--store", str(store), "--cut", "edge-cut",
+             "--algorithm", "metis", "-k", "4"],
+            capsys,
+        )
+        assert code == 2
+        assert "no streaming drive path" in out
