@@ -38,6 +38,10 @@ FILE`` evaluates a declarative alert-rule file against every finished
 cell's records; firings are printed (and pushed onto the bus) as
 findings, and ``--abort-on {warning,critical}`` stops the sweep early
 with exit code 2 the moment a rule fires at or above that severity.
+
+The cell fan-out rides :mod:`repro.experiments.executor` — the same
+engine behind ``repro serve`` (``docs/serve.md``), which runs these
+sweeps as queued multi-tenant jobs instead of one batch invocation.
 """
 
 from __future__ import annotations

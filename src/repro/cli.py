@@ -22,6 +22,7 @@ see ``repro.costmodel`` for calibration details.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
@@ -631,6 +632,102 @@ def _cmd_obs_watch(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .serve import SweepScheduler, serve_forever
+
+    scheduler = SweepScheduler(
+        workers=args.workers,
+        data_dir=args.data_dir,
+        max_pending_cells=args.max_pending_cells,
+    )
+    print(
+        f"repro serve on http://{args.host}:{args.port} "
+        f"(workers={args.workers}, data_dir={scheduler.data_dir}, "
+        f"max_pending_cells={args.max_pending_cells})"
+    )
+    serve_forever(scheduler, host=args.host, port=args.port)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from .serve import ServeClient, ServeError
+
+    if args.spec == "-":
+        spec = json.load(sys.stdin)
+    else:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            spec = json.load(handle)
+    if args.tenant is not None:
+        spec["tenant"] = args.tenant
+    if args.priority is not None:
+        spec["priority"] = args.priority
+    client = ServeClient(args.url)
+    try:
+        job = client.submit(spec)
+    except ServeError as exc:
+        print(f"submit failed: {exc}")
+        if exc.status == 429 and exc.retry_after:
+            print(f"retry in ~{exc.retry_after}s")
+        return 1
+    print(
+        f"{job['id']}: {job['state']} "
+        f"({job['cells_done']}/{job['cells_total']} cells, "
+        f"{job['dedup_hits']} dedup hits) bus={job['bus_dir']}"
+    )
+    if not args.wait:
+        return 0
+    try:
+        job = client.wait(job["id"], timeout=args.timeout)
+    except TimeoutError as exc:
+        print(f"wait: {exc}")
+        return 1
+    print(
+        f"{job['id']}: {job['state']} "
+        f"({job['records_done']} records, "
+        f"{job['dedup_hits']} dedup hits)"
+    )
+    if job.get("error"):
+        print(f"error: {job['error']}")
+    if args.out:
+        full = client.job(job["id"], records=True)
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(full["records"], handle, indent=2)
+        print(f"records written to {args.out}")
+    return 0 if job["state"] == "done" else 1
+
+
+def _cmd_jobs(args) -> int:
+    from .serve import ServeClient, ServeError
+
+    client = ServeClient(args.url)
+    try:
+        if args.cancel:
+            job = client.cancel(args.cancel)
+            print(f"{job['id']}: {job['state']}")
+            return 0
+        if args.queue:
+            print(json.dumps(client.queue(), indent=2))
+            return 0
+        if args.job:
+            print(json.dumps(client.job(args.job), indent=2))
+            return 0
+        jobs = client.jobs()
+    except ServeError as exc:
+        print(f"request failed: {exc}")
+        return 1
+    if not jobs:
+        print("no jobs")
+        return 0
+    for job in jobs:
+        print(
+            f"{job['id']}  {job['state']:<9} tenant={job['tenant']} "
+            f"prio={job['priority']} "
+            f"cells={job['cells_done']}/{job['cells_total']} "
+            f"dedup={job['dedup_hits']}"
+        )
+    return 0
+
+
 _OBS_COMMANDS = {
     "analyze": _cmd_obs_analyze,
     "diff": _cmd_obs_diff,
@@ -848,6 +945,67 @@ def build_parser() -> argparse.ArgumentParser:
 
     _add_obs_subcommands(sub)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant sweep-job daemon (see docs/serve.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="concurrent cells (1 = in-process; >1 uses a process pool)",
+    )
+    serve.add_argument(
+        "--data-dir", default=None,
+        help="job artifacts root (per-job bus + records; "
+             "default: a fresh temp dir)",
+    )
+    serve.add_argument(
+        "--max-pending-cells", type=int, default=256,
+        help="admission bound: queued cells before POST /jobs gets 429",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit a sweep-job spec to a running daemon"
+    )
+    submit.add_argument(
+        "spec", help="job spec JSON file ('-' reads stdin)"
+    )
+    submit.add_argument(
+        "--url", default="http://127.0.0.1:8642",
+        help="daemon base URL",
+    )
+    submit.add_argument("--tenant", default=None,
+                        help="override the spec's tenant")
+    submit.add_argument("--priority", type=int, default=None,
+                        help="override the spec's priority")
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job finishes (exit 1 unless it is done)",
+    )
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="--wait deadline in seconds")
+    submit.add_argument(
+        "--out", default=None,
+        help="with --wait: write the job's records JSON here",
+    )
+
+    jobs = sub.add_parser(
+        "jobs", help="list/inspect/cancel jobs on a running daemon"
+    )
+    jobs.add_argument(
+        "--url", default="http://127.0.0.1:8642",
+        help="daemon base URL",
+    )
+    jobs.add_argument("--job", default=None,
+                      help="show one job's full JSON summary")
+    jobs.add_argument("--cancel", default=None,
+                      help="cancel this job id")
+    jobs.add_argument(
+        "--queue", action="store_true",
+        help="show the scheduler queue snapshot instead of jobs",
+    )
+
     return parser
 
 
@@ -860,6 +1018,9 @@ _COMMANDS = {
     "amortize": _cmd_amortize,
     "recommend": _cmd_recommend,
     "obs": _cmd_obs,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "jobs": _cmd_jobs,
 }
 
 

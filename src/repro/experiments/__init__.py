@@ -39,7 +39,12 @@ from .config import (
     scaled_batch_size,
 )
 from .correlation import pearson, r_squared
-from .parallel import run_distdgl_grid_parallel, run_distgnn_grid_parallel
+from .executor import CellExecutor, CellTask, execute_cells, fifo_schedule
+from .parallel import (
+    close_bus_writer,
+    run_distdgl_grid_parallel,
+    run_distgnn_grid_parallel,
+)
 from .records import DistDglRecord, DistGnnRecord
 from .report import format_series, format_table, print_series, print_table
 from .runreport import build_run_report
@@ -77,6 +82,11 @@ __all__ = [
     "run_distdgl_grid",
     "run_distgnn_grid_parallel",
     "run_distdgl_grid_parallel",
+    "CellTask",
+    "CellExecutor",
+    "execute_cells",
+    "fifo_schedule",
+    "close_bus_writer",
     "speedup_vs_random",
     "epochs_to_amortize",
     "amortization_table",

@@ -3,14 +3,15 @@
 The serial grid in :mod:`.runner` iterates ``machines x partitioners x
 params``; each ``(machines, partitioner)`` pair — one *cell* — shares a
 single cached partition across all its parameter configurations, and
-cells are completely independent of each other. The runners here fan the
-cells out over a :class:`~concurrent.futures.ProcessPoolExecutor`: each
-worker computes its cell's partition exactly once (the partition cache
-is per process) and runs the cell's parameter grid serially, so no
-partition is ever computed twice and no partition is shipped between
-processes. Every simulation is deterministic given its seed, so the
-parallel runners return record-for-record the same results as the
-serial ones (equivalence-tested), in the same order.
+cells are completely independent of each other. The runners here build
+:class:`~.executor.CellTask` lists and hand them to
+:func:`~.executor.execute_cells`: each worker computes its cell's
+partition exactly once (the partition cache is per process) and runs
+the cell's parameter grid serially, so no partition is ever computed
+twice and no partition is shipped between processes. Every simulation
+is deterministic given its seed, so the parallel runners return
+record-for-record the same results as the serial ones
+(equivalence-tested), in the same order.
 
 ``workers=None`` lets the executor pick (CPU count); ``workers<=1``
 falls back to the serial runner in-process.
@@ -27,12 +28,20 @@ cell-start/record-done/cell-done/heartbeat events to its own JSONL
 stream in the bus directory (see :mod:`repro.obs.live.bus`), which
 ``repro obs watch`` tails; cell indices are global submission order
 (``cell_offset`` threads the running index across multiple grid
-invocations of one sweep). With ``cell_callback`` set, the coordinator
-invokes it as ``callback(cell_index, records)`` for every finished
-cell *in submission order*; the callback raising (e.g.
+invocations of one sweep). Worker-process writers are closed by the
+``atexit`` hook :class:`~repro.obs.live.bus.BusWriter` registers; the
+in-process (``workers<=1``) path closes its writer when the sweep
+returns, so back-to-back sweeps in one process never share a stream or
+its cseq state.
+
+With ``cell_callback`` set, the coordinator invokes it as
+``callback(cell_index, records)`` for every finished cell *in
+submission order*; the callback raising (e.g.
 :class:`~repro.obs.live.rules.SweepAborted` from an alert rule)
-cancels all not-yet-started cells and propagates — the early-stop path
-of ``run_full_sweep.py --abort-on``. Both features also work on the
+cancels all not-yet-started cells promptly — the executor drops them
+with ``shutdown(wait=False, cancel_futures=True)`` rather than waiting
+for running cells to drain — and propagates: the early-stop path of
+``run_full_sweep.py --abort-on``. Both features also work on the
 ``workers<=1`` path, which then drives the same per-cell helpers
 in-process in the same order.
 """
@@ -41,13 +50,13 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..costmodel import DEFAULT_COST_MODEL, CostModel
 from ..graph import Graph, VertexSplit, random_split
 from ..obs import api as obs
 from .config import FaultConfig, TrainingParams
+from .executor import CellTask, execute_cells
 from .records import DistDglRecord, DistGnnRecord
 from .runner import (
     run_distdgl,
@@ -60,6 +69,9 @@ __all__ = ["run_distgnn_grid_parallel", "run_distdgl_grid_parallel"]
 
 #: Per-process bus writers, keyed by bus directory: a worker process
 #: reuses one stream file (and one cseq state) across all its cells.
+#: Writers register an atexit close (pool teardown flushes them); the
+#: in-process sweep path closes and evicts its writer per sweep via
+#: :func:`close_bus_writer`.
 _BUS_WRITERS: Dict[str, object] = {}
 
 
@@ -72,6 +84,22 @@ def _bus_writer(bus_dir: str):
         writer = BusWriter(bus_dir, f"pid{os.getpid()}")
         _BUS_WRITERS[bus_dir] = writer
     return writer
+
+
+def close_bus_writer(bus_dir: Optional[str]) -> None:
+    """Close and evict this process's writer for ``bus_dir``, if any.
+
+    The in-process (``workers<=1``) sweep path calls this when a sweep
+    finishes so its streams are flushed deterministically and the next
+    sweep — possibly into a different bus directory — starts from a
+    fresh writer with fresh cseq state instead of silently sharing the
+    old one.
+    """
+    if bus_dir is None:
+        return
+    writer = _BUS_WRITERS.pop(bus_dir, None)
+    if writer is not None:
+        writer.close()
 
 
 def _distgnn_cell(
@@ -154,27 +182,30 @@ def _distdgl_cell(
     return records
 
 
-def _collect_cells(
-    pool: ProcessPoolExecutor,
-    futures: List,
-    records: List,
+def _run_grid_cells(
+    tasks: List[CellTask],
+    workers: Optional[int],
     cell_callback: Optional[Callable[[int, List], None]],
-    cell_offset: int,
-) -> None:
-    """Gather cell futures in submission order, invoking the callback
-    per cell; a callback (or cell) exception cancels every pending
-    cell before propagating, so ``--abort-on`` stops the sweep without
-    burning the rest of the grid."""
+    bus_dir: Optional[str],
+) -> List:
+    """Fan the cell tasks out and flatten results in task order.
+
+    The in-process path closes its bus writer when the sweep finishes
+    (flushes the streams; fresh cseq state for the next sweep); pool
+    workers close theirs via the writer's atexit hook at process exit.
+    """
+    inline = workers is not None and workers <= 1
     try:
-        for index, future in enumerate(futures):
-            cell_records = future.result()
-            records.extend(cell_records)
-            if cell_callback is not None:
-                cell_callback(cell_offset + index, cell_records)
-    except BaseException:
-        for future in futures:
-            future.cancel()
-        raise
+        cell_results = execute_cells(
+            tasks, workers=workers, cell_callback=cell_callback
+        )
+    finally:
+        if inline:
+            close_bus_writer(bus_dir)
+    records: List = []
+    for cell_records in cell_results:
+        records.extend(cell_records)
+    return records
 
 
 def run_distgnn_grid_parallel(
@@ -196,37 +227,27 @@ def run_distgnn_grid_parallel(
     cells = [
         (k, name) for k in machine_counts for name in partitioners
     ]
-    if workers is not None and workers <= 1:
-        if bus_dir is None and cell_callback is None:
-            return run_distgnn_grid(
-                graph, partitioners, machine_counts, grid, seed,
-                cost_model, fault_config=fault_config,
-                num_epochs=num_epochs,
-            )
-        records: List[DistGnnRecord] = []
-        for index, (k, name) in enumerate(cells):
-            cell_records = _distgnn_cell(
+    if (
+        workers is not None and workers <= 1
+        and bus_dir is None and cell_callback is None
+    ):
+        return run_distgnn_grid(
+            graph, partitioners, machine_counts, grid, seed,
+            cost_model, fault_config=fault_config,
+            num_epochs=num_epochs,
+        )
+    tasks = [
+        CellTask(
+            index=cell_offset + index,
+            fn=_distgnn_cell,
+            args=(
                 graph, name, k, grid, seed, cost_model, fault_config,
                 num_epochs, obs.level(), cell_offset + index, bus_dir,
-            )
-            records.extend(cell_records)
-            if cell_callback is not None:
-                cell_callback(cell_offset + index, cell_records)
-        return records
-    records = []
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [
-            pool.submit(
-                _distgnn_cell, graph, name, k, grid, seed, cost_model,
-                fault_config, num_epochs, obs.level(),
-                cell_offset + index, bus_dir,
-            )
-            for index, (k, name) in enumerate(cells)
-        ]
-        _collect_cells(
-            pool, futures, records, cell_callback, cell_offset
+            ),
         )
-    return records
+        for index, (k, name) in enumerate(cells)
+    ]
+    return _run_grid_cells(tasks, workers, cell_callback, bus_dir)
 
 
 def run_distdgl_grid_parallel(
@@ -251,35 +272,25 @@ def run_distdgl_grid_parallel(
     cells = [
         (k, name) for k in machine_counts for name in partitioners
     ]
-    if workers is not None and workers <= 1:
-        if bus_dir is None and cell_callback is None:
-            return run_distdgl_grid(
-                graph, partitioners, machine_counts, grid,
-                split=split, seed=seed, cost_model=cost_model,
-                fault_config=fault_config, num_epochs=num_epochs,
-            )
-        records: List[DistDglRecord] = []
-        for index, (k, name) in enumerate(cells):
-            cell_records = _distdgl_cell(
+    if (
+        workers is not None and workers <= 1
+        and bus_dir is None and cell_callback is None
+    ):
+        return run_distdgl_grid(
+            graph, partitioners, machine_counts, grid,
+            split=split, seed=seed, cost_model=cost_model,
+            fault_config=fault_config, num_epochs=num_epochs,
+        )
+    tasks = [
+        CellTask(
+            index=cell_offset + index,
+            fn=_distdgl_cell,
+            args=(
                 graph, name, k, grid, split, seed, cost_model,
                 fault_config, num_epochs, obs.level(),
                 cell_offset + index, bus_dir,
-            )
-            records.extend(cell_records)
-            if cell_callback is not None:
-                cell_callback(cell_offset + index, cell_records)
-        return records
-    records = []
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [
-            pool.submit(
-                _distdgl_cell, graph, name, k, grid, split, seed,
-                cost_model, fault_config, num_epochs, obs.level(),
-                cell_offset + index, bus_dir,
-            )
-            for index, (k, name) in enumerate(cells)
-        ]
-        _collect_cells(
-            pool, futures, records, cell_callback, cell_offset
+            ),
         )
-    return records
+        for index, (k, name) in enumerate(cells)
+    ]
+    return _run_grid_cells(tasks, workers, cell_callback, bus_dir)

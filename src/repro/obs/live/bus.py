@@ -37,10 +37,24 @@ Event kinds:
 ``finding``
     Coordinator: an alert-rule firing, as a serialized
     :class:`~repro.obs.analysis.findings.Finding`.
+
+Sequence bound. Findings sort after every record of their cell by
+riding at ``cseq >= FINDING_CSEQ_BASE`` (100000), which caps a cell at
+``FINDING_CSEQ_BASE - 2`` records (cell-start and cell-done each take
+one slot). The writer *validates* this bound — ``cell_start`` rejects
+a ``records_total`` that could not fit, and every cseq allocation
+raises before crossing into the finding range — so an oversized
+parameter grid fails loudly instead of silently corrupting the
+deterministic merge order.
+
+Lifecycle. Writers are context managers, and every writer registers an
+:mod:`atexit` close so worker-process streams are flushed even when the
+pool tears the process down without unwinding; ``close`` is idempotent.
 """
 
 from __future__ import annotations
 
+import atexit
 import glob
 import json
 import os
@@ -52,6 +66,7 @@ from ..sink import JsonlSink
 __all__ = [
     "EVENT_KINDS",
     "WALL_ONLY_KINDS",
+    "MAX_CELL_RECORDS",
     "BusWriter",
     "BusTailer",
     "record_event_fields",
@@ -74,7 +89,15 @@ WALL_ONLY_KINDS = frozenset({"heartbeat"})
 
 #: ``cseq`` offset for coordinator findings, so they sort after every
 #: record of their cell no matter how large the parameter grid is.
+#: Caps a cell at ``FINDING_CSEQ_BASE - 2`` records (one slot each for
+#: cell-start and cell-done); the writer enforces the bound at
+#: ``cell_start``/``record_done`` time rather than letting a colliding
+#: cseq corrupt the deterministic merge.
 FINDING_CSEQ_BASE = 100000
+
+#: Largest parameter grid one cell can carry: cell-start + records +
+#: cell-done must all stay below :data:`FINDING_CSEQ_BASE`.
+MAX_CELL_RECORDS = FINDING_CSEQ_BASE - 2
 
 
 def merge_key(event: Dict[str, object]) -> Tuple[int, int]:
@@ -138,6 +161,12 @@ class BusWriter:
     processes never share a file. The writer assigns ``cseq`` per cell;
     a cell must be driven by a single writer (the sweep runners
     guarantee this: a cell is one executor task).
+
+    Writers close deterministically: use them as a context manager, or
+    rely on the :mod:`atexit` hook every writer registers at
+    construction (worker pools tear processes down without unwinding
+    the stack, so flushing must not depend on ``__del__`` luck).
+    ``close`` is idempotent and further events are dropped silently.
     """
 
     def __init__(self, bus_dir: str, writer_id: Optional[str] = None) -> None:
@@ -149,9 +178,18 @@ class BusWriter:
         )
         self._sink = JsonlSink(self.path)
         self._cseq: Dict[int, int] = {}
+        self.closed = False
+        atexit.register(self.close)
 
     def _next_cseq(self, cell: int) -> int:
         cseq = self._cseq.get(cell, 0)
+        if cseq >= FINDING_CSEQ_BASE:
+            raise ValueError(
+                f"cell {cell} overflowed its event-sequence budget: "
+                f"cseq {cseq} would collide with the finding range "
+                f"(>= {FINDING_CSEQ_BASE}); cells are capped at "
+                f"{MAX_CELL_RECORDS} records"
+            )
         self._cseq[cell] = cseq + 1
         return cseq
 
@@ -178,7 +216,19 @@ class BusWriter:
         k: int,
         records_total: int,
     ) -> None:
-        """Worker: a cell's parameter grid is starting."""
+        """Worker: a cell's parameter grid is starting.
+
+        Rejects a ``records_total`` the cell's cseq budget cannot hold
+        (see :data:`MAX_CELL_RECORDS`): failing here, before any event
+        is written, beats corrupting the merge order 100000 records in.
+        """
+        if int(records_total) > MAX_CELL_RECORDS:
+            raise ValueError(
+                f"cell {cell} declares {records_total} records, above "
+                f"the per-cell cap of {MAX_CELL_RECORDS} (record cseqs "
+                f"must stay below FINDING_CSEQ_BASE="
+                f"{FINDING_CSEQ_BASE} so findings sort after records)"
+            )
         self.emit({
             "kind": "cell-start", "cell": int(cell),
             "cseq": self._next_cseq(cell),
@@ -214,6 +264,10 @@ class BusWriter:
 
     def finding(self, cell: int, index: int, finding) -> None:
         """Coordinator: an alert-rule firing for ``cell``."""
+        if int(index) < 0:
+            raise ValueError(
+                f"finding index must be >= 0, got {index}"
+            )
         self.emit({
             "kind": "finding", "cell": int(cell),
             "cseq": FINDING_CSEQ_BASE + int(index),
@@ -221,8 +275,17 @@ class BusWriter:
         })
 
     def close(self) -> None:
-        """Flush and close the stream file."""
+        """Flush and close the stream file (idempotent)."""
+        self.closed = True
         self._sink.close()
+
+    def __enter__(self) -> "BusWriter":
+        """Context-manager entry: the writer itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: close (and flush) the stream."""
+        self.close()
 
 
 class BusTailer:

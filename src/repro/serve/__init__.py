@@ -1,0 +1,54 @@
+"""The sweep-job service: a multi-tenant daemon over the executor.
+
+``repro serve`` turns the batch sweep pipeline into a long-running
+local service. Tenants POST sweep-job specs to an HTTP/JSON API; the
+scheduler expands them into cells (the same units the grid runners
+use), queues them under priority + per-tenant fair share, deduplicates
+identical cells across jobs by content fingerprint, executes them on
+the extracted :class:`~repro.experiments.executor.CellExecutor`, and
+replays per-job progress onto a per-job telemetry bus that
+``repro obs watch`` tails unchanged.
+
+Layers, bottom-up:
+
+* :mod:`.jobs` — :class:`SweepJobSpec` (validated request) and
+  :class:`Job` (live state, per-cell results, dedup accounting).
+* :mod:`.scheduler` — :class:`SweepScheduler`: admission control
+  (bounded pending queue → :class:`QueueFullError` → HTTP 429),
+  fair-share queueing, cell dedup, runner threads, bus replay,
+  alert-rule aborts, bounded result/job retention.
+* :mod:`.server` — the stdlib ``http.server`` front end
+  (``POST /jobs``, ``GET /jobs[/<id>]``, ``DELETE /jobs/<id>``,
+  ``GET /queue``, ``GET /healthz``, ``POST /shutdown``).
+* :mod:`.client` — a urllib client used by ``repro submit`` /
+  ``repro jobs``, tests and the CI smoke.
+
+See ``docs/serve.md`` for the API reference and operational notes.
+"""
+
+from .client import ServeClient, ServeError
+from .jobs import ENGINES, JOB_STATES, Job, SweepJobSpec
+from .scheduler import (
+    DEFAULT_MAX_CACHED_CELLS,
+    DEFAULT_MAX_FINISHED_JOBS,
+    DEFAULT_MAX_PENDING_CELLS,
+    QueueFullError,
+    SweepScheduler,
+)
+from .server import make_server, serve_forever
+
+__all__ = [
+    "ENGINES",
+    "JOB_STATES",
+    "SweepJobSpec",
+    "Job",
+    "SweepScheduler",
+    "QueueFullError",
+    "DEFAULT_MAX_PENDING_CELLS",
+    "DEFAULT_MAX_CACHED_CELLS",
+    "DEFAULT_MAX_FINISHED_JOBS",
+    "make_server",
+    "serve_forever",
+    "ServeClient",
+    "ServeError",
+]

@@ -232,3 +232,60 @@ def test_record_order_is_serial_order(tiny_or):
     ]
     got = [(r.num_machines, r.partitioner) for r in records]
     assert got == expected
+
+
+class TestBusWriterLifecycle:
+    """The in-process sweep path must close (flush) its bus writer."""
+
+    def test_inline_sweep_flushes_and_evicts_writer(
+        self, tiny_or, tmp_path
+    ):
+        from repro.experiments.parallel import _BUS_WRITERS
+        from repro.obs.live import BusTailer
+
+        bus = str(tmp_path / "bus")
+        run_distgnn_grid_parallel(
+            tiny_or, ["random"], [2], _grid(), workers=1, bus_dir=bus,
+        )
+        assert bus not in _BUS_WRITERS  # closed and evicted per sweep
+        events = BusTailer(bus).poll()
+        kinds = [e["kind"] for e in events if e["kind"] != "heartbeat"]
+        # Fully flushed: the complete cell lifecycle is on disk.
+        assert kinds == (
+            ["cell-start"] + ["record-done"] * len(_grid())
+            + ["cell-done"]
+        )
+
+    def test_back_to_back_sweeps_use_fresh_streams(
+        self, tiny_or, tmp_path
+    ):
+        from repro.obs.live import BusTailer
+
+        bus_a = str(tmp_path / "bus_a")
+        bus_b = str(tmp_path / "bus_b")
+        run_distgnn_grid_parallel(
+            tiny_or, ["random"], [2], _grid(), workers=1,
+            bus_dir=bus_a,
+        )
+        run_distgnn_grid_parallel(
+            tiny_or, ["random", "hdrf"], [2], _grid(), workers=1,
+            bus_dir=bus_b,
+        )
+        events_a = [
+            e for e in BusTailer(bus_a).poll()
+            if e["kind"] != "heartbeat"
+        ]
+        events_b = [
+            e for e in BusTailer(bus_b).poll()
+            if e["kind"] != "heartbeat"
+        ]
+        # No cross-contamination: each dir holds exactly its own
+        # sweep, and the second writer's cseq state restarted fresh.
+        assert len(events_a) == 2 + len(_grid())
+        assert len(events_b) == 2 * (2 + len(_grid()))
+        assert {e["cell"] for e in events_a} == {0}
+        assert {e["cell"] for e in events_b} == {0, 1}
+        first_a = [e for e in events_a if e["cell"] == 0][0]
+        first_b = [e for e in events_b if e["cell"] == 0][0]
+        assert first_a["cseq"] == 0
+        assert first_b["cseq"] == 0

@@ -3,8 +3,14 @@
 import json
 import os
 
+import pytest
+
 from repro.obs.live import BusTailer, BusWriter, record_event_fields
-from repro.obs.live.bus import FINDING_CSEQ_BASE, merge_key
+from repro.obs.live.bus import (
+    FINDING_CSEQ_BASE,
+    MAX_CELL_RECORDS,
+    merge_key,
+)
 
 
 class _Params:
@@ -175,3 +181,68 @@ class TestBusTailer:
             str(tmp_path / "events-late.jsonl"), ['{"n": 1}']
         )
         assert [e["n"] for e in tailer.poll()] == [1]
+
+
+class TestWriterLifecycle:
+    def test_context_manager_closes_and_flushes(self, tmp_path):
+        with BusWriter(str(tmp_path), "w0") as writer:
+            writer.sweep_start(1)
+            assert not writer.closed
+        assert writer.closed
+        events = BusTailer(str(tmp_path)).poll()
+        assert [e["kind"] for e in events] == ["sweep-start"]
+
+    def test_close_is_idempotent(self, tmp_path):
+        writer = BusWriter(str(tmp_path), "w0")
+        writer.heartbeat()
+        writer.close()
+        writer.close()
+        assert writer.closed
+
+    def test_events_after_close_are_dropped_silently(self, tmp_path):
+        writer = BusWriter(str(tmp_path), "w0")
+        writer.heartbeat()
+        writer.close()
+        writer.heartbeat()  # must not raise or corrupt the file
+        events = BusTailer(str(tmp_path)).poll()
+        assert len(events) == 1
+
+
+class TestCseqBudget:
+    def test_max_cell_records_bound(self):
+        assert MAX_CELL_RECORDS == FINDING_CSEQ_BASE - 2
+
+    def test_cell_start_rejects_oversized_cell(self, tmp_path):
+        writer = BusWriter(str(tmp_path), "w0")
+        with pytest.raises(ValueError, match="per-cell cap"):
+            writer.cell_start(
+                0, "distgnn", "OR", "hdrf", 4, MAX_CELL_RECORDS + 1
+            )
+        # Nothing was emitted: failing beats corrupting the merge.
+        assert BusTailer(str(tmp_path)).poll() == []
+
+    def test_cell_start_accepts_cap_exactly(self, tmp_path):
+        writer = BusWriter(str(tmp_path), "w0")
+        writer.cell_start(
+            0, "distgnn", "OR", "hdrf", 4, MAX_CELL_RECORDS
+        )
+        assert len(BusTailer(str(tmp_path)).poll()) == 1
+
+    def test_cseq_overflow_raises_instead_of_colliding(self, tmp_path):
+        writer = BusWriter(str(tmp_path), "w0")
+        writer.cell_start(0, "distgnn", "OR", "hdrf", 4, 1)
+        # White box: wind the cell's counter to the finding range
+        # instead of emitting 100k events.
+        writer._cseq[0] = FINDING_CSEQ_BASE
+        with pytest.raises(ValueError, match="finding range"):
+            writer.record_done(0, 0, _Record(), "distgnn")
+
+    def test_finding_rejects_negative_index(self, tmp_path):
+        writer = BusWriter(str(tmp_path), "w0")
+
+        class _Finding:
+            def to_dict(self):
+                return {}
+
+        with pytest.raises(ValueError, match=">= 0"):
+            writer.finding(0, -1, _Finding())

@@ -17,6 +17,7 @@ PUBLIC_MODULES = [
     "repro.distdgl",
     "repro.experiments",
     "repro.obs",
+    "repro.serve",
 ]
 
 
