@@ -5,7 +5,9 @@ the standard small-scale synthetic graphs at ``k=32``, the HDRF
 vectorised kernel against its retained scalar reference on the largest
 graph (verifying bit-identical assignments), the neighbourhood
 sampling kernel, the overhead of the observability hooks on a fixed
-simulation cell (plain / off / metrics / trace), and — new with the
+simulation cell (plain / off / metrics / trace), the bookkeeping cost
+of the comm codecs on the same cell (none / fp16 / int8 / topk —
+``docs/communication.md``), and — new with the
 out-of-core pipeline — a *scale sweep*: RMAT streams of 10^4 … 10^7
 edges spooled through the chunk store and driven through every
 streaming partitioner, recording edges/sec and the peak memory of the
@@ -308,6 +310,61 @@ def bench_obs_overhead(repeats: int) -> dict:
     }
 
 
+def bench_comm_codecs(repeats: int) -> dict:
+    """Overhead of comm-codec bookkeeping on one fixed simulation cell.
+
+    Times ``run_distgnn`` on the tiny OR cell with the null codec and
+    once per real codec (fp16 / int8 / topk). The codecs are *modelled*
+    — ratio arithmetic over byte counts, never an actual quantisation
+    pass — so enabling one may only add bookkeeping;
+    ``scripts/check_perf.py`` gates each codec's overhead fraction over
+    the null-codec run.
+    """
+    from repro.comm import CommConfig
+    from repro.experiments import TrainingParams, run_distgnn
+
+    graph = load_dataset("OR", "tiny", seed=0)
+    params = TrainingParams()
+    # Same sub-timer-resolution cell as bench_obs_overhead.
+    inner = 50
+
+    def make_cell(comm):
+        def cell():
+            for _ in range(inner):
+                run_distgnn(
+                    graph, "hdrf", 4, params, seed=0, comm_config=comm
+                )
+
+        return cell
+
+    run_distgnn(graph, "hdrf", 4, params, seed=0)  # warm partition cache
+
+    variants = [("none", make_cell(None))] + [
+        (name, make_cell(CommConfig(compression=name)))
+        for name in ("fp16", "int8", "topk")
+    ]
+    # Round-robin interleave, as in bench_obs_overhead: machine drift
+    # is of the same order as the bookkeeping being measured.
+    timings = {name: float("inf") for name, _ in variants}
+    for _ in range(max(repeats, 3)):
+        for name, cell in variants:
+            timings[name] = min(timings[name], _time(cell, 1))
+
+    base = timings["none"]
+    return {
+        "graph": "OR",
+        "scale": "tiny",
+        "k": 4,
+        "inner_repeats": inner,
+        "seconds": timings,
+        "overhead_fractions": {
+            name: (seconds - base) / base if base > 0 else 0.0
+            for name, seconds in timings.items()
+            if name != "none"
+        },
+    }
+
+
 def _spool_sweep_stream(num_edges: int, directory: str) -> float:
     """Spool a ``num_edges``-arc RMAT stream; returns elapsed seconds."""
     start = time.perf_counter()
@@ -440,6 +497,7 @@ def run_bench(
         ),
         "sampling": bench_sampling(graphs[LARGEST_GRAPH], repeats),
         "obs_overhead": bench_obs_overhead(repeats),
+        "comm_codecs": bench_comm_codecs(repeats),
         "scale_sweep": bench_scale_sweep(
             scale_sweep_max, scale_sweep_algos
         ),

@@ -6,7 +6,9 @@ timing against the *latest entry* of the committed
 retained ``baseline`` report when the history is empty; legacy flat
 schema-1 files still work). Fails (exit code 1) when any kernel is
 more than ``--threshold`` times slower — the default 2x tolerates
-machine-to-machine variance while catching real regressions.
+machine-to-machine variance while catching real regressions. The
+disabled observability hooks and the comm-codec bookkeeping are gated
+against tighter fractional budgets on the fresh run.
 
 The out-of-core scale sweep is gated for *sublinearity*: for every
 algorithm whose sweep series spans at least a 100x edge-count ratio,
@@ -55,6 +57,13 @@ OBS_OFF_MAX_OVERHEAD = 0.03
 #: ...unless the absolute delta is below this floor, where the timer
 #: cannot resolve the difference anyway.
 OBS_OFF_ABS_FLOOR_SECONDS = 0.01
+
+#: Comm-codec budget: a codec is modelled (ratio arithmetic, never a
+#: real quantisation pass), so enabling one may add at most this
+#: fraction of bookkeeping over the null-codec cell...
+COMM_CODEC_MAX_OVERHEAD = 0.25
+#: ...with the same timer-resolution escape hatch as the obs gate.
+COMM_CODEC_ABS_FLOOR_SECONDS = 0.01
 
 #: The out-of-core sweep is only gate-worthy across at least this
 #: edge-count ratio between its smallest and largest decades.
@@ -160,6 +169,25 @@ def compare(
                 f"({delta / plain * 100:.1f}% > "
                 f"{OBS_OFF_MAX_OVERHEAD * 100:.0f}% budget)"
             )
+    # Gated on the fresh run only, so committed baselines that predate
+    # the comm_codecs section still gate cleanly.
+    codecs = fresh.get("comm_codecs")
+    if codecs:
+        base = codecs["seconds"]["none"]
+        budget = max(
+            COMM_CODEC_MAX_OVERHEAD * base, COMM_CODEC_ABS_FLOOR_SECONDS
+        )
+        for name, seconds in sorted(codecs["seconds"].items()):
+            if name == "none":
+                continue
+            delta = seconds - base
+            if delta > budget:
+                regressions.append(
+                    f"comm_codecs/{name}: codec bookkeeping costs "
+                    f"{delta:.4f}s over the {base:.4f}s null-codec run "
+                    f"({delta / base * 100:.1f}% > "
+                    f"{COMM_CODEC_MAX_OVERHEAD * 100:.0f}% budget)"
+                )
     return regressions
 
 

@@ -11,6 +11,8 @@ Usage::
     python scripts/run_full_sweep.py [--quick] [--graphs OR,EU]
         [--machines 4,32] [--out DIR] [--workers N]
         [--fault-rate P] [--epochs E] [--checkpoint-every C]
+        [--compression none,fp16] [--refresh-interval 1,4]
+        [--cache-fraction 0,0.5]
         [--obs-level metrics] [--obs-out sweep_obs.jsonl]
         [--bus-out BUS_DIR] [--rules rules.json] [--abort-on critical]
 
@@ -22,6 +24,15 @@ to the serial run. A non-zero ``--fault-rate`` / ``--slowdown-rate`` /
 simulated for ``--epochs`` epochs under the same deterministic fault
 plan, the records gain recovery accounting, and a per-partitioner
 recovery-overhead summary is printed at the end.
+
+``--compression`` / ``--refresh-interval`` / ``--cache-fraction`` take
+comma lists and turn the sweep into a *communication-reduction* sweep
+(see ``docs/communication.md``): every grid cell is run once per comm
+configuration in the cross product, records carry the
+``comm_config`` that produced them plus traffic-saved / codec-time /
+staleness accounting, and a per-codec traffic summary is printed at
+the end. The defaults (``none``, ``1``, ``0``) leave the sweep
+byte-identical to a pre-comm run.
 
 ``--obs-level metrics`` (or ``trace``) collects telemetry during the
 sweep (see ``docs/observability.md``): every record gains a
@@ -55,6 +66,7 @@ from repro import obs
 from repro.experiments import (
     MACHINE_COUNTS,
     FaultConfig,
+    comm_grid,
     parameter_grid,
     reduced_grid,
     robustness_summary,
@@ -100,6 +112,15 @@ def parse_args(argv):
                         help="full-batch checkpoint interval in epochs")
     parser.add_argument("--fault-seed", type=int, default=0,
                         help="seed of the deterministic fault plan")
+    parser.add_argument("--compression", default="none",
+                        help="comma list of codecs to sweep "
+                             "(none, fp16, int8, topk)")
+    parser.add_argument("--refresh-interval", default="1",
+                        help="comma list of cd-r halo refresh intervals "
+                             "(1 = sync every epoch)")
+    parser.add_argument("--cache-fraction", default="0",
+                        help="comma list of DistDGL feature-cache "
+                             "fractions in [0, 1)")
     parser.add_argument("--obs-level", default="off", choices=obs.LEVELS,
                         help="telemetry level: off (default), metrics, "
                              "trace")
@@ -137,16 +158,45 @@ def fault_config_from(args):
     return config if config else None
 
 
+def comm_configs_from(args):
+    """Expand the comm flags into the cross product of CommConfigs.
+
+    An all-default grid collapses to ``[None]`` so the baseline sweep
+    takes the exact pre-comm code path (bit-identical records).
+    """
+    configs = list(comm_grid(
+        compressions=tuple(
+            s.strip() for s in args.compression.split(",") if s.strip()
+        ),
+        refresh_intervals=tuple(
+            int(s) for s in args.refresh_interval.split(",") if s.strip()
+        ),
+        cache_fractions=tuple(
+            float(s) for s in args.cache_fraction.split(",") if s.strip()
+        ),
+    ))
+    if len(configs) == 1 and not configs[0]:
+        return [None]
+    return configs
+
+
 def main(argv=None) -> int:
     args = parse_args(argv)
     graphs = [g.strip().upper() for g in args.graphs.split(",")]
     machines = [int(k) for k in args.machines.split(",")]
     grid = list(reduced_grid() if args.quick else parameter_grid())
     fault_config = fault_config_from(args)
+    comm_configs = comm_configs_from(args)
+    comm_sweep = any(c is not None for c in comm_configs)
     print(
         f"sweep: graphs={graphs} machines={machines} "
         f"configs={len(grid)} scale={args.scale}"
     )
+    if comm_sweep:
+        print(
+            "comm: "
+            + ", ".join(c.label() for c in comm_configs)
+        )
     if fault_config is not None:
         print(
             f"faults: crash={fault_config.crash_rate} "
@@ -177,7 +227,7 @@ def main(argv=None) -> int:
         from repro.obs.live import BusWriter
 
         bus = BusWriter(args.bus_out, "coordinator")
-        cells_per_graph = len(machines) * (
+        cells_per_graph = len(comm_configs) * len(machines) * (
             len(EDGE_PARTITIONER_NAMES) + len(VERTEX_PARTITIONER_NAMES)
         )
         bus.sweep_start(
@@ -222,34 +272,44 @@ def main(argv=None) -> int:
         for key in graphs:
             graph = load_dataset(key, args.scale, seed=args.seed)
             split = random_split(graph, seed=args.seed)
-            start = time.time()
-            distgnn_records.extend(
-                run_distgnn_grid_parallel(
-                    graph, EDGE_PARTITIONER_NAMES, machines, grid,
-                    seed=args.seed, workers=workers,
-                    fault_config=fault_config, num_epochs=args.epochs,
-                    bus_dir=args.bus_out, cell_callback=cell_callback,
-                    cell_offset=cell_offset,
+            for comm in comm_configs:
+                tag = f" [{comm.label()}]" if comm is not None else ""
+                start = time.time()
+                distgnn_records.extend(
+                    run_distgnn_grid_parallel(
+                        graph, EDGE_PARTITIONER_NAMES, machines, grid,
+                        seed=args.seed, workers=workers,
+                        fault_config=fault_config,
+                        num_epochs=args.epochs,
+                        bus_dir=args.bus_out,
+                        cell_callback=cell_callback,
+                        cell_offset=cell_offset, comm_config=comm,
+                    )
                 )
-            )
-            cell_offset += len(machines) * len(EDGE_PARTITIONER_NAMES)
-            print(
-                f"{key}: DistGNN grid done in {time.time() - start:.0f}s"
-            )
-            start = time.time()
-            distdgl_records.extend(
-                run_distdgl_grid_parallel(
-                    graph, VERTEX_PARTITIONER_NAMES, machines, grid,
-                    split=split, seed=args.seed, workers=workers,
-                    fault_config=fault_config, num_epochs=args.epochs,
-                    bus_dir=args.bus_out, cell_callback=cell_callback,
-                    cell_offset=cell_offset,
+                cell_offset += len(machines) * len(EDGE_PARTITIONER_NAMES)
+                print(
+                    f"{key}: DistGNN grid{tag} done in "
+                    f"{time.time() - start:.0f}s"
                 )
-            )
-            cell_offset += len(machines) * len(VERTEX_PARTITIONER_NAMES)
-            print(
-                f"{key}: DistDGL grid done in {time.time() - start:.0f}s"
-            )
+                start = time.time()
+                distdgl_records.extend(
+                    run_distdgl_grid_parallel(
+                        graph, VERTEX_PARTITIONER_NAMES, machines, grid,
+                        split=split, seed=args.seed, workers=workers,
+                        fault_config=fault_config,
+                        num_epochs=args.epochs,
+                        bus_dir=args.bus_out,
+                        cell_callback=cell_callback,
+                        cell_offset=cell_offset, comm_config=comm,
+                    )
+                )
+                cell_offset += (
+                    len(machines) * len(VERTEX_PARTITIONER_NAMES)
+                )
+                print(
+                    f"{key}: DistDGL grid{tag} done in "
+                    f"{time.time() - start:.0f}s"
+                )
     except Exception as error:
         from repro.obs.live import SweepAborted
 
@@ -341,6 +401,31 @@ def main(argv=None) -> int:
                 print(
                     f"  {graph} {partitioner:>8s}: {summary.mean:5.2f}x "
                     f"[{summary.minimum:.2f}, {summary.maximum:.2f}]"
+                )
+
+    if comm_sweep:
+        for label, records in (
+            ("DistGNN", distgnn_records),
+            ("DistDGL", distdgl_records),
+        ):
+            totals = {}
+            for record in records:
+                comm = record.comm_config
+                key = comm.label() if comm is not None else "baseline"
+                wire, saved, err = totals.get(key, (0.0, 0.0, 0.0))
+                totals[key] = (
+                    wire + record.network_bytes,
+                    saved + record.traffic_saved_bytes,
+                    max(err, record.accuracy_proxy_error),
+                )
+            print(f"\n{label} traffic by comm config:")
+            for key, (wire, saved, err) in sorted(totals.items()):
+                raw = wire + saved
+                pct = 100.0 * saved / raw if raw else 0.0
+                print(
+                    f"  {key:>16s}: {wire / 1e6:10.1f} MB on the wire "
+                    f"({pct:5.1f}% saved, accuracy proxy error "
+                    f"{err:.4f})"
                 )
 
     if fault_config is not None:

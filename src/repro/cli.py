@@ -30,7 +30,9 @@ from typing import List, Optional
 import numpy as np
 
 from . import obs
+from .comm import CODEC_NAMES
 from .experiments import (
+    CommConfig,
     FaultConfig,
     TrainingParams,
     epochs_to_amortize,
@@ -128,6 +130,26 @@ def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_comm_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "communication reduction (see docs/communication.md)"
+    )
+    group.add_argument(
+        "--compression", default="none", choices=CODEC_NAMES,
+        help="codec for feature fetches / halo and gradient exchanges",
+    )
+    group.add_argument(
+        "--refresh-interval", type=int, default=1,
+        help="DistGNN cd-r delayed aggregation: sync halos every r-th "
+             "epoch (1 = every epoch; ignored by distdgl)",
+    )
+    group.add_argument(
+        "--cache-fraction", type=float, default=0.0,
+        help="DistDGL static feature cache: pin this fraction of the "
+             "hottest vertices per worker (ignored by distgnn)",
+    )
+
+
 def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     group = parser.add_argument_group(
         "observability (see docs/observability.md)"
@@ -183,6 +205,29 @@ def _fault_config(args) -> Optional[FaultConfig]:
         seed=args.fault_seed,
     )
     return config if config else None
+
+
+def _comm_config(args) -> Optional[CommConfig]:
+    """Build a CommConfig from CLI flags; None at the defaults."""
+    config = CommConfig(
+        compression=args.compression,
+        refresh_interval=args.refresh_interval,
+        cache_fraction=args.cache_fraction,
+    )
+    return config if config else None
+
+
+def _comm_rows(record) -> List[tuple]:
+    rows = [
+        ("traffic saved MB / epoch", record.traffic_saved_bytes / 1e6),
+        ("codec seconds / epoch", record.codec_seconds),
+        ("accuracy proxy error", record.accuracy_proxy_error),
+    ]
+    if hasattr(record, "staleness_epochs"):
+        rows.append(("stale epochs", record.staleness_epochs))
+    if hasattr(record, "cache_hit_rate"):
+        rows.append(("feature-cache hit rate", record.cache_hit_rate))
+    return rows
 
 
 def _fault_rows(record) -> List[tuple]:
@@ -360,13 +405,16 @@ def _cmd_distgnn(args) -> int:
         num_layers=args.num_layers,
     )
     fault_config = _fault_config(args)
+    comm_config = _comm_config(args)
     record = run_distgnn(
         graph, args.partitioner, args.machines, params, seed=args.seed,
         fault_config=fault_config, num_epochs=args.epochs,
+        comm_config=comm_config,
     )
     baseline = run_distgnn(
         graph, "random", args.machines, params, seed=args.seed,
         fault_config=fault_config, num_epochs=args.epochs,
+        comm_config=comm_config,
     )
     rows = [
         ("epoch seconds", record.epoch_seconds),
@@ -380,6 +428,8 @@ def _cmd_distgnn(args) -> int:
     ]
     if fault_config is not None:
         rows += _fault_rows(record)
+    if comm_config is not None:
+        rows += _comm_rows(record)
     print(
         format_table(
             ["metric", "value"], rows,
@@ -402,13 +452,16 @@ def _cmd_distdgl(args) -> int:
         global_batch_size=args.batch_size,
     )
     fault_config = _fault_config(args)
+    comm_config = _comm_config(args)
     record = run_distdgl(
         graph, args.partitioner, args.machines, params, seed=args.seed,
         fault_config=fault_config, num_epochs=args.epochs,
+        comm_config=comm_config,
     )
     baseline = run_distdgl(
         graph, "random", args.machines, params, seed=args.seed,
         fault_config=fault_config, num_epochs=args.epochs,
+        comm_config=comm_config,
     )
     rows = [
         ("epoch seconds", record.epoch_seconds),
@@ -426,6 +479,8 @@ def _cmd_distdgl(args) -> int:
     ]
     if fault_config is not None:
         rows += _fault_rows(record)
+    if comm_config is not None:
+        rows += _comm_rows(record)
     print(
         format_table(
             ["metric", "value"], rows,
@@ -915,6 +970,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_graph_arguments(distgnn)
     _add_model_arguments(distgnn)
     _add_fault_arguments(distgnn)
+    _add_comm_arguments(distgnn)
     _add_obs_arguments(distgnn)
     distgnn.add_argument("--partitioner", default="hep100")
 
@@ -922,6 +978,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_graph_arguments(distdgl)
     _add_model_arguments(distdgl)
     _add_fault_arguments(distdgl)
+    _add_comm_arguments(distdgl)
     _add_obs_arguments(distdgl)
     distdgl.add_argument("--partitioner", default="metis")
     distdgl.add_argument("--arch", default="sage",

@@ -1,0 +1,36 @@
+"""Communication-reduction subsystem: codecs and sweepable knobs.
+
+The paper measures network traffic per partitioning strategy but never
+tries to *shrink* it. This package adds the missing axis: pluggable
+payload codecs (quantisation and sparsification with deterministic
+accuracy-proxy error terms and a codec-time term charged through the
+cost model) plus the configuration object that threads all three
+communication-reduction knobs — ``compression``, ``refresh_interval``
+(DistGNN's cd-r delayed aggregation) and ``cache_fraction`` (DistDGL's
+PaGraph-style static feature cache) — through the grid runners, the
+serve daemon and the CLI as first-class sweep dimensions.
+"""
+
+from .codecs import (
+    CODEC_NAMES,
+    Codec,
+    FloatHalfCodec,
+    Int8Codec,
+    NullCodec,
+    TopKCodec,
+    make_codec,
+)
+from .config import CommConfig, CommSummary, comm_grid
+
+__all__ = [
+    "CODEC_NAMES",
+    "Codec",
+    "CommConfig",
+    "CommSummary",
+    "FloatHalfCodec",
+    "Int8Codec",
+    "NullCodec",
+    "TopKCodec",
+    "comm_grid",
+    "make_codec",
+]

@@ -1,0 +1,161 @@
+"""The communication-reduction configuration threaded through sweeps.
+
+:class:`CommConfig` bundles the three knobs (plain values only, so the
+config pickles across the process-parallel runners and serializes into
+result records, exactly like :class:`~repro.experiments.FaultConfig`):
+
+* ``compression`` — a codec name from :mod:`.codecs`, applied to
+  DistDGL feature fetches and DistGNN halo/gradient exchanges;
+* ``refresh_interval`` — DistGNN's cd-r delayed aggregation (Md et
+  al., SC 2021): halo syncs run only every r-th epoch, the replicas
+  compute on stale aggregates in between. ``r=1`` is fully
+  synchronous;
+* ``cache_fraction`` — DistDGL's PaGraph-style static feature cache:
+  every worker pins the features of the hottest ``cache_fraction`` of
+  vertices, so fetching them costs nothing.
+
+Each engine consumes the knobs that exist in its system (DistGNN:
+compression + refresh_interval; DistDGL: compression +
+cache_fraction) and ignores the rest, mirroring the exemplar systems.
+A default-valued config is falsy and leaves every engine on its exact
+pre-comm code path, so baselines stay bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from itertools import product
+from typing import Dict, Iterator, Sequence
+
+from .codecs import Codec, make_codec
+
+__all__ = ["CommConfig", "CommSummary", "comm_grid",
+           "STALENESS_ERROR_PER_EPOCH"]
+
+#: Accuracy-proxy penalty per fully-stale epoch fraction: an epoch
+#: computed entirely on stale halo aggregates perturbs the model about
+#: this much (relative), linearly scaled by the stale-epoch share.
+STALENESS_ERROR_PER_EPOCH = 0.02
+
+
+@dataclass(frozen=True)
+class CommConfig:
+    """Communication-reduction settings for one sweep."""
+
+    compression: str = "none"
+    refresh_interval: int = 1
+    cache_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        # Eager validation: a typo'd codec fails at config construction
+        # (CLI parsing, job admission), not minutes into a sweep.
+        make_codec(self.compression)
+        if self.refresh_interval < 1:
+            raise ValueError(
+                f"refresh_interval must be >= 1, got "
+                f"{self.refresh_interval}"
+            )
+        if not 0.0 <= self.cache_fraction < 1.0:
+            raise ValueError(
+                f"cache_fraction must be in [0, 1), got "
+                f"{self.cache_fraction}"
+            )
+
+    def __bool__(self) -> bool:
+        return (
+            self.compression != "none"
+            or self.refresh_interval > 1
+            or self.cache_fraction > 0.0
+        )
+
+    def with_(self, **changes) -> "CommConfig":
+        """Copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def codec(self) -> Codec:
+        """The codec instance the ``compression`` knob names."""
+        return make_codec(self.compression)
+
+    def label(self) -> str:
+        """Compact human-readable label for sweep output."""
+        return (
+            f"{self.compression} r{self.refresh_interval} "
+            f"c{self.cache_fraction:g}"
+        )
+
+
+@dataclass
+class CommSummary:
+    """Accumulated comm accounting over one engine run.
+
+    All quantities are simulated: raw bytes are what the exchanges
+    would have moved uncompressed and unskipped, wire bytes are what
+    actually hit the fabric, and ``saved_bytes`` is their difference
+    (compression savings plus whole exchanges skipped by delayed
+    aggregation). ``codec_seconds`` is the total simulated
+    encode/decode time; ``stale_epochs`` counts epochs that ran on
+    stale halo aggregates.
+    """
+
+    raw_bytes: float = 0.0
+    wire_bytes: float = 0.0
+    codec_seconds: float = 0.0
+    stale_epochs: int = 0
+    total_epochs: int = 0
+    cache_hits: int = 0
+    cache_hit_rate: float = 0.0
+    codec_error: float = field(default=0.0)
+
+    @property
+    def saved_bytes(self) -> float:
+        """Bytes kept off the fabric (compression + skipped syncs)."""
+        return self.raw_bytes - self.wire_bytes
+
+    @property
+    def accuracy_proxy_error(self) -> float:
+        """Deterministic accuracy proxy for this run's comm settings.
+
+        The codec's per-value relative error plus a staleness term
+        linear in the fraction of epochs that computed on stale
+        aggregates. Zero for the baseline configuration.
+        """
+        staleness = 0.0
+        if self.total_epochs > 0 and self.stale_epochs > 0:
+            staleness = STALENESS_ERROR_PER_EPOCH * (
+                self.stale_epochs / self.total_epochs
+            )
+        return self.codec_error + staleness
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain JSON-able form embedded in ``obs_metrics``."""
+        return {
+            "raw_bytes": float(self.raw_bytes),
+            "wire_bytes": float(self.wire_bytes),
+            "saved_bytes": float(self.saved_bytes),
+            "codec_seconds": float(self.codec_seconds),
+            "stale_epochs": int(self.stale_epochs),
+            "total_epochs": int(self.total_epochs),
+            "cache_hits": int(self.cache_hits),
+            "cache_hit_rate": float(self.cache_hit_rate),
+            "accuracy_proxy_error": float(self.accuracy_proxy_error),
+        }
+
+
+def comm_grid(
+    compressions: Sequence[str] = ("none",),
+    refresh_intervals: Sequence[int] = (1,),
+    cache_fractions: Sequence[float] = (0.0,),
+) -> Iterator[CommConfig]:
+    """Cross product of the three knobs, compression outermost.
+
+    The sweep scripts expand their comma-list flags through this so
+    serial and parallel invocations enumerate configs in one order.
+    """
+    for compression, interval, fraction in product(
+        compressions, refresh_intervals, cache_fractions
+    ):
+        yield CommConfig(
+            compression=compression,
+            refresh_interval=int(interval),
+            cache_fraction=float(fraction),
+        )

@@ -26,6 +26,7 @@ from typing import Collection, Dict, List, Optional, Sequence, Set
 import numpy as np
 
 from ..cluster import Cluster, FaultPlan, FaultSummary, RecoveryPolicy
+from ..comm import CommSummary, make_codec
 from ..costmodel import (
     BACKWARD_FACTOR,
     DEFAULT_COST_MODEL,
@@ -155,12 +156,19 @@ class DistDglEngine:
         cost_model: CostModel = DEFAULT_COST_MODEL,
         seed: int = 0,
         cache_fraction: float = 0.0,
+        compression: str = "none",
     ) -> None:
         """``cache_fraction`` > 0 enables a PaGraph-style static feature
         cache: every worker keeps the features of the highest-degree
         vertices it does not own (that fraction of |V|) in local memory,
         so fetching them costs nothing. An extension beyond the paper's
         DistDGL, used by the cache ablation benchmark.
+
+        ``compression`` names a :mod:`repro.comm` codec applied to the
+        remote feature fetches: wire bytes shrink by the codec ratio
+        and every fetch pays the codec's encode+decode time on the raw
+        payload. The default null codec executes the exact baseline
+        code path bit for bit.
         """
         if feature_size <= 0 or hidden_dim <= 0 or num_layers <= 0:
             raise ValueError("model dimensions must be positive")
@@ -202,6 +210,16 @@ class DistDglEngine:
             raise ValueError("cache_fraction must be in [0, 1)")
         self.cache_fraction = cache_fraction
         self._cached = self._build_feature_cache()
+        self._codec = make_codec(compression)
+        #: Comm-reduction accounting (raw vs wire fetch bytes, codec
+        #: time, cache hits) accumulated over every simulated step.
+        self.comm = CommSummary(
+            codec_error=(
+                0.0 if self._codec.is_null()
+                else self._codec.error_per_value
+            )
+        )
+        self._comm_remote_inputs = 0
         self.cluster = Cluster(self.num_machines, cost_model)
         #: Counters of the last faulty run (all zero when none was run).
         self.fault_summary = FaultSummary()
@@ -324,6 +342,7 @@ class DistDglEngine:
         )
         per_worker = {phase: np.zeros(k) for phase in PHASES}
         fetch_bytes_per_worker = np.zeros(k)
+        raw_fetch_per_worker = np.zeros(k)
         input_counts = np.zeros(k)
         local_inputs = remote_inputs = cache_hits = 0
         sampled_edges = 0
@@ -375,28 +394,54 @@ class DistDglEngine:
             remote_mask = owners != w
             if self._cached is not None:
                 hits = remote_mask & self._cached[inputs]
-                cache_hits += int(hits.sum())
+                n_hits = int(hits.sum())
+                cache_hits += n_hits
                 remote_mask = remote_mask & ~self._cached[inputs]
+                if n_hits:
+                    # A cache hit is a remote fetch the wire never
+                    # carries: its raw bytes count as saved.
+                    self.comm.raw_bytes += cm.feature_bytes(
+                        n_hits, self.feature_size
+                    )
             n_remote = int(remote_mask.sum())
             n_local = int(inputs.shape[0] - n_remote)
             local_inputs += n_local
             remote_inputs += n_remote
             input_counts[w] = inputs.shape[0]
-            fetch_bytes = cm.feature_bytes(n_remote, self.feature_size)
-            fetch_bytes_per_worker[w] = fetch_bytes
-            step_bytes += fetch_bytes
-            fetch_matrix[:, w] += cm.feature_bytes(
+            raw_fetch = cm.feature_bytes(n_remote, self.feature_size)
+            raw_fetch_per_worker[w] = raw_fetch
+            owner_bytes = cm.feature_bytes(
                 np.bincount(owners[remote_mask], minlength=k),
                 self.feature_size,
             )
             # One RPC per peer that actually owns remote inputs: a good
             # partition talks to few peers, not to all k-1 of them.
             peers = int(np.unique(owners[remote_mask]).size)
-            per_worker["fetch"][w] = cm.transfer_seconds(
-                fetch_bytes, num_messages=max(peers, 1)
-            ) + cm.memory_seconds(
-                cm.feature_bytes(n_local, self.feature_size)
-            )
+            if self._codec.is_null():
+                fetch_bytes = raw_fetch
+                fetch_matrix[:, w] += owner_bytes
+                per_worker["fetch"][w] = cm.transfer_seconds(
+                    fetch_bytes, num_messages=max(peers, 1)
+                ) + cm.memory_seconds(
+                    cm.feature_bytes(n_local, self.feature_size)
+                )
+            else:
+                # Compressed fetch: the wire carries codec-ratio bytes;
+                # the owners encode and this worker decodes, both
+                # charged on the raw payload.
+                fetch_bytes = self._codec.wire_bytes(raw_fetch)
+                fetch_matrix[:, w] += self._codec.wire_bytes(owner_bytes)
+                codec_seconds = self._codec.codec_seconds(raw_fetch, cm)
+                self.comm.codec_seconds += codec_seconds
+                per_worker["fetch"][w] = cm.transfer_seconds(
+                    fetch_bytes, num_messages=max(peers, 1)
+                ) + cm.memory_seconds(
+                    cm.feature_bytes(n_local, self.feature_size)
+                ) + codec_seconds
+            fetch_bytes_per_worker[w] = fetch_bytes
+            step_bytes += fetch_bytes
+            self.comm.raw_bytes += raw_fetch
+            self.comm.wire_bytes += fetch_bytes
 
             # ---- compute phases -------------------------------------
             fwd = 0.0
@@ -426,7 +471,11 @@ class DistDglEngine:
             )
             step_bytes += fetch_bytes_per_worker[w]
             # The full fetch is re-sent by the same owners; the dropped
-            # copy itself is a pure count on the fabric, no bytes.
+            # copy itself is a pure count on the fabric, no bytes. The
+            # resend ships the already-encoded payload, so no fresh
+            # codec time is charged.
+            self.comm.raw_bytes += raw_fetch_per_worker[w]
+            self.comm.wire_bytes += fetch_bytes_per_worker[w]
             fetch_matrix[:, w] *= 2.0
 
         # Gradient all-reduce is part of the backward phase, as in the
@@ -466,6 +515,8 @@ class DistDglEngine:
                     matrix.sum(axis=0),
                     matrix=matrix,
                 )
+        self.comm.cache_hits += cache_hits
+        self._comm_remote_inputs += remote_inputs
         active = input_counts[input_counts > 0]
         balance = (
             float(active.max() / active.mean()) if active.size else 1.0
@@ -540,6 +591,7 @@ class DistDglEngine:
         """
         steps = self._steps_per_epoch()
         report = EpochReport()
+        self.comm.total_epochs += 1
         if fault_plan is None and recovery is None:
             for _ in range(steps):
                 report.steps.append(self.run_step())
@@ -637,3 +689,16 @@ class DistDglEngine:
             )
             for epoch in range(num_epochs)
         ]
+
+    def comm_summary(self) -> CommSummary:
+        """Accumulated communication-reduction accounting.
+
+        ``cache_hit_rate`` is the fraction of would-be remote fetches
+        the static feature cache served locally.
+        """
+        would_be_remote = self._comm_remote_inputs + self.comm.cache_hits
+        self.comm.cache_hit_rate = (
+            self.comm.cache_hits / would_be_remote
+            if would_be_remote else 0.0
+        )
+        return self.comm

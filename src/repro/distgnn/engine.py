@@ -25,6 +25,7 @@ from typing import Dict, List
 import numpy as np
 
 from ..cluster import Cluster, FaultPlan, FaultSummary, RecoveryPolicy
+from ..comm import CommSummary, make_codec
 from ..costmodel import (
     DEFAULT_COST_MODEL,
     BACKWARD_FACTOR,
@@ -75,9 +76,20 @@ class DistGnnEngine:
         num_classes: int = 10,
         cost_model: CostModel = DEFAULT_COST_MODEL,
         machine_speeds: np.ndarray | None = None,
+        compression: str = "none",
+        refresh_interval: int = 1,
     ) -> None:
+        """``compression`` names a :mod:`repro.comm` codec applied to
+        the halo syncs and the gradient all-reduce; ``refresh_interval``
+        is cd-r delayed aggregation (Md et al., SC 2021): halo syncs run
+        only every r-th epoch and the replicas compute on stale
+        aggregates in between. The defaults execute the exact baseline
+        code path bit for bit.
+        """
         if feature_size <= 0 or hidden_dim <= 0 or num_layers <= 0:
             raise ValueError("model dimensions must be positive")
+        if refresh_interval < 1:
+            raise ValueError("refresh_interval must be >= 1")
         self.partition = partition
         self.feature_size = feature_size
         self.hidden_dim = hidden_dim
@@ -85,6 +97,17 @@ class DistGnnEngine:
         self.num_classes = num_classes
         self.cost_model = cost_model
         self.num_machines = partition.num_partitions
+        self.refresh_interval = refresh_interval
+        self._codec = make_codec(compression)
+        #: Comm-reduction accounting (raw vs wire bytes, codec time,
+        #: stale epochs) accumulated over every simulated epoch.
+        self.comm = CommSummary(
+            codec_error=(
+                0.0 if self._codec.is_null()
+                else self._codec.error_per_value
+            )
+        )
+        self._epoch_index = 0
 
         self.dims = (
             [feature_size] + [hidden_dim] * (num_layers - 1) + [num_classes]
@@ -260,6 +283,46 @@ class DistGnnEngine:
                 matrix[i, (i + 1) % k] = per_link
         return matrix
 
+    def _run_sync_phase(
+        self,
+        name: str,
+        sent: np.ndarray,
+        received: np.ndarray,
+        matrix: np.ndarray,
+    ) -> tuple[float, float]:
+        """Run one halo-sync comm phase through the codec.
+
+        Returns ``(straggler seconds, wire bytes)``. The null codec
+        takes the exact baseline path; otherwise the payload shrinks
+        by the codec ratio and every machine is charged a ``codec``
+        compute phase for its encode+decode passes over the raw bytes.
+        """
+        codec = self._codec
+        raw_total = float(sent.sum())
+        self.comm.raw_bytes += raw_total
+        if codec.is_null():
+            self.comm.wire_bytes += raw_total
+            seconds = self.cluster.run_comm_phase(
+                name, sent, received, matrix=matrix
+            )
+            return seconds, raw_total
+        codec_seconds = (
+            codec.work_factor * (sent + received)
+            / self.cost_model.memory_bandwidth
+        )
+        self.comm.codec_seconds += float(codec_seconds.sum())
+        wire_sent = codec.wire_bytes(sent)
+        wire_total = float(wire_sent.sum())
+        self.comm.wire_bytes += wire_total
+        seconds = self.cluster.run_compute_phase("codec", codec_seconds)
+        seconds += self.cluster.run_comm_phase(
+            name,
+            wire_sent,
+            codec.wire_bytes(received),
+            matrix=codec.wire_bytes(matrix),
+        )
+        return seconds, wire_total
+
     def simulate_epoch(
         self, speed_multipliers: np.ndarray | None = None
     ) -> EpochBreakdown:
@@ -268,13 +331,28 @@ class DistGnnEngine:
         ``speed_multipliers`` (optional, per machine, >= 1) stretch a
         machine's compute phases — transient stragglers injected by a
         :class:`~repro.cluster.FaultPlan` slowdown event.
+
+        With ``refresh_interval`` r > 1, only every r-th epoch runs
+        the halo syncs (the first epoch always does); the epochs in
+        between compute on stale replica aggregates, moving no halo
+        bytes and paying no sync time — the gradient all-reduce still
+        runs every epoch, as in cd-r, so the model stays consistent.
         """
         cm = self.cost_model
         cluster = self.cluster
+        codec = self._codec
         if speed_multipliers is None:
             stretch = np.ones(self.num_machines)
         else:
             stretch = np.asarray(speed_multipliers, dtype=np.float64)
+        stale = (
+            self.refresh_interval > 1
+            and self._epoch_index % self.refresh_interval != 0
+        )
+        self._epoch_index += 1
+        self.comm.total_epochs += 1
+        if stale:
+            self.comm.stale_epochs += 1
         forward = backward = 0.0
         total_bytes = 0.0
         for layer in range(self.num_layers):
@@ -285,35 +363,63 @@ class DistGnnEngine:
             forward += cluster.run_compute_phase(
                 f"forward-l{layer}", compute
             )
-            forward += cluster.run_comm_phase(
-                f"forward-sync-l{layer}", sent, received,
-                matrix=self._layer_sync_matrix(dim_in, dim_out),
-            )
+            if not stale:
+                seconds, wire = self._run_sync_phase(
+                    f"forward-sync-l{layer}", sent, received,
+                    self._layer_sync_matrix(dim_in, dim_out),
+                )
+                forward += seconds
+                total_bytes += wire
+            else:
+                # Skipped sync: the bytes it would have moved are the
+                # delayed-aggregation saving.
+                self.comm.raw_bytes += layer_bytes
             # Backward mirrors the forward: same sync volume (gradients
             # flow along the same replica links), ~2x the compute.
             backward += cluster.run_compute_phase(
                 f"backward-l{layer}", BACKWARD_FACTOR * compute
             )
-            backward += cluster.run_comm_phase(
-                f"backward-sync-l{layer}", received, sent,
-                matrix=self._layer_sync_matrix(dim_out, dim_in),
-            )
-            total_bytes += 2 * layer_bytes
+            if not stale:
+                seconds, wire = self._run_sync_phase(
+                    f"backward-sync-l{layer}", received, sent,
+                    self._layer_sync_matrix(dim_out, dim_in),
+                )
+                backward += seconds
+                total_bytes += wire
+            else:
+                self.comm.raw_bytes += float(received.sum())
 
         grad_bytes = self.num_params * cm.float_bytes
-        sync_seconds = cm.allreduce_seconds(grad_bytes, self.num_machines)
+        ring_factor = 2.0 * max(self.num_machines - 1, 0)
+        self.comm.raw_bytes += grad_bytes * ring_factor
+        if codec.is_null():
+            wire_grad_bytes = grad_bytes
+        else:
+            wire_grad_bytes = codec.wire_bytes(grad_bytes)
+            # Each machine encodes its own gradient once and decodes
+            # the reduced result once.
+            codec_seconds = np.full(
+                self.num_machines,
+                codec.codec_seconds(2.0 * grad_bytes, cm),
+            )
+            self.comm.codec_seconds += float(codec_seconds.sum())
+            backward += cluster.run_compute_phase("codec", codec_seconds)
+        self.comm.wire_bytes += wire_grad_bytes * ring_factor
+        sync_seconds = cm.allreduce_seconds(
+            wire_grad_bytes, self.num_machines
+        )
         cluster.add_phase(
             "gradient-allreduce",
             np.full(self.num_machines, sync_seconds),
         )
-        allreduce_matrix = self._allreduce_matrix(grad_bytes)
+        allreduce_matrix = self._allreduce_matrix(wire_grad_bytes)
         cluster.record_traffic(
             "gradient-allreduce",
             allreduce_matrix.sum(axis=1),
             allreduce_matrix.sum(axis=0),
             matrix=allreduce_matrix,
         )
-        total_bytes += 2 * grad_bytes * max(self.num_machines - 1, 0)
+        total_bytes += wire_grad_bytes * ring_factor
 
         optimizer_seconds = cm.compute_seconds(6.0 * self.num_params)
         cluster.add_phase(
@@ -485,3 +591,7 @@ class DistGnnEngine:
     def phase_summary(self) -> Dict[str, float]:
         """Total simulated seconds per phase name."""
         return self.cluster.timeline.phase_totals()
+
+    def comm_summary(self) -> CommSummary:
+        """Accumulated communication-reduction accounting."""
+        return self.comm

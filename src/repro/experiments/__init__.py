@@ -32,8 +32,10 @@ from .config import (
     LAYER_COUNTS,
     MACHINE_COUNTS,
     PAPER_BATCH_SIZES,
+    CommConfig,
     FaultConfig,
     TrainingParams,
+    comm_grid,
     parameter_grid,
     reduced_grid,
     scaled_batch_size,
@@ -59,6 +61,8 @@ from .runner import (
 __all__ = [
     "TrainingParams",
     "FaultConfig",
+    "CommConfig",
+    "comm_grid",
     "HIDDEN_DIMENSIONS",
     "FEATURE_SIZES",
     "LAYER_COUNTS",

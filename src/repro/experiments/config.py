@@ -15,10 +15,13 @@ from itertools import product
 from typing import Iterator, Optional, Sequence, Tuple
 
 from ..cluster import FaultPlan, RecoveryPolicy
+from ..comm import CommConfig, comm_grid
 
 __all__ = [
     "TrainingParams",
     "FaultConfig",
+    "CommConfig",
+    "comm_grid",
     "HIDDEN_DIMENSIONS",
     "FEATURE_SIZES",
     "LAYER_COUNTS",

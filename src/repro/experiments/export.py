@@ -12,7 +12,7 @@ import json
 import os
 from typing import List, Sequence, Union
 
-from .config import FaultConfig, TrainingParams
+from .config import CommConfig, FaultConfig, TrainingParams
 from .records import DistDglRecord, DistGnnRecord
 
 __all__ = ["records_to_json", "save_records", "load_records"]
@@ -40,6 +40,8 @@ def records_to_json(records: Sequence[Record]) -> str:
         data["params"] = dataclasses.asdict(record.params)
         if record.fault_config is not None:
             data["fault_config"] = dataclasses.asdict(record.fault_config)
+        if record.comm_config is not None:
+            data["comm_config"] = dataclasses.asdict(record.comm_config)
         if data.get("memory_per_machine") is not None:
             data["memory_per_machine"] = [
                 float(x) for x in data["memory_per_machine"]
@@ -67,6 +69,8 @@ def load_records(path: Union[str, os.PathLike]) -> List[Record]:
         data["params"] = TrainingParams(**data["params"])
         if data.get("fault_config") is not None:
             data["fault_config"] = FaultConfig(**data["fault_config"])
+        if data.get("comm_config") is not None:
+            data["comm_config"] = CommConfig(**data["comm_config"])
         if data.get("memory_per_machine") is not None:
             data["memory_per_machine"] = tuple(data["memory_per_machine"])
         records.append(_KINDS[kind](**data))

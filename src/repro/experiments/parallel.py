@@ -55,7 +55,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 from ..costmodel import DEFAULT_COST_MODEL, CostModel
 from ..graph import Graph, VertexSplit, random_split
 from ..obs import api as obs
-from .config import FaultConfig, TrainingParams
+from .config import CommConfig, FaultConfig, TrainingParams
 from .executor import CellTask, execute_cells
 from .records import DistDglRecord, DistGnnRecord
 from .runner import (
@@ -110,6 +110,7 @@ def _distgnn_cell(
     seed: int,
     cost_model: CostModel,
     fault_config: Optional[FaultConfig],
+    comm_config: Optional[CommConfig],
     num_epochs: int,
     obs_level: str = "off",
     cell: int = -1,
@@ -129,6 +130,7 @@ def _distgnn_cell(
         record = run_distgnn(
             graph, partitioner, num_machines, params, seed, cost_model,
             fault_config=fault_config, num_epochs=num_epochs,
+            comm_config=comm_config,
         )
         records.append(record)
         if writer:
@@ -150,6 +152,7 @@ def _distdgl_cell(
     seed: int,
     cost_model: CostModel,
     fault_config: Optional[FaultConfig],
+    comm_config: Optional[CommConfig],
     num_epochs: int,
     obs_level: str = "off",
     cell: int = -1,
@@ -169,7 +172,7 @@ def _distdgl_cell(
         record = run_distdgl(
             graph, partitioner, num_machines, params, split=split,
             num_epochs=num_epochs, seed=seed, cost_model=cost_model,
-            fault_config=fault_config,
+            fault_config=fault_config, comm_config=comm_config,
         )
         records.append(record)
         if writer:
@@ -221,6 +224,7 @@ def run_distgnn_grid_parallel(
     bus_dir: Optional[str] = None,
     cell_callback: Optional[Callable[[int, List], None]] = None,
     cell_offset: int = 0,
+    comm_config: Optional[CommConfig] = None,
 ) -> List[DistGnnRecord]:
     """Parallel :func:`~.runner.run_distgnn_grid` (same records, same order)."""
     grid = list(grid)
@@ -234,7 +238,7 @@ def run_distgnn_grid_parallel(
         return run_distgnn_grid(
             graph, partitioners, machine_counts, grid, seed,
             cost_model, fault_config=fault_config,
-            num_epochs=num_epochs,
+            num_epochs=num_epochs, comm_config=comm_config,
         )
     tasks = [
         CellTask(
@@ -242,7 +246,8 @@ def run_distgnn_grid_parallel(
             fn=_distgnn_cell,
             args=(
                 graph, name, k, grid, seed, cost_model, fault_config,
-                num_epochs, obs.level(), cell_offset + index, bus_dir,
+                comm_config, num_epochs, obs.level(),
+                cell_offset + index, bus_dir,
             ),
         )
         for index, (k, name) in enumerate(cells)
@@ -264,6 +269,7 @@ def run_distdgl_grid_parallel(
     bus_dir: Optional[str] = None,
     cell_callback: Optional[Callable[[int, List], None]] = None,
     cell_offset: int = 0,
+    comm_config: Optional[CommConfig] = None,
 ) -> List[DistDglRecord]:
     """Parallel :func:`~.runner.run_distdgl_grid` (same records, same order)."""
     if split is None:
@@ -280,6 +286,7 @@ def run_distdgl_grid_parallel(
             graph, partitioners, machine_counts, grid,
             split=split, seed=seed, cost_model=cost_model,
             fault_config=fault_config, num_epochs=num_epochs,
+            comm_config=comm_config,
         )
     tasks = [
         CellTask(
@@ -287,7 +294,7 @@ def run_distdgl_grid_parallel(
             fn=_distdgl_cell,
             args=(
                 graph, name, k, grid, split, seed, cost_model,
-                fault_config, num_epochs, obs.level(),
+                fault_config, comm_config, num_epochs, obs.level(),
                 cell_offset + index, bus_dir,
             ),
         )

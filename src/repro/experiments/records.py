@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from .config import FaultConfig, TrainingParams
+from .config import CommConfig, FaultConfig, TrainingParams
 
 __all__ = ["DistGnnRecord", "DistDglRecord"]
 
@@ -47,6 +47,12 @@ class DistGnnRecord:
     recovery_seconds: float = 0.0
     checkpoint_seconds: float = 0.0
     fault_config: Optional[FaultConfig] = None
+    # Comm-sweep fields (defaults keep pre-comm records loadable).
+    comm_config: Optional[CommConfig] = None
+    traffic_saved_bytes: float = 0.0
+    codec_seconds: float = 0.0
+    accuracy_proxy_error: float = 0.0
+    staleness_epochs: int = 0
     #: Deterministic telemetry summary (phase totals, traffic, marks),
     #: populated only when observability is enabled for the run.
     obs_metrics: Optional[Dict[str, object]] = field(
@@ -88,6 +94,12 @@ class DistDglRecord:
     degraded_steps: int = 0
     recovery_seconds: float = 0.0
     fault_config: Optional[FaultConfig] = None
+    # Comm-sweep fields (defaults keep pre-comm records loadable).
+    comm_config: Optional[CommConfig] = None
+    traffic_saved_bytes: float = 0.0
+    codec_seconds: float = 0.0
+    accuracy_proxy_error: float = 0.0
+    cache_hit_rate: float = 0.0
     #: Deterministic telemetry summary (phase totals, traffic, marks),
     #: populated only when observability is enabled for the run.
     obs_metrics: Optional[Dict[str, object]] = field(

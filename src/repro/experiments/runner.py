@@ -29,7 +29,7 @@ from ..partitioning import (
     vertex_partition_quality,
 )
 from .cache import cached_edge_partition, cached_vertex_partition
-from .config import FaultConfig, TrainingParams
+from .config import CommConfig, FaultConfig, TrainingParams
 from .records import DistDglRecord, DistGnnRecord
 
 __all__ = [
@@ -41,12 +41,16 @@ __all__ = [
 ]
 
 
-def _obs_record_metrics(engine) -> Dict[str, object]:
+def _obs_record_metrics(
+    engine, comm_config: Optional[CommConfig] = None
+) -> Dict[str, object]:
     """Deterministic telemetry summary embedded in a result record.
 
     Every quantity is derived from *simulated* cluster state (timeline,
     fabric, memory ledger) — never from a wall clock — so serial and
-    process-parallel sweeps produce identical records.
+    process-parallel sweeps produce identical records. The ``comm``
+    section appears only when a non-default ``comm_config`` is active,
+    keeping default-knob records identical to pre-comm ones.
     """
     cluster = engine.cluster
     timeline = cluster.timeline
@@ -55,8 +59,20 @@ def _obs_record_metrics(engine) -> Dict[str, object]:
         marks[mark.kind] = marks.get(mark.kind, 0) + 1
     cluster.check_traffic_invariant()
     cluster.emit_resource_metrics()
+    comm = engine.comm_summary()
+    codec_name = engine._codec.name
+    if obs.enabled() and comm.raw_bytes > 0:
+        obs.count("comm.raw_bytes", comm.raw_bytes, codec=codec_name)
+        obs.count("comm.wire_bytes", comm.wire_bytes, codec=codec_name)
+        obs.count("comm.saved_bytes", comm.saved_bytes, codec=codec_name)
+        obs.count(
+            "comm.codec_seconds", comm.codec_seconds, codec=codec_name
+        )
+        if comm.stale_epochs:
+            obs.count("comm.stale_epochs", comm.stale_epochs)
+        obs.gauge("comm.cache_hit_rate", comm.cache_hit_rate)
     matrix = cluster.fabric.traffic_matrix()
-    return {
+    metrics: Dict[str, object] = {
         "phase_seconds": timeline.phase_totals(),
         "marks": marks,
         "bytes_sent_total": float(cluster.fabric.sent.sum()),
@@ -81,6 +97,9 @@ def _obs_record_metrics(engine) -> Dict[str, object]:
             in cluster.memory_watermark_timeline().items()
         },
     }
+    if comm_config:
+        metrics["comm"] = comm.as_dict()
+    return metrics
 
 
 def run_distgnn(
@@ -93,11 +112,20 @@ def run_distgnn(
     enforce_memory_budget: bool = False,
     fault_config: Optional[FaultConfig] = None,
     num_epochs: int = 1,
+    comm_config: Optional[CommConfig] = None,
 ) -> DistGnnRecord:
-    """Simulate one DistGNN full-batch configuration."""
+    """Simulate one DistGNN full-batch configuration.
+
+    ``comm_config`` applies the communication-reduction knobs DistGNN
+    supports — ``compression`` and ``refresh_interval`` (cd-r delayed
+    aggregation); ``cache_fraction`` is a DistDGL mechanism and is
+    ignored here. The partition itself is comm-independent, so the
+    partition cache is shared across comm configurations.
+    """
     if num_epochs < 1:
         raise ValueError("num_epochs must be >= 1")
     run_started = time.perf_counter()
+    comm = comm_config or CommConfig()
     partition, part_seconds = cached_edge_partition(
         graph, partitioner, num_machines, seed
     )
@@ -109,6 +137,8 @@ def run_distgnn(
         num_layers=params.num_layers,
         num_classes=params.num_classes,
         cost_model=cost_model,
+        compression=comm.compression,
+        refresh_interval=comm.refresh_interval,
     )
     out_of_memory = False
     if enforce_memory_budget:
@@ -129,7 +159,7 @@ def run_distgnn(
     summary = engine.fault_summary
     obs_metrics = None
     if obs.enabled():
-        obs_metrics = _obs_record_metrics(engine)
+        obs_metrics = _obs_record_metrics(engine, comm_config)
         obs.count("experiments.runs", engine="distgnn")
         obs.observe(
             "experiments.run_seconds",
@@ -165,6 +195,17 @@ def run_distgnn(
         recovery_seconds=timeline.recovery_seconds(),
         checkpoint_seconds=timeline.checkpoint_seconds(),
         fault_config=fault_config,
+        comm_config=comm_config,
+        # Per-epoch means, same normalization as network_bytes, so
+        # saved / (network + saved) is the wire reduction directly.
+        traffic_saved_bytes=(
+            engine.comm.saved_bytes / max(engine.comm.total_epochs, 1)
+        ),
+        codec_seconds=(
+            engine.comm.codec_seconds / max(engine.comm.total_epochs, 1)
+        ),
+        accuracy_proxy_error=engine.comm.accuracy_proxy_error,
+        staleness_epochs=engine.comm.stale_epochs,
         obs_metrics=obs_metrics,
     )
 
@@ -178,6 +219,7 @@ def run_distgnn_grid(
     cost_model: CostModel = DEFAULT_COST_MODEL,
     fault_config: Optional[FaultConfig] = None,
     num_epochs: int = 1,
+    comm_config: Optional[CommConfig] = None,
 ) -> List[DistGnnRecord]:
     """Run :func:`run_distgnn` over partitioners x machines x params."""
     grid = list(grid)
@@ -189,6 +231,7 @@ def run_distgnn_grid(
                     run_distgnn(
                         graph, name, k, params, seed, cost_model,
                         fault_config=fault_config, num_epochs=num_epochs,
+                        comm_config=comm_config,
                     )
                 )
     return records
@@ -204,11 +247,19 @@ def run_distdgl(
     seed: int = 0,
     cost_model: CostModel = DEFAULT_COST_MODEL,
     fault_config: Optional[FaultConfig] = None,
+    comm_config: Optional[CommConfig] = None,
 ) -> DistDglRecord:
-    """Run one DistDGL mini-batch configuration (sampling is executed)."""
+    """Run one DistDGL mini-batch configuration (sampling is executed).
+
+    ``comm_config`` applies the communication-reduction knobs DistDGL
+    supports — ``compression`` (on remote feature fetches) and
+    ``cache_fraction`` (PaGraph-style static cache);
+    ``refresh_interval`` is a DistGNN mechanism and is ignored here.
+    """
     if num_epochs < 1:
         raise ValueError("num_epochs must be >= 1")
     run_started = time.perf_counter()
+    comm = comm_config or CommConfig()
     if split is None:
         split = random_split(graph, seed=seed)
     partition, part_seconds = cached_vertex_partition(
@@ -226,6 +277,8 @@ def run_distdgl(
         global_batch_size=params.global_batch_size,
         cost_model=cost_model,
         seed=seed,
+        cache_fraction=comm.cache_fraction,
+        compression=comm.compression,
     )
     if fault_config:
         reports = engine.run_training(
@@ -244,7 +297,7 @@ def run_distdgl(
     summary = engine.fault_summary
     obs_metrics = None
     if obs.enabled():
-        obs_metrics = _obs_record_metrics(engine)
+        obs_metrics = _obs_record_metrics(engine, comm_config)
         obs.count("experiments.runs", engine="distdgl")
         obs.observe(
             "experiments.run_seconds",
@@ -284,6 +337,16 @@ def run_distdgl(
         degraded_steps=summary.degraded_steps,
         recovery_seconds=timeline.recovery_seconds(),
         fault_config=fault_config,
+        comm_config=comm_config,
+        # Per-epoch means, same normalization as network_bytes.
+        traffic_saved_bytes=(
+            engine.comm.saved_bytes / max(engine.comm.total_epochs, 1)
+        ),
+        codec_seconds=(
+            engine.comm.codec_seconds / max(engine.comm.total_epochs, 1)
+        ),
+        accuracy_proxy_error=engine.comm.accuracy_proxy_error,
+        cache_hit_rate=engine.comm_summary().cache_hit_rate,
         obs_metrics=obs_metrics,
     )
 
@@ -298,6 +361,7 @@ def run_distdgl_grid(
     cost_model: CostModel = DEFAULT_COST_MODEL,
     fault_config: Optional[FaultConfig] = None,
     num_epochs: int = 1,
+    comm_config: Optional[CommConfig] = None,
 ) -> List[DistDglRecord]:
     """Run :func:`run_distdgl` over partitioners x machines x params."""
     if split is None:
@@ -312,6 +376,7 @@ def run_distdgl_grid(
                         graph, name, k, params, split=split,
                         num_epochs=num_epochs, seed=seed,
                         cost_model=cost_model, fault_config=fault_config,
+                        comm_config=comm_config,
                     )
                 )
     return records

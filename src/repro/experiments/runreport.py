@@ -63,6 +63,60 @@ def _fault_summary(records: List) -> Optional[Dict[str, object]]:
     }
 
 
+def _comm_summary(records: List) -> Optional[Dict[str, object]]:
+    """Communication-reduction section: per-comm-config tradeoff.
+
+    Present only when at least one record carries a ``comm_config``
+    (see ``docs/communication.md``); the table mirrors the dashboard's
+    tradeoff panel, keyed by the config label.
+    """
+    from ..obs.analysis import traffic_accuracy_tradeoff
+
+    tradeoff = traffic_accuracy_tradeoff(records)
+    if not tradeoff:
+        return None
+    configs: Dict[str, Dict[str, float]] = {}
+    for engine, by_partitioner in tradeoff.items():
+        for points in by_partitioner.values():
+            for point in points:
+                entry = configs.setdefault(
+                    point["comm"],
+                    {
+                        "cells": 0,
+                        "wire_bytes": 0.0,
+                        "saved_bytes": 0.0,
+                        "codec_seconds": 0.0,
+                        "accuracy_proxy_error": 0.0,
+                        "frontier_cells": 0,
+                    },
+                )
+                entry["cells"] += point["cells"]
+                entry["wire_bytes"] += (
+                    point["wire_bytes"] * point["cells"]
+                )
+                entry["saved_bytes"] += (
+                    point["saved_bytes"] * point["cells"]
+                )
+                entry["codec_seconds"] += (
+                    point["codec_seconds"] * point["cells"]
+                )
+                entry["accuracy_proxy_error"] = max(
+                    entry["accuracy_proxy_error"],
+                    point["accuracy_proxy_error"],
+                )
+                if point["on_frontier"]:
+                    entry["frontier_cells"] += point["cells"]
+    for entry in configs.values():
+        raw = entry["wire_bytes"] + entry["saved_bytes"]
+        entry["saved_fraction"] = (
+            entry["saved_bytes"] / raw if raw else 0.0
+        )
+    return {
+        "tradeoff": tradeoff,
+        "configs": dict(sorted(configs.items())),
+    }
+
+
 def _obs_summary(records: List) -> Optional[Dict[str, object]]:
     observed = [r for r in records if r.obs_metrics]
     if not observed:
@@ -210,6 +264,28 @@ def _render_markdown(report: Dict[str, object]) -> str:
         )
         lines.append("")
 
+    comm = report["comm"]
+    if comm:
+        lines.append(
+            "## Communication reduction (see docs/communication.md)"
+        )
+        lines.append("")
+        lines.append(
+            "| Comm config | Cells | Wire MB/epoch | Saved "
+            "| Codec s/epoch | Accuracy error |"
+        )
+        lines.append("|---|---|---|---|---|---|")
+        for label, entry in comm["configs"].items():
+            cells = entry["cells"]
+            lines.append(
+                f"| {label} | {cells} "
+                f"| {entry['wire_bytes'] / cells / 1e6:.2f} "
+                f"| {entry['saved_fraction'] * 100:.1f}% "
+                f"| {entry['codec_seconds'] / cells:.5f} "
+                f"| {entry['accuracy_proxy_error']:.4f} |"
+            )
+        lines.append("")
+
     telemetry = report["obs"]
     if telemetry:
         lines.append("## Telemetry (from record obs_metrics)")
@@ -319,6 +395,7 @@ def build_run_report(records: Sequence) -> Tuple[str, Dict[str, object]]:
             for row in _speedup_rows(engine_records)
         ],
         "faults": _fault_summary(records),
+        "comm": _comm_summary(records),
         "obs": _obs_summary(records),
         "analysis": _analysis_summary(records),
     }

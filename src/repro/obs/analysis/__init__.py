@@ -51,6 +51,7 @@ from .findings import SEVERITIES, AnalysisReport, Finding, sort_findings
 from .load import RunData, load_run_inputs
 from .report import build_analysis_report, per_partitioner_breakdown
 from .render import render_diff_text, render_report_text
+from .tradeoff import traffic_accuracy_tradeoff
 
 __all__ = [
     # findings
@@ -80,6 +81,7 @@ __all__ = [
     "load_run_inputs",
     "build_analysis_report",
     "per_partitioner_breakdown",
+    "traffic_accuracy_tradeoff",
     # renderers
     "render_report_text",
     "render_diff_text",

@@ -10,8 +10,11 @@ Views: stat tiles (headline numbers), phase-stacked epoch-time bars per
 partitioner (the paper's Figs. 19/21/22 shape), a per-machine heatmap
 (busy time, traffic, memory — the straggler/balance view), per-engine
 resource depth (the ``src x dst`` traffic-matrix heatmap, per-category
-memory peaks and the per-phase memory-watermark timeline), the findings
-list, and a plain-table fallback of every chart's data.
+memory peaks and the per-phase memory-watermark timeline), the
+traffic-vs-accuracy tradeoff table for comm sweeps (wire bytes, saved
+fraction and accuracy-proxy error per comm config, Pareto-frontier
+rows marked), the findings list, and a plain-table fallback of every
+chart's data.
 
 The palette follows the repo's chart conventions: a fixed-order
 categorical palette for phase identity (9th phase onward folds into
@@ -443,6 +446,65 @@ function renderResources() {
   });
 }
 
+function renderTradeoff() {
+  var host = document.getElementById('tradeoff');
+  var tradeoff = report.attribution.comm_tradeoff || {};
+  var engines = Object.keys(tradeoff).sort();
+  if (!engines.length) {
+    el('p', 'empty', host).textContent =
+      'No comm sweep loaded - the traffic-vs-accuracy tradeoff needs ' +
+      'records swept over --compression / --refresh-interval / ' +
+      '--cache-fraction.';
+    return;
+  }
+  engines.forEach(function (engine) {
+    var byPartitioner = tradeoff[engine];
+    var card = el('div', 'card', host);
+    el('h2', null, card).textContent = engine +
+      ' - traffic vs accuracy proxy by comm config ' +
+      '(\\u2605 = Pareto frontier)';
+    var table = el('table', null, card);
+    var head = el('tr', null, el('thead', null, table));
+    ['partitioner', 'comm config', 'wire/epoch', 'saved',
+     'codec s/epoch', 'accuracy error', 'frontier'].forEach(
+      function (title) { el('th', null, head).textContent = title; });
+    var maxWire = 0;
+    Object.keys(byPartitioner).forEach(function (name) {
+      byPartitioner[name].forEach(function (point) {
+        maxWire = Math.max(maxWire, point.wire_bytes);
+      });
+    });
+    var body = el('tbody', null, table);
+    Object.keys(byPartitioner).sort().forEach(function (name) {
+      byPartitioner[name].forEach(function (point) {
+        var tr = el('tr', null, body);
+        el('td', null, tr).textContent = name;
+        el('td', null, tr).textContent = point.comm;
+        var wire = el('td', 'cell', tr);
+        var fraction = maxWire ? point.wire_bytes / maxWire : 0;
+        wire.style.background = point.wire_bytes > 0
+          ? heatColor(fraction) : 'transparent';
+        wire.style.color = fraction > 0.45 ? '#ffffff'
+          : 'var(--text-primary)';
+        wire.textContent = fmtBytes(point.wire_bytes);
+        el('td', null, tr).textContent = fmtPct(point.saved_fraction);
+        el('td', null, tr).textContent =
+          point.codec_seconds.toPrecision(3);
+        el('td', null, tr).textContent =
+          point.accuracy_proxy_error.toPrecision(3);
+        el('td', null, tr).textContent =
+          point.on_frontier ? '\\u2605 yes' : '';
+        hover(tr, function () {
+          return name + ' [' + point.comm + ']: ' +
+            fmtBytes(point.wire_bytes) + ' on the wire, ' +
+            fmtBytes(point.saved_bytes) + ' saved per epoch over ' +
+            point.cells + ' cells';
+        });
+      });
+    });
+  });
+}
+
 var SEVERITY_ICONS = { critical: '\\u25b2', warning: '\\u25c6',
   info: '\\u25cb' };
 
@@ -523,13 +585,14 @@ document.getElementById('theme-toggle').addEventListener(
   });
 
 function rerender() {
-  ['stacks', 'heatmap', 'resources', 'findings', 'phase-table',
-   'tiles'].forEach(
+  ['stacks', 'heatmap', 'resources', 'tradeoff', 'findings',
+   'phase-table', 'tiles'].forEach(
     function (id) { document.getElementById(id).innerHTML = ''; });
   renderTiles();
   renderStacks();
   renderHeatmap();
   renderResources();
+  renderTradeoff();
   renderFindings();
   renderPhaseTable();
 }
@@ -573,6 +636,7 @@ def render_dashboard(
     <div id="heatmap"></div>
   </div>
   <div id="resources"></div>
+  <div id="tradeoff"></div>
   <div class="card">
     <h2>Findings</h2>
     <div id="findings"></div>

@@ -25,6 +25,7 @@ from .anomaly import (
 from .attribution import attribute_phase_totals
 from .findings import AnalysisReport
 from .load import RunData
+from .tradeoff import traffic_accuracy_tradeoff
 
 __all__ = [
     "build_analysis_report",
@@ -289,6 +290,7 @@ def build_analysis_report(
             "per_partitioner": breakdown,
             "machines": machines,
             "resources": resource_depth(run.records),
+            "comm_tradeoff": traffic_accuracy_tradeoff(run.records),
         },
         findings=findings,
     )

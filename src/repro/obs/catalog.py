@@ -9,7 +9,8 @@ either — a CI gate regenerates and compares it.
 
 Naming convention: ``<subsystem>.<metric>`` with the subsystem matching
 the package that emits it (``cluster``, ``distgnn``, ``distdgl``,
-``partitioner``, ``partition_cache``, ``experiments``, ``obs``).
+``partitioner``, ``partition_cache``, ``comm``, ``experiments``,
+``obs``).
 """
 
 from __future__ import annotations
@@ -284,6 +285,42 @@ CATALOG: Tuple[MetricSpec, ...] = (
     MetricSpec(
         "partition_cache.evictions", "counter", "count",
         "Entries evicted by the LRU bound.",
+    ),
+    # ---------------------------------------------------------------- comm
+    MetricSpec(
+        "comm.raw_bytes", "counter", "bytes (simulated)",
+        "Bytes the run's exchanges would have moved with no "
+        "communication reduction (uncompressed, no skipped syncs), "
+        "labelled with the codec in effect.",
+        labels=("codec",),
+    ),
+    MetricSpec(
+        "comm.wire_bytes", "counter", "bytes (simulated)",
+        "Bytes that actually hit the fabric after compression and "
+        "delayed aggregation, labelled with the codec in effect.",
+        labels=("codec",),
+    ),
+    MetricSpec(
+        "comm.saved_bytes", "counter", "bytes (simulated)",
+        "raw_bytes - wire_bytes: traffic kept off the fabric by the "
+        "run's communication-reduction settings.",
+        labels=("codec",),
+    ),
+    MetricSpec(
+        "comm.codec_seconds", "counter", "seconds (simulated)",
+        "Simulated encode+decode time charged by the codec across the "
+        "run (a compute phase at memory bandwidth).",
+        labels=("codec",),
+    ),
+    MetricSpec(
+        "comm.stale_epochs", "counter", "count",
+        "DistGNN epochs that computed on stale halo aggregates under "
+        "cd-r delayed aggregation (refresh_interval > 1).",
+    ),
+    MetricSpec(
+        "comm.cache_hit_rate", "gauge", "ratio",
+        "Fraction of would-be remote feature fetches served by the "
+        "DistDGL static feature cache over the run.",
     ),
     # --------------------------------------------------------- experiments
     MetricSpec(

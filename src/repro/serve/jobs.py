@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..experiments import (
+    CommConfig,
     FaultConfig,
     TrainingParams,
     parameter_grid,
@@ -85,6 +86,7 @@ class SweepJobSpec:
     priority: int = 0
     tenant: str = "default"
     fault: Optional[FaultConfig] = None
+    comm: Optional[CommConfig] = None
     rules: Optional[Dict[str, object]] = field(
         default=None, hash=False, compare=False
     )
@@ -160,7 +162,7 @@ class SweepJobSpec:
         known = {
             "engine", "graph", "partitioners", "machines", "params",
             "scale", "seed", "num_epochs", "priority", "tenant",
-            "fault", "rules", "abort_on",
+            "fault", "comm", "rules", "abort_on",
         }
         unknown = set(data) - known
         if unknown:
@@ -188,6 +190,12 @@ class SweepJobSpec:
             if not isinstance(fault_data, Mapping):
                 raise ValueError("fault must be an object")
             fault = FaultConfig(**fault_data)
+        comm = None
+        if data.get("comm") is not None:
+            comm_data = data["comm"]
+            if not isinstance(comm_data, Mapping):
+                raise ValueError("comm must be an object")
+            comm = CommConfig(**comm_data)
         machines = data.get("machines", ())
         return cls(
             engine=str(data.get("engine", "")),
@@ -203,6 +211,7 @@ class SweepJobSpec:
             priority=int(data.get("priority", 0)),
             tenant=str(data.get("tenant", "default")),
             fault=fault,
+            comm=comm,
             rules=(
                 dict(data["rules"])
                 if data.get("rules") is not None else None
@@ -231,6 +240,8 @@ class SweepJobSpec:
         }
         if self.fault is not None:
             data["fault"] = dataclasses.asdict(self.fault)
+        if self.comm is not None:
+            data["comm"] = dataclasses.asdict(self.comm)
         if self.rules is not None:
             data["rules"] = self.rules
         if self.abort_on is not None:

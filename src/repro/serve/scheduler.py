@@ -271,10 +271,19 @@ class SweepScheduler:
         return max(1, (backlog + self.workers - 1) // self.workers)
 
     def _cell_key(self, spec, graph, k: int, name: str) -> Tuple:
-        """Content identity of one cell (dedup key across jobs)."""
+        """Content identity of one cell (dedup key across jobs).
+
+        Every knob that changes a cell's records must appear here —
+        the comm config included, since two jobs differing only in
+        ``compression`` produce different traffic and must not dedupe
+        to one cell. (The *partition* cache key stays comm-free on
+        purpose: comm knobs never change the partition, so partitions
+        are shared across comm configurations.)
+        """
         return (
             spec.engine, graph.fingerprint(), name, int(k),
             spec.seed, spec.num_epochs, spec.params, spec.fault,
+            spec.comm,
         )
 
     def _graph(self, spec):
@@ -307,8 +316,8 @@ class SweepScheduler:
                 index=self._cell_seq, fn=_distgnn_cell, key=key,
                 args=(
                     graph, name, k, grid, spec.seed,
-                    DEFAULT_COST_MODEL, spec.fault, spec.num_epochs,
-                    "off", -1, None,
+                    DEFAULT_COST_MODEL, spec.fault, spec.comm,
+                    spec.num_epochs, "off", -1, None,
                 ),
             )
         else:
@@ -316,8 +325,8 @@ class SweepScheduler:
                 index=self._cell_seq, fn=_distdgl_cell, key=key,
                 args=(
                     graph, name, k, grid, split, spec.seed,
-                    DEFAULT_COST_MODEL, spec.fault, spec.num_epochs,
-                    "off", -1, None,
+                    DEFAULT_COST_MODEL, spec.fault, spec.comm,
+                    spec.num_epochs, "off", -1, None,
                 ),
             )
         cell = _Cell(

@@ -1,0 +1,88 @@
+"""Unit tests for the compression codecs."""
+
+import numpy as np
+import pytest
+
+from repro.comm import CODEC_NAMES, make_codec
+from repro.costmodel import DEFAULT_COST_MODEL
+
+
+class TestMakeCodec:
+    def test_every_catalogued_name_constructs(self):
+        for name in CODEC_NAMES:
+            assert make_codec(name).name == name
+
+    def test_unknown_name_raises_with_valid_names(self):
+        with pytest.raises(ValueError, match="fp16"):
+            make_codec("zstd")
+
+    def test_only_null_codec_is_null(self):
+        assert make_codec("none").is_null()
+        for name in CODEC_NAMES:
+            if name != "none":
+                assert not make_codec(name).is_null()
+
+
+class TestWireBytes:
+    def test_null_codec_is_identity(self):
+        codec = make_codec("none")
+        assert codec.wire_bytes(1024.0) == 1024.0
+        assert codec.saved_bytes(1024.0) == 0.0
+
+    def test_ratios_strictly_shrink_the_wire(self):
+        # Paper ordering: fp16 halves, int8 quarters, top-k keeps 10%
+        # of values plus index overhead.
+        wire = {
+            name: make_codec(name).wire_bytes(1000.0)
+            for name in CODEC_NAMES
+        }
+        assert wire["none"] > wire["fp16"] > wire["int8"] > wire["topk"]
+
+    def test_wire_bytes_vectorizes_over_arrays(self):
+        codec = make_codec("fp16")
+        raw = np.array([100.0, 0.0, 50.0])
+        np.testing.assert_allclose(
+            codec.wire_bytes(raw), [50.0, 0.0, 25.0]
+        )
+
+    def test_saved_plus_wire_equals_raw(self):
+        for name in CODEC_NAMES:
+            codec = make_codec(name)
+            assert codec.wire_bytes(800.0) + codec.saved_bytes(800.0) \
+                == pytest.approx(800.0)
+
+
+class TestCodecTime:
+    def test_null_codec_charges_nothing(self):
+        assert make_codec("none").codec_seconds(
+            1e9, DEFAULT_COST_MODEL
+        ) == 0.0
+
+    def test_time_scales_with_work_factor_and_bytes(self):
+        fp16 = make_codec("fp16")
+        int8 = make_codec("int8")
+        t_fp16 = fp16.codec_seconds(1e9, DEFAULT_COST_MODEL)
+        assert t_fp16 == pytest.approx(
+            1e9 / DEFAULT_COST_MODEL.memory_bandwidth
+        )
+        # int8 does two passes (quantize + scale), so twice the time.
+        assert int8.codec_seconds(1e9, DEFAULT_COST_MODEL) \
+            == pytest.approx(2 * t_fp16)
+
+    def test_no_time_for_empty_payload(self):
+        assert make_codec("topk").codec_seconds(
+            0.0, DEFAULT_COST_MODEL
+        ) == 0.0
+
+
+class TestErrorModel:
+    def test_null_codec_is_lossless(self):
+        assert make_codec("none").error_per_value == 0.0
+
+    def test_error_grows_as_compression_tightens(self):
+        errors = [
+            make_codec(name).error_per_value
+            for name in ("none", "fp16", "int8", "topk")
+        ]
+        assert errors == sorted(errors)
+        assert errors[-1] > errors[0]

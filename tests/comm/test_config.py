@@ -1,0 +1,89 @@
+"""CommConfig / CommSummary / comm_grid semantics."""
+
+import pytest
+
+from repro.comm import CommConfig, CommSummary, comm_grid
+from repro.comm.config import STALENESS_ERROR_PER_EPOCH
+
+
+class TestCommConfig:
+    def test_defaults_are_falsy_and_label(self):
+        config = CommConfig()
+        assert not config
+        assert config.label() == "none r1 c0"
+
+    def test_any_non_default_knob_is_truthy(self):
+        assert CommConfig(compression="fp16")
+        assert CommConfig(refresh_interval=4)
+        assert CommConfig(cache_fraction=0.25)
+
+    def test_validation_is_eager(self):
+        with pytest.raises(ValueError):
+            CommConfig(compression="bogus")
+        with pytest.raises(ValueError):
+            CommConfig(refresh_interval=0)
+        with pytest.raises(ValueError):
+            CommConfig(cache_fraction=1.0)
+        with pytest.raises(ValueError):
+            CommConfig(cache_fraction=-0.1)
+
+    def test_with_replaces_fields(self):
+        config = CommConfig().with_(compression="int8")
+        assert config.compression == "int8"
+        assert config.refresh_interval == 1
+
+    def test_codec_matches_compression_knob(self):
+        assert CommConfig(compression="topk").codec().name == "topk"
+
+    def test_hashable_for_dedup_keys(self):
+        a = CommConfig(compression="fp16")
+        b = CommConfig(compression="fp16")
+        assert hash(a) == hash(b) and a == b
+        assert a != CommConfig(compression="int8")
+
+
+class TestCommGrid:
+    def test_cross_product_with_compression_outermost(self):
+        configs = list(comm_grid(
+            compressions=("none", "fp16"),
+            refresh_intervals=(1, 2),
+        ))
+        assert len(configs) == 4
+        assert [c.compression for c in configs] == [
+            "none", "none", "fp16", "fp16"
+        ]
+        assert [c.refresh_interval for c in configs] == [1, 2, 1, 2]
+
+    def test_default_grid_is_the_single_baseline(self):
+        configs = list(comm_grid())
+        assert configs == [CommConfig()]
+
+
+class TestCommSummary:
+    def test_saved_bytes_is_raw_minus_wire(self):
+        summary = CommSummary(raw_bytes=100.0, wire_bytes=30.0)
+        assert summary.saved_bytes == 70.0
+
+    def test_accuracy_proxy_combines_codec_and_staleness(self):
+        summary = CommSummary(
+            codec_error=0.01, stale_epochs=1, total_epochs=4
+        )
+        assert summary.accuracy_proxy_error == pytest.approx(
+            0.01 + STALENESS_ERROR_PER_EPOCH * 0.25
+        )
+
+    def test_baseline_summary_has_zero_error(self):
+        assert CommSummary(total_epochs=3).accuracy_proxy_error == 0.0
+
+    def test_as_dict_round_trips_every_field(self):
+        summary = CommSummary(
+            raw_bytes=10.0, wire_bytes=5.0, codec_seconds=0.5,
+            stale_epochs=1, total_epochs=2, cache_hits=3,
+            cache_hit_rate=0.5, codec_error=0.01,
+        )
+        data = summary.as_dict()
+        assert data["saved_bytes"] == 5.0
+        assert data["accuracy_proxy_error"] == pytest.approx(
+            0.01 + STALENESS_ERROR_PER_EPOCH * 0.5
+        )
+        assert data["cache_hits"] == 3

@@ -1,0 +1,153 @@
+"""Comm axes through the experiment layer: runner records, serial ==
+parallel identity, export round-trip, baseline bit-identity."""
+
+import pytest
+
+from repro.experiments import (
+    CommConfig,
+    load_records,
+    reduced_grid,
+    run_distdgl,
+    run_distdgl_grid,
+    run_distdgl_grid_parallel,
+    run_distgnn,
+    run_distgnn_grid,
+    run_distgnn_grid_parallel,
+    save_records,
+)
+from repro.graph import random_split
+
+FP16_R2 = CommConfig(compression="fp16", refresh_interval=2)
+INT8_CACHED = CommConfig(compression="int8", cache_fraction=0.5)
+
+
+def _grid():
+    return list(reduced_grid())[:1]
+
+
+@pytest.fixture(scope="module")
+def params():
+    return _grid()[0]
+
+
+class TestRunnerRecords:
+    def test_distgnn_record_carries_comm_fields(self, tiny_or, params):
+        record = run_distgnn(
+            tiny_or, "hdrf", 4, params, num_epochs=2,
+            comm_config=FP16_R2,
+        )
+        assert record.comm_config == FP16_R2
+        assert record.traffic_saved_bytes > 0
+        assert record.codec_seconds > 0
+        assert record.staleness_epochs == 1
+        assert record.accuracy_proxy_error > 0
+
+    def test_distdgl_record_carries_comm_fields(self, tiny_or, params):
+        record = run_distdgl(
+            tiny_or, "metis", 4, params, comm_config=INT8_CACHED,
+        )
+        assert record.comm_config == INT8_CACHED
+        assert record.traffic_saved_bytes > 0
+        assert record.cache_hit_rate > 0
+
+    def test_baseline_records_bit_identical_to_pre_comm(
+        self, tiny_or, params
+    ):
+        # No comm_config, an explicit None and an all-default config
+        # must produce the same record (modulo the comm_config field
+        # itself, None vs the default instance).
+        import dataclasses
+
+        bare = run_distgnn(tiny_or, "hdrf", 4, params)
+        defaulted = run_distgnn(
+            tiny_or, "hdrf", 4, params, comm_config=CommConfig()
+        )
+        a = dataclasses.asdict(bare)
+        b = dataclasses.asdict(defaulted)
+        a.pop("comm_config"), b.pop("comm_config")
+        assert a == b
+        assert bare.traffic_saved_bytes == 0.0
+        assert bare.codec_seconds == 0.0
+        assert bare.accuracy_proxy_error == 0.0
+
+    def test_comm_traffic_reduction_shows_in_record(
+        self, tiny_or, params
+    ):
+        base = run_distgnn(tiny_or, "hdrf", 4, params)
+        fp16 = run_distgnn(
+            tiny_or, "hdrf", 4, params,
+            comm_config=CommConfig(compression="fp16"),
+        )
+        assert fp16.network_bytes == pytest.approx(
+            base.network_bytes * 0.5
+        )
+        assert fp16.traffic_saved_bytes == pytest.approx(
+            base.network_bytes * 0.5
+        )
+
+
+class TestSerialParallelIdentity:
+    def test_distgnn_comm_grid_parallel_equals_serial(self, tiny_or):
+        serial = run_distgnn_grid(
+            tiny_or, ["random", "hdrf"], [2, 4], _grid(), seed=0,
+            comm_config=FP16_R2, num_epochs=2,
+        )
+        parallel = run_distgnn_grid_parallel(
+            tiny_or, ["random", "hdrf"], [2, 4], _grid(), seed=0,
+            workers=2, comm_config=FP16_R2, num_epochs=2,
+        )
+        assert parallel == serial
+        assert all(r.comm_config == FP16_R2 for r in parallel)
+
+    def test_distdgl_comm_grid_parallel_equals_serial(self, tiny_or):
+        split = random_split(tiny_or, seed=0)
+        serial = run_distdgl_grid(
+            tiny_or, ["random", "ldg"], [2, 4], _grid(),
+            split=split, seed=0, comm_config=INT8_CACHED,
+        )
+        parallel = run_distdgl_grid_parallel(
+            tiny_or, ["random", "ldg"], [2, 4], _grid(),
+            split=split, seed=0, workers=2, comm_config=INT8_CACHED,
+        )
+        assert parallel == serial
+
+
+class TestExportRoundTrip:
+    def test_comm_config_survives_save_load(
+        self, tiny_or, params, tmp_path
+    ):
+        records = [
+            run_distgnn(
+                tiny_or, "hdrf", 2, params, comm_config=FP16_R2
+            ),
+            run_distgnn(tiny_or, "hdrf", 2, params),
+            run_distdgl(
+                tiny_or, "metis", 2, params, comm_config=INT8_CACHED
+            ),
+        ]
+        path = tmp_path / "records.json"
+        save_records(records, path)
+        loaded = load_records(path)
+        assert loaded == records
+        assert loaded[0].comm_config == FP16_R2
+        assert loaded[1].comm_config is None
+        assert loaded[2].comm_config == INT8_CACHED
+
+    def test_pre_comm_records_still_load(self, tiny_or, params, tmp_path):
+        # A record JSON written before the comm fields existed has no
+        # comm keys at all; defaults must absorb that.
+        import json
+
+        record = run_distgnn(tiny_or, "hdrf", 2, params)
+        path = tmp_path / "old.json"
+        save_records([record], path)
+        payload = json.loads(path.read_text())
+        for key in (
+            "comm_config", "traffic_saved_bytes", "codec_seconds",
+            "accuracy_proxy_error", "staleness_epochs",
+        ):
+            payload[0]["data"].pop(key, None)
+        path.write_text(json.dumps(payload))
+        loaded = load_records(path)
+        assert loaded[0].comm_config is None
+        assert loaded[0].traffic_saved_bytes == 0.0

@@ -38,6 +38,10 @@ class StubRecord:
     recovery_seconds: float = 0.0
     partitioning_seconds: float = 0.5
     obs_metrics: Optional[Dict[str, object]] = None
+    comm_config: Optional[object] = None
+    traffic_saved_bytes: float = 0.0
+    codec_seconds: float = 0.0
+    accuracy_proxy_error: float = 0.0
 
 
 @dataclass

@@ -1,0 +1,114 @@
+"""Regression: cell dedup fingerprints must include the comm config.
+
+Two jobs that differ only in ``compression`` (or any comm knob) run
+different simulations and must NOT share cells; identical comm configs
+still dedupe. The *partition* cache is the designed exception: comm
+knobs never change a partition, so partitions are shared across comm
+configurations (see docs/communication.md).
+"""
+
+import pytest
+
+from repro.experiments import CommConfig, records_to_json
+from repro.experiments.cache import cache_size, clear_cache
+from repro.serve import SweepScheduler
+
+
+def _spec(**overrides):
+    data = {
+        "engine": "distgnn",
+        "graph": "or",
+        "partitioners": ["hdrf"],
+        "machines": [2],
+        "params": [{"num_layers": 2}],
+        "scale": "tiny",
+    }
+    data.update(overrides)
+    return data
+
+
+@pytest.fixture
+def scheduler(tmp_path):
+    sched = SweepScheduler(
+        workers=1, data_dir=str(tmp_path), max_pending_cells=32
+    )
+    yield sched
+    sched.stop(wait=True)
+
+
+class TestCommDedup:
+    def test_jobs_differing_only_in_compression_do_not_dedupe(
+        self, scheduler
+    ):
+        scheduler.start()
+        base = scheduler.submit(_spec(tenant="alice"))
+        base = scheduler.wait(base.id, timeout=120)
+        compressed = scheduler.submit(
+            _spec(tenant="bob", comm={"compression": "fp16"})
+        )
+        compressed = scheduler.wait(compressed.id, timeout=120)
+        assert compressed.state == "done"
+        assert compressed.dedup_hits == 0
+        snapshot = scheduler.queue_snapshot()
+        assert snapshot["cells_computed_total"] == 2
+        # And the cells really computed different things.
+        a = base.records()[0]
+        b = compressed.records()[0]
+        assert b.network_bytes < a.network_bytes
+        assert b.comm_config == CommConfig(compression="fp16")
+
+    def test_jobs_differing_only_in_refresh_do_not_dedupe(
+        self, scheduler
+    ):
+        scheduler.start()
+        first = scheduler.submit(
+            _spec(comm={"compression": "fp16"}, num_epochs=2)
+        )
+        scheduler.wait(first.id, timeout=120)
+        second = scheduler.submit(
+            _spec(
+                comm={"compression": "fp16", "refresh_interval": 2},
+                num_epochs=2, tenant="other",
+            )
+        )
+        second = scheduler.wait(second.id, timeout=120)
+        assert second.dedup_hits == 0
+        assert scheduler.queue_snapshot()["cells_computed_total"] == 2
+
+    def test_identical_comm_jobs_still_dedupe(self, scheduler):
+        scheduler.start()
+        comm = {"compression": "int8", "cache_fraction": 0.25}
+        first = scheduler.submit(
+            _spec(engine="distdgl", partitioners=["metis"], comm=comm)
+        )
+        first = scheduler.wait(first.id, timeout=120)
+        again = scheduler.submit(
+            _spec(
+                engine="distdgl", partitioners=["metis"], comm=comm,
+                tenant="other",
+            )
+        )
+        assert again.state == "done"
+        assert again.dedup_hits == again.cells_total
+        assert records_to_json(again.records()) == records_to_json(
+            first.records()
+        )
+
+    def test_partition_cache_shared_across_comm_configs(
+        self, scheduler
+    ):
+        # The partition is comm-independent by design: the second
+        # job's cell reuses the cached partition even though its comm
+        # config differs, so no new cache entry appears while the cell
+        # itself is recomputed.
+        clear_cache()
+        scheduler.start()
+        first = scheduler.submit(_spec())
+        scheduler.wait(first.id, timeout=120)
+        entries_after_first = cache_size()
+        second = scheduler.submit(
+            _spec(comm={"compression": "topk"}, tenant="other")
+        )
+        scheduler.wait(second.id, timeout=120)
+        assert scheduler.queue_snapshot()["cells_computed_total"] == 2
+        assert cache_size() == entries_after_first
