@@ -12,7 +12,11 @@ fails (exit 1) unless the whole lifecycle is clean:
    served entirely from the dedup cache (no fresh compute);
 5. run ``repro obs watch --once`` over the job's bus directory —
    the replayed streams must parse and show the completed sweep;
-6. ``POST /shutdown`` and verify the daemon exits cleanly (no orphan
+6. scrape ``GET /metrics`` + ``GET /healthz`` (the daemon runs with
+   ``--obs-level metrics``) and reconcile the exposed counters with
+   the scheduler's own queue accounting;
+7. render one ``repro obs top --once`` frame against the live daemon;
+8. ``POST /shutdown`` and verify the daemon exits cleanly (no orphan
    workers, bus streams flushed and closed on disk).
 
 Usage::
@@ -37,6 +41,7 @@ from repro.experiments import (
     run_distgnn_grid,
 )
 from repro.graph import load_dataset
+from repro.obs.serve_metrics import parse_prometheus_totals
 from repro.serve import ServeClient
 
 SPEC = {
@@ -73,7 +78,7 @@ def main() -> int:
         [
             sys.executable, "-m", "repro", "serve",
             "--port", str(port), "--workers", "1",
-            "--data-dir", data_dir,
+            "--data-dir", data_dir, "--obs-level", "metrics",
         ],
         env=env,
     )
@@ -156,6 +161,50 @@ def main() -> int:
         if "[complete]" not in watch.stdout:
             _fail(f"obs watch does not show completion:\n{watch.stdout}")
         print("obs watch renders the completed job from its bus")
+
+        totals = parse_prometheus_totals(client.metrics())
+        queue = client.queue()
+        checks = {
+            "serve.cells_computed": queue["cells_computed_total"],
+            "serve.dedup_hits": queue["dedup_hits_total"],
+            "serve.cell_cache_size": queue["cached_cells"],
+            "serve.jobs_admitted": 2,
+            "serve.jobs_finished": 2,
+            "serve.queue_depth_total": 0,
+        }
+        for name, expected in checks.items():
+            if totals.get(name) != expected:
+                _fail(
+                    f"/metrics does not reconcile: {name} = "
+                    f"{totals.get(name)}, scheduler says {expected}"
+                )
+        if totals.get("serve.admission_to_first_record_seconds", 0) <= 0:
+            _fail("first-record latency never observed")
+        health = client.healthz()
+        if health.get("status") != "ok" or not health.get("started"):
+            _fail(f"healthz not healthy: {health}")
+        if health.get("scheduler_heartbeat_age_seconds") is None:
+            _fail("healthz reports no scheduler heartbeat")
+        print(
+            "metrics reconcile: "
+            f"{int(totals['serve.cells_computed'])} computed, "
+            f"{int(totals['serve.dedup_hits'])} dedup hits, "
+            f"{int(totals['serve.http_requests'])} http requests"
+        )
+
+        top = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "obs", "top",
+                client.base_url, "--once", "--no-ansi",
+                "--rules", "examples/serve_rules.json",
+            ],
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+        if top.returncode != 0:
+            _fail(f"obs top failed:\n{top.stdout}\n{top.stderr}")
+        if "serve: ok" not in top.stdout:
+            _fail(f"obs top frame missing health line:\n{top.stdout}")
+        print("obs top renders a live ops frame")
 
         client.shutdown()
         deadline = time.monotonic() + 60

@@ -14,6 +14,7 @@ Subcommands::
     python -m repro obs diff      A B               # regression diff
     python -m repro obs dashboard RUN... -o out.html
     python -m repro obs watch     BUS_DIR           # live sweep monitor
+    python -m repro obs top       http://host:8642  # live daemon ops monitor
 
 All numbers are simulated cluster seconds under the default cost model;
 see ``repro.costmodel`` for calibration details.
@@ -687,6 +688,29 @@ def _cmd_obs_watch(args) -> int:
     return 0
 
 
+def _cmd_obs_top(args) -> int:
+    import functools
+    import json as json_module
+
+    from .obs.live import RuleSet, fetch_status, top_loop
+
+    rules = RuleSet.load(args.rules) if args.rules else None
+    ticks = 1 if args.once else args.ticks
+    status = top_loop(
+        functools.partial(fetch_status, args.url),
+        rules=rules, ticks=ticks, interval=args.interval,
+        out=sys.stdout, ansi=not args.no_ansi,
+    )
+    if args.summary_json:
+        with open(args.summary_json, "w", encoding="utf-8") as handle:
+            json_module.dump(
+                status, handle, indent=2, sort_keys=True
+            )
+            handle.write("\n")
+        print(f"summary written to {args.summary_json}")
+    return 1 if status.get("error") else 0
+
+
 def _cmd_serve(args) -> int:
     from .serve import SweepScheduler, serve_forever
 
@@ -694,11 +718,13 @@ def _cmd_serve(args) -> int:
         workers=args.workers,
         data_dir=args.data_dir,
         max_pending_cells=args.max_pending_cells,
+        obs_level=args.obs_level,
     )
     print(
         f"repro serve on http://{args.host}:{args.port} "
         f"(workers={args.workers}, data_dir={scheduler.data_dir}, "
-        f"max_pending_cells={args.max_pending_cells})"
+        f"max_pending_cells={args.max_pending_cells}, "
+        f"obs_level={args.obs_level})"
     )
     serve_forever(scheduler, host=args.host, port=args.port)
     return 0
@@ -788,6 +814,7 @@ _OBS_COMMANDS = {
     "diff": _cmd_obs_diff,
     "dashboard": _cmd_obs_dashboard,
     "watch": _cmd_obs_watch,
+    "top": _cmd_obs_top,
 }
 
 
@@ -893,6 +920,42 @@ def _add_obs_subcommands(sub) -> None:
         help="record JSON file(s); verify the streamed records and "
              "anomaly findings match a post-hoc analysis of these "
              "files (exit 1 on divergence)",
+    )
+
+    top = obs_sub.add_parser(
+        "top",
+        help="live ops monitor over a running serve daemon "
+             "(see docs/serve.md)",
+    )
+    top.add_argument(
+        "url",
+        help="daemon base URL, e.g. http://127.0.0.1:8642",
+    )
+    top.add_argument(
+        "--ticks", type=int, default=None,
+        help="render exactly N frames then exit (default: forever)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between frames (default: 1.0)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit",
+    )
+    top.add_argument(
+        "--rules", default=None,
+        help="alert-rules JSON evaluated over the daemon's /metrics "
+             "totals (see examples/serve_rules.json)",
+    )
+    top.add_argument(
+        "--no-ansi", action="store_true",
+        help="never emit ANSI clear codes (append frames instead)",
+    )
+    top.add_argument(
+        "--summary-json", default=None,
+        help="write the final fetched status (healthz/queue/totals) "
+             "JSON here on exit",
     )
 
 
@@ -1020,6 +1083,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-pending-cells", type=int, default=256,
         help="admission bound: queued cells before POST /jobs gets 429",
+    )
+    serve.add_argument(
+        "--obs-level", default="off", choices=obs.LEVELS,
+        help="daemon observability: metrics enables GET /metrics; "
+             "trace additionally writes per-job trace JSONL "
+             "(default: off)",
     )
 
     submit = sub.add_parser(

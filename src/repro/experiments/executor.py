@@ -68,8 +68,15 @@ class CellTask:
     key: Optional[object] = field(default=None, compare=False)
 
     def run(self):
-        """Execute the cell inline and return its result."""
-        return self.fn(*self.args)
+        """Execute the cell inline and return its result.
+
+        The span is a shared no-op while observability is off (the
+        default), so the inline path stays inside the perf gate.
+        """
+        from ..obs import api as obs
+
+        with obs.span("executor.cell"):
+            return self.fn(*self.args)
 
 
 def fifo_schedule(tasks: Sequence[CellTask]) -> List[int]:

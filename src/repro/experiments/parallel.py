@@ -102,6 +102,35 @@ def close_bus_writer(bus_dir: Optional[str]) -> None:
         writer.close()
 
 
+def _cell_obs(
+    obs_level: str,
+    trace_out: Optional[str],
+    trace_ctx: Optional[Dict[str, object]],
+) -> Callable[[], None]:
+    """Apply one cell's observability scope; returns the finalizer.
+
+    ``trace_out`` (a JSONL path) attaches a fresh trace sink and
+    ``trace_ctx`` stamps the ambient trace context (the serve daemon's
+    ``job``/``tenant`` attribution), so every engine event the cell
+    emits carries the caller's identity. The finalizer closes the sink
+    and clears the context so the next cell in this process starts
+    clean.
+    """
+    obs.configure(obs_level)
+    if not trace_out:
+        return lambda: None
+    from ..obs.sink import JsonlSink
+
+    obs.set_sink(JsonlSink(trace_out))
+    obs.set_trace_context(**(trace_ctx or {}))
+
+    def finish() -> None:
+        obs.set_sink(None)
+        obs.clear_trace_context()
+
+    return finish
+
+
 def _distgnn_cell(
     graph: Graph,
     partitioner: str,
@@ -115,9 +144,11 @@ def _distgnn_cell(
     obs_level: str = "off",
     cell: int = -1,
     bus_dir: Optional[str] = None,
+    trace_out: Optional[str] = None,
+    trace_ctx: Optional[Dict[str, object]] = None,
 ) -> List[DistGnnRecord]:
     """One (machines, partitioner) cell of the DistGNN grid."""
-    obs.configure(obs_level)
+    finish_obs = _cell_obs(obs_level, trace_out, trace_ctx)
     writer = _bus_writer(bus_dir) if bus_dir else None
     started = time.perf_counter()
     if writer:
@@ -125,17 +156,25 @@ def _distgnn_cell(
             cell, "distgnn", graph.name, partitioner, num_machines,
             len(grid),
         )
-    records = []
-    for index, params in enumerate(grid):
-        record = run_distgnn(
-            graph, partitioner, num_machines, params, seed, cost_model,
-            fault_config=fault_config, num_epochs=num_epochs,
-            comm_config=comm_config,
+    try:
+        obs.event("span-begin", "serve.cell", cell=cell)
+        records = []
+        for index, params in enumerate(grid):
+            record = run_distgnn(
+                graph, partitioner, num_machines, params, seed,
+                cost_model, fault_config=fault_config,
+                num_epochs=num_epochs, comm_config=comm_config,
+            )
+            records.append(record)
+            if writer:
+                writer.record_done(cell, index, record, "distgnn")
+                writer.heartbeat()
+        obs.event(
+            "span-end", "serve.cell", cell=cell,
+            seconds=round(time.perf_counter() - started, 9),
         )
-        records.append(record)
-        if writer:
-            writer.record_done(cell, index, record, "distgnn")
-            writer.heartbeat()
+    finally:
+        finish_obs()
     if writer:
         writer.cell_done(
             cell, len(records), time.perf_counter() - started
@@ -157,9 +196,11 @@ def _distdgl_cell(
     obs_level: str = "off",
     cell: int = -1,
     bus_dir: Optional[str] = None,
+    trace_out: Optional[str] = None,
+    trace_ctx: Optional[Dict[str, object]] = None,
 ) -> List[DistDglRecord]:
     """One (machines, partitioner) cell of the DistDGL grid."""
-    obs.configure(obs_level)
+    finish_obs = _cell_obs(obs_level, trace_out, trace_ctx)
     writer = _bus_writer(bus_dir) if bus_dir else None
     started = time.perf_counter()
     if writer:
@@ -167,17 +208,25 @@ def _distdgl_cell(
             cell, "distdgl", graph.name, partitioner, num_machines,
             len(grid),
         )
-    records = []
-    for index, params in enumerate(grid):
-        record = run_distdgl(
-            graph, partitioner, num_machines, params, split=split,
-            num_epochs=num_epochs, seed=seed, cost_model=cost_model,
-            fault_config=fault_config, comm_config=comm_config,
+    try:
+        obs.event("span-begin", "serve.cell", cell=cell)
+        records = []
+        for index, params in enumerate(grid):
+            record = run_distdgl(
+                graph, partitioner, num_machines, params, split=split,
+                num_epochs=num_epochs, seed=seed, cost_model=cost_model,
+                fault_config=fault_config, comm_config=comm_config,
+            )
+            records.append(record)
+            if writer:
+                writer.record_done(cell, index, record, "distdgl")
+                writer.heartbeat()
+        obs.event(
+            "span-end", "serve.cell", cell=cell,
+            seconds=round(time.perf_counter() - started, 9),
         )
-        records.append(record)
-        if writer:
-            writer.record_done(cell, index, record, "distdgl")
-            writer.heartbeat()
+    finally:
+        finish_obs()
     if writer:
         writer.cell_done(
             cell, len(records), time.perf_counter() - started

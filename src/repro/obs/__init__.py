@@ -20,6 +20,7 @@ level additionally streams structured JSONL events to a sink
 
 from .api import (
     LEVELS,
+    clear_trace_context,
     configure,
     count,
     disable,
@@ -29,12 +30,14 @@ from .api import (
     gauge,
     get_registry,
     get_sink,
+    get_trace_context,
     level,
     observe,
     record_span,
     reset,
     save_metrics,
     set_sink,
+    set_trace_context,
     snapshot,
     span,
     tracing,
@@ -47,6 +50,13 @@ from .memory import (
     reset_rss_high_water,
 )
 from .registry import Counter, Gauge, Histogram, MetricsRegistry, Timer
+from .serve_metrics import (
+    ServeMetrics,
+    histogram_quantile,
+    parse_prometheus_totals,
+    prometheus_name,
+    render_prometheus,
+)
 from .sink import EventSink, JsonlSink, MemorySink, read_jsonl
 
 __all__ = [
@@ -70,6 +80,15 @@ __all__ = [
     "record_span",
     "snapshot",
     "save_metrics",
+    "set_trace_context",
+    "get_trace_context",
+    "clear_trace_context",
+    # serve metrics
+    "ServeMetrics",
+    "histogram_quantile",
+    "render_prometheus",
+    "parse_prometheus_totals",
+    "prometheus_name",
     # catalog
     "CATALOG",
     "MetricSpec",

@@ -50,6 +50,9 @@ __all__ = [
     "record_span",
     "snapshot",
     "save_metrics",
+    "set_trace_context",
+    "get_trace_context",
+    "clear_trace_context",
 ]
 
 #: Recognised observability levels, in increasing verbosity.
@@ -60,6 +63,10 @@ _OFF, _METRICS, _TRACE = 0, 1, 2
 _level: int = _OFF
 _registry = MetricsRegistry()
 _sink: Optional[EventSink] = None
+#: Ambient trace context merged into every emitted event (e.g. the
+#: serve daemon's ``job``/``tenant`` attribution — see
+#: :func:`set_trace_context`). Empty by default.
+_context: Dict[str, object] = {}
 #: perf_counter origin for event timestamps (relative, so traces from
 #: one run are comparable regardless of process start time).
 _epoch = time.perf_counter()
@@ -137,6 +144,37 @@ def reset() -> None:
     """
     _registry.clear()
     set_sink(None)
+    clear_trace_context()
+
+
+# ----------------------------------------------------------------------
+# Trace context
+# ----------------------------------------------------------------------
+def set_trace_context(**fields: object) -> None:
+    """Merge ``fields`` into the ambient trace context.
+
+    Every subsequent :func:`event` (spans included) carries these
+    fields, so a whole execution scope can be attributed without
+    threading identifiers through every call site — the serve daemon
+    stamps ``job`` and ``tenant`` here before running a cell, and the
+    engine's phase events inherit them. Explicit event fields of the
+    same name win. A ``None`` value removes the key.
+    """
+    for key, value in fields.items():
+        if value is None:
+            _context.pop(key, None)
+        else:
+            _context[key] = value
+
+
+def get_trace_context() -> Dict[str, object]:
+    """A copy of the ambient trace context."""
+    return dict(_context)
+
+
+def clear_trace_context() -> None:
+    """Drop every ambient trace-context field."""
+    _context.clear()
 
 
 # ----------------------------------------------------------------------
@@ -177,6 +215,8 @@ def event(kind: str, name: str, /, **fields) -> None:
         "name": name,
         "t": round(time.perf_counter() - _epoch, 9),
     }
+    if _context:
+        payload.update(_context)
     payload.update(fields)
     _sink.emit(payload)
 

@@ -9,8 +9,8 @@ either — a CI gate regenerates and compares it.
 
 Naming convention: ``<subsystem>.<metric>`` with the subsystem matching
 the package that emits it (``cluster``, ``distgnn``, ``distdgl``,
-``partitioner``, ``partition_cache``, ``comm``, ``experiments``,
-``obs``).
+``partitioner``, ``partition_cache``, ``comm``, ``serve``,
+``experiments``, ``obs``).
 """
 
 from __future__ import annotations
@@ -321,6 +321,134 @@ CATALOG: Tuple[MetricSpec, ...] = (
         "comm.cache_hit_rate", "gauge", "ratio",
         "Fraction of would-be remote feature fetches served by the "
         "DistDGL static feature cache over the run.",
+    ),
+    # ---------------------------------------------------------------- serve
+    MetricSpec(
+        "serve.http_requests", "counter", "count",
+        "HTTP requests served by the daemon, labelled with the method, "
+        "the normalised route template (e.g. /jobs/{id}) and the "
+        "response status code.",
+        labels=("method", "route", "status"),
+    ),
+    MetricSpec(
+        "serve.http_request_seconds", "timer", "seconds (wall)",
+        "Wall-clock latency of each HTTP request, from dispatch to the "
+        "response being written, per normalised route.",
+        labels=("route",), buckets=_TIME_BUCKETS,
+    ),
+    MetricSpec(
+        "serve.http_inflight", "gauge", "count",
+        "Requests currently being handled (incremented at dispatch, "
+        "decremented when the response is written).",
+    ),
+    MetricSpec(
+        "serve.jobs_admitted", "counter", "count",
+        "Sweep jobs accepted by admission control, per tenant.",
+        labels=("tenant",),
+    ),
+    MetricSpec(
+        "serve.jobs_finished", "counter", "count",
+        "Jobs that reached a terminal state, labelled with that state "
+        "(done, failed, cancelled, aborted).",
+        labels=("state",),
+    ),
+    MetricSpec(
+        "serve.admission_rejected", "counter", "count",
+        "Job submissions refused at admission, by reason: queue-full "
+        "(the 429 path) or invalid-spec (the 400 path).",
+        labels=("reason",),
+    ),
+    MetricSpec(
+        "serve.queue_depth", "gauge", "count",
+        "Pending (queued, not yet running) cells per tenant and "
+        "priority class.",
+        labels=("tenant", "priority"),
+    ),
+    MetricSpec(
+        "serve.queue_depth_total", "gauge", "count",
+        "Pending cells across all tenants and priorities — the "
+        "admission-control fill level.",
+    ),
+    MetricSpec(
+        "serve.queue_capacity", "gauge", "count",
+        "The admission bound (max_pending_cells); queue_depth_total / "
+        "queue_capacity is the saturation ratio /healthz reports.",
+    ),
+    MetricSpec(
+        "serve.running_cells", "gauge", "count",
+        "Cells currently executing on runner threads.",
+    ),
+    MetricSpec(
+        "serve.cell_wait_seconds", "timer", "seconds (wall)",
+        "Queue wait per executed cell: enqueue to dispatch, by engine.",
+        labels=("engine",), buckets=_TIME_BUCKETS,
+    ),
+    MetricSpec(
+        "serve.cell_service_seconds", "timer", "seconds (wall)",
+        "Execution time per cell: dispatch to result, by engine.",
+        labels=("engine",), buckets=_TIME_BUCKETS,
+    ),
+    MetricSpec(
+        "serve.admission_to_first_record_seconds", "timer",
+        "seconds (wall)",
+        "Per job: admission (POST /jobs accepted) to the first cell "
+        "result landing — the user-visible time to first record.",
+        buckets=_TIME_BUCKETS,
+    ),
+    MetricSpec(
+        "serve.admission_to_first_record_p95_seconds", "gauge",
+        "seconds (wall)",
+        "The p95 of serve.admission_to_first_record_seconds, "
+        "interpolated from its buckets at snapshot time so threshold "
+        "alert rules can target a latency SLO directly.",
+    ),
+    MetricSpec(
+        "serve.dedup_hits", "counter", "count",
+        "Cells satisfied by an identical in-flight or cached cell "
+        "instead of fresh compute, per requesting tenant.",
+        labels=("tenant",),
+    ),
+    MetricSpec(
+        "serve.dedup_misses", "counter", "count",
+        "Cells that required fresh compute (no identical cell in "
+        "flight or cached), per requesting tenant.",
+        labels=("tenant",),
+    ),
+    MetricSpec(
+        "serve.cells_computed", "counter", "count",
+        "Cells actually executed (after dedup), by engine.",
+        labels=("engine",),
+    ),
+    MetricSpec(
+        "serve.cell_cache_size", "gauge", "count",
+        "Completed-cell results currently held by the dedup LRU.",
+    ),
+    MetricSpec(
+        "serve.cell_cache_evictions", "counter", "count",
+        "Completed-cell results evicted by the dedup LRU bound "
+        "(max_cached_cells).",
+    ),
+    MetricSpec(
+        "serve.jobs_retained", "gauge", "count",
+        "Jobs currently retained (queryable) by the scheduler.",
+    ),
+    MetricSpec(
+        "serve.job_evictions", "counter", "count",
+        "Finished jobs evicted by the retention bound "
+        "(max_finished_jobs), oldest first.",
+    ),
+    MetricSpec(
+        "serve.tenant_cells_served", "counter", "count",
+        "Cell results delivered to jobs, per tenant — fresh compute "
+        "and dedup fan-out both count, so this is each tenant's "
+        "fair-share consumption.",
+        labels=("tenant",),
+    ),
+    MetricSpec(
+        "serve.scheduler_heartbeat_age_seconds", "gauge",
+        "seconds (wall)",
+        "Seconds since a runner thread last reported alive; /healthz "
+        "degrades when this grows past a few poll intervals.",
     ),
     # --------------------------------------------------------- experiments
     MetricSpec(

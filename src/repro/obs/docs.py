@@ -54,10 +54,33 @@ _SECTION_TITLES: Dict[str, str] = {
     "distgnn": "DistGNN engine (full-batch)",
     "distdgl": "DistDGL engine (mini-batch)",
     "partitioner": "Partitioners",
+    "chunkstore": "Out-of-core chunk store",
     "partition_cache": "Partition cache",
+    "comm": "Communication reduction",
+    "serve": "Serve daemon",
     "experiments": "Experiment runner",
     "obs": "Observability layer",
 }
+
+_ENDPOINTS = """\
+## Daemon endpoints
+
+The `serve.*` metrics are collected by the `repro serve` daemon when it
+runs with `--obs-level metrics` (or `trace`) and are exposed over HTTP:
+
+| Endpoint | Content |
+|---|---|
+| `GET /metrics` | Prometheus text exposition of every `serve.*` metric below (names are mangled `serve.http_requests` → `repro_serve_http_requests`) |
+| `GET /healthz` | JSON readiness/liveness: scheduler start state, last runner-heartbeat age, queue saturation — works at every obs level |
+
+`repro obs top <url>` renders these live in a terminal;
+`repro.obs.parse_prometheus_totals` turns the exposition back into the
+`{metric-name: total}` mapping the alert-rule engine
+(`repro.obs.live.rules`) evaluates. At `--obs-level trace` the daemon
+additionally writes per-job trace JSONL (`<data-dir>/<job>/trace*.jsonl`)
+whose spans carry `job` and `tenant` fields end to end: HTTP admission →
+scheduler dispatch → engine phases.
+"""
 
 
 def _subsystem(spec: MetricSpec) -> str:
@@ -108,6 +131,8 @@ def render_metric_docs() -> str:
         lines.append("")
         lines.extend(_spec_rows(grouped[key]))
         lines.append("")
+
+    lines.append(_ENDPOINTS)
 
     bucketed = [spec for spec in CATALOG if spec.buckets]
     if bucketed:

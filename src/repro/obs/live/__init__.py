@@ -22,6 +22,10 @@ what a sweep *is doing*. Three pieces:
   :mod:`repro.obs.catalog`, with severities. ``run_full_sweep.py
   --rules FILE --abort-on critical`` evaluates them per finished cell
   and stops the sweep early when one fires at or above the bar.
+* :mod:`.top` — ``repro obs top <url>``: the same tick-driven monitor
+  shape pointed at a *serve daemon* instead of a sweep bus — polls
+  ``/healthz`` + ``/queue`` + ``/metrics`` and shows queue saturation,
+  tenant shares, dedup rate and firing SLO rules.
 """
 
 from .bus import (
@@ -35,6 +39,11 @@ from .rules import (
     SweepAborted,
     record_totals,
     severity_at_least,
+)
+from .top import (
+    fetch_status,
+    render_top_frame,
+    top_loop,
 )
 from .watch import (
     WatchState,
@@ -54,4 +63,7 @@ __all__ = [
     "WatchState",
     "render_frame",
     "watch_loop",
+    "fetch_status",
+    "render_top_frame",
+    "top_loop",
 ]

@@ -86,6 +86,26 @@ class ServeClient:
         """Liveness probe (``GET /healthz``)."""
         return self._request("GET", "/healthz")
 
+    def metrics(self) -> str:
+        """The raw Prometheus exposition text (``GET /metrics``).
+
+        Parse with
+        :func:`repro.obs.serve_metrics.parse_prometheus_totals` when
+        totals are all you need.
+        """
+        request = urllib.request.Request(
+            self.base_url + "/metrics", method="GET"
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServeError(
+                exc.code, exc.read().decode("utf-8", "replace")
+            ) from None
+
     def submit(self, spec: Mapping[str, object]) -> Dict[str, object]:
         """Submit a job spec (``POST /jobs``); returns its summary."""
         return self._request("POST", "/jobs", body=spec)

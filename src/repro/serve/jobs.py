@@ -267,6 +267,9 @@ class Job:
     error: Optional[str] = None
     bus_dir: Optional[str] = None
     created_at: float = field(default_factory=time.time)
+    #: Monotonic admission timestamp, for the admission-to-first-record
+    #: latency metric (wall-clock ``created_at`` is not duration-safe).
+    admitted_perf: float = field(default_factory=time.perf_counter)
     finished_at: Optional[float] = None
     results: List[Optional[List]] = field(default_factory=list)
     findings: List[Dict[str, object]] = field(default_factory=list)

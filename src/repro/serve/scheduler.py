@@ -45,7 +45,10 @@ from ..experiments import save_records
 from ..experiments.executor import CellExecutor, CellTask
 from ..experiments.parallel import _distdgl_cell, _distgnn_cell
 from ..graph import load_dataset, random_split
+from ..obs.api import LEVELS
 from ..obs.live import BusWriter, RuleSet, severity_at_least
+from ..obs.serve_metrics import ServeMetrics, render_prometheus
+from ..obs.sink import JsonlSink
 from .jobs import Job, SweepJobSpec
 
 __all__ = [
@@ -95,6 +98,8 @@ class _Cell:
     state: str = "pending"  # pending | running
     subscribers: List[Tuple[str, int]] = field(default_factory=list)
     wall_seconds: float = 0.0
+    enqueued_at: float = field(default_factory=time.perf_counter)
+    wait_seconds: float = 0.0
 
 
 class SweepScheduler:
@@ -113,11 +118,17 @@ class SweepScheduler:
         max_pending_cells: int = DEFAULT_MAX_PENDING_CELLS,
         max_cached_cells: int = DEFAULT_MAX_CACHED_CELLS,
         max_finished_jobs: int = DEFAULT_MAX_FINISHED_JOBS,
+        obs_level: str = "off",
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if max_pending_cells < 1:
             raise ValueError("max_pending_cells must be >= 1")
+        if obs_level not in LEVELS:
+            raise ValueError(
+                f"unknown obs level {obs_level!r}; expected one of "
+                f"{LEVELS}"
+            )
         self.workers = workers
         self.data_dir = data_dir or tempfile.mkdtemp(
             prefix="repro-serve-"
@@ -125,6 +136,24 @@ class SweepScheduler:
         self.max_pending_cells = max_pending_cells
         self.max_cached_cells = max_cached_cells
         self.max_finished_jobs = max_finished_jobs
+        self.obs_level = obs_level
+        # Daemon telemetry lives in a *private* registry (see
+        # repro.obs.serve_metrics): the inline cell path shares this
+        # process, and records' deterministic obs_metrics summaries
+        # must never absorb daemon-side series. The request log rides
+        # the sink layer as structured JSONL.
+        request_sink = None
+        if obs_level != "off":
+            os.makedirs(self.data_dir, exist_ok=True)
+            request_sink = JsonlSink(
+                os.path.join(self.data_dir, "requests.jsonl")
+            )
+        self.metrics = ServeMetrics(
+            enabled=obs_level != "off", sink=request_sink
+        )
+        #: Per-job server-side trace sinks (trace level only):
+        #: admission/dispatch span events keyed by job and tenant.
+        self._trace_sinks: Dict[str, JsonlSink] = {}
 
         self._cond = threading.Condition()
         self._jobs: "OrderedDict[str, Job]" = OrderedDict()
@@ -188,6 +217,11 @@ class SweepScheduler:
             for writer in self._buses.values():
                 writer.close()
             self._buses.clear()
+            for sink in self._trace_sinks.values():
+                sink.close()
+            self._trace_sinks.clear()
+        if wait:
+            self.metrics.close()
 
     # ------------------------------------------------------ admission
     def submit(
@@ -199,11 +233,15 @@ class SweepScheduler:
         :class:`QueueFullError` when the job's fresh cells do not fit
         the pending-cell budget — nothing is partially admitted.
         """
-        if not isinstance(spec, SweepJobSpec):
-            spec = SweepJobSpec.from_dict(spec)
-        ruleset = None
-        if spec.rules is not None:
-            ruleset = RuleSet.from_dict(spec.rules)
+        try:
+            if not isinstance(spec, SweepJobSpec):
+                spec = SweepJobSpec.from_dict(spec)
+            ruleset = None
+            if spec.rules is not None:
+                ruleset = RuleSet.from_dict(spec.rules)
+        except (ValueError, TypeError):
+            self.metrics.admission_rejected("invalid-spec")
+            raise
         # Load (and cache) the graph outside the lock: slow, read-only.
         graph = self._graph(spec)
         split = self._split(spec, graph) if spec.engine == "distdgl" else None
@@ -216,6 +254,7 @@ class SweepScheduler:
                 if key not in self._done and key not in self._cells
             )
             if self._pending_count + fresh > self.max_pending_cells:
+                self.metrics.admission_rejected("queue-full")
                 raise QueueFullError(
                     self._pending_count, self.max_pending_cells,
                     self._retry_after(),
@@ -238,12 +277,18 @@ class SweepScheduler:
             self._buses[job_id] = writer
             if ruleset is not None:
                 self._rulesets[job_id] = ruleset
+            self.metrics.job_admitted(spec.tenant)
+            if self.obs_level == "trace":
+                self._trace_sinks[job_id] = JsonlSink(
+                    os.path.join(self.data_dir, job_id, "trace.jsonl")
+                )
             cached: List[Tuple[int, Tuple]] = []
             for local, key in enumerate(keys):
                 if key in self._done:
                     self._done.move_to_end(key)
                     job.dedup_hits += 1
                     self._dedup_hits_total += 1
+                    self.metrics.dedup_hit(spec.tenant)
                     cached.append((local, key))
                 elif key in self._cells:
                     self._cells[key].subscribers.append(
@@ -251,11 +296,19 @@ class SweepScheduler:
                     )
                     job.dedup_hits += 1
                     self._dedup_hits_total += 1
+                    self.metrics.dedup_hit(spec.tenant)
                 else:
-                    self._enqueue_cell(spec, graph, split, key, local)
+                    self._enqueue_cell(
+                        spec, graph, split, key, local, job_id
+                    )
                     self._cells[key].subscribers.append(
                         (job_id, local)
                     )
+                    self.metrics.dedup_miss(spec.tenant)
+            self._trace_event(
+                job_id, "span", "serve.admission",
+                cells=len(keys), dedup_hits=job.dedup_hits,
+            )
             if any(r is None for r in job.results):
                 job.state = "running" if self._started else "queued"
             # Serve cache hits after the job is fully wired up, so a
@@ -306,18 +359,34 @@ class SweepScheduler:
             self._splits[key] = split
         return split
 
-    def _enqueue_cell(self, spec, graph, split, key, local) -> None:
-        """Create a fresh pending cell and queue it (lock held)."""
+    def _enqueue_cell(self, spec, graph, split, key, local, job_id) -> None:
+        """Create a fresh pending cell and queue it (lock held).
+
+        At trace level the cell's engine events stream to a per-cell
+        JSONL file under the *submitting* job's directory, stamped with
+        that job's ``job``/``tenant`` trace context (dedup subscribers
+        that arrive later share the computation, so attribution goes to
+        the job that caused it).
+        """
         k, name = spec.cells()[local]
         grid = list(spec.params)
         self._cell_seq += 1
+        cell_obs, trace_out, trace_ctx = "off", None, None
+        if self.obs_level == "trace":
+            cell_obs = "trace"
+            trace_out = os.path.join(
+                self.data_dir, job_id,
+                f"trace-cell-{self._cell_seq:06d}.jsonl",
+            )
+            trace_ctx = {"job": job_id, "tenant": spec.tenant}
         if spec.engine == "distgnn":
             task = CellTask(
                 index=self._cell_seq, fn=_distgnn_cell, key=key,
                 args=(
                     graph, name, k, grid, spec.seed,
                     DEFAULT_COST_MODEL, spec.fault, spec.comm,
-                    spec.num_epochs, "off", -1, None,
+                    spec.num_epochs, cell_obs, self._cell_seq, None,
+                    trace_out, trace_ctx,
                 ),
             )
         else:
@@ -326,7 +395,8 @@ class SweepScheduler:
                 args=(
                     graph, name, k, grid, split, spec.seed,
                     DEFAULT_COST_MODEL, spec.fault, spec.comm,
-                    spec.num_epochs, "off", -1, None,
+                    spec.num_epochs, cell_obs, self._cell_seq, None,
+                    trace_out, trace_ctx,
                 ),
             )
         cell = _Cell(
@@ -377,11 +447,17 @@ class SweepScheduler:
         return None
 
     def _runner_loop(self) -> None:
-        """One runner thread: pick, execute, deliver, repeat."""
+        """One runner thread: pick, execute, deliver, repeat.
+
+        Every wakeup (working or idle) refreshes the scheduler
+        heartbeat, so ``/healthz`` can report how long ago a runner
+        last proved alive.
+        """
         while True:
             with self._cond:
                 key = None
                 while not self._stop:
+                    self.metrics.heartbeat()
                     key = self._pop_next_key()
                     if key is not None:
                         break
@@ -390,8 +466,17 @@ class SweepScheduler:
                     return
                 cell = self._cells[key]
                 cell.state = "running"
+                cell.wait_seconds = max(
+                    time.perf_counter() - cell.enqueued_at, 0.0
+                )
                 self._running_count += 1
                 task = cell.task
+                for job_id, local in cell.subscribers:
+                    self._trace_event(
+                        job_id, "span-begin", "serve.dispatch",
+                        cell=local,
+                        wait_seconds=round(cell.wait_seconds, 9),
+                    )
             started = time.perf_counter()
             records = None
             error = None
@@ -415,10 +500,16 @@ class SweepScheduler:
         cell.wall_seconds = wall
         if error is None:
             self._cells_computed_total += 1
+            self.metrics.cell_finished(
+                cell.engine, cell.wait_seconds, wall
+            )
             self._done[key] = records
             self._done.move_to_end(key)
+            evicted = 0
             while len(self._done) > self.max_cached_cells:
                 self._done.popitem(last=False)
+                evicted += 1
+            self.metrics.cache_evicted(evicted)
         for job_id, local in cell.subscribers:
             if error is not None:
                 self._fail_job(job_id, error)
@@ -435,6 +526,16 @@ class SweepScheduler:
         job.results[local] = records
         job.cells_done += 1
         spec = job.spec
+        self.metrics.cell_served(spec.tenant)
+        if job.cells_done == 1:
+            self.metrics.first_record(
+                max(time.perf_counter() - job.admitted_perf, 0.0)
+            )
+        self._trace_event(
+            job_id, "span-end", "serve.dispatch",
+            cell=local, seconds=round(wall, 9),
+            records=len(records),
+        )
         k, name = spec.cells()[local]
         writer = self._buses.get(job_id)
         if writer is not None:
@@ -474,7 +575,9 @@ class SweepScheduler:
             self.data_dir, job.id, "records.json"
         )
         save_records(job.records(), records_path)
+        self.metrics.job_finished("done")
         self._close_job_bus(job.id)
+        self._close_job_trace(job.id)
         self._evict_finished()
 
     def _fail_job(self, job_id: str, error: str) -> None:
@@ -496,8 +599,10 @@ class SweepScheduler:
         job.state = state
         job.error = job.error or reason
         job.finished_at = time.time()
+        self.metrics.job_finished(state)
         self._unsubscribe(job.id)
         self._close_job_bus(job.id)
+        self._close_job_trace(job.id)
         self._evict_finished()
 
     def _unsubscribe(self, job_id: str) -> None:
@@ -521,6 +626,35 @@ class SweepScheduler:
         if writer is not None:
             writer.close()
 
+    def _close_job_trace(self, job_id: str) -> None:
+        """Flush and drop the job's server trace sink (lock held)."""
+        sink = self._trace_sinks.pop(job_id, None)
+        if sink is not None:
+            sink.close()
+
+    def _trace_event(
+        self, job_id: str, kind: str, name: str, **fields
+    ) -> None:
+        """Emit one span event to the job's server trace (lock held).
+
+        Every event carries the ``job``/``tenant`` root context, so
+        admission and dispatch spans link up with the engine spans the
+        cell processes write under the same context.
+        """
+        sink = self._trace_sinks.get(job_id)
+        if sink is None:
+            return
+        job = self._jobs.get(job_id)
+        payload: Dict[str, object] = {
+            "kind": kind,
+            "name": name,
+            "t": round(time.perf_counter(), 9),
+            "job": job_id,
+            "tenant": job.spec.tenant if job else "",
+        }
+        payload.update(fields)
+        sink.emit(payload)
+
     def _evict_finished(self) -> None:
         """Bound the finished-job store (oldest evicted first)."""
         finished = [
@@ -530,6 +664,7 @@ class SweepScheduler:
         for job_id in finished[:max(excess, 0)]:
             del self._jobs[job_id]
             self._rulesets.pop(job_id, None)
+        self.metrics.job_evicted(max(excess, 0))
 
     # ------------------------------------------------------- queries
     def get(self, job_id: str) -> Job:
@@ -589,6 +724,7 @@ class SweepScheduler:
                 "running_cells": self._running_count,
                 "max_pending_cells": self.max_pending_cells,
                 "workers": self.workers,
+                "obs_level": self.obs_level,
                 "pending_by_tenant": per_tenant,
                 "jobs_by_state": states,
                 "dedup_hits_total": self._dedup_hits_total,
@@ -596,3 +732,73 @@ class SweepScheduler:
                 "cached_cells": len(self._done),
                 "retry_after_hint": self._retry_after(),
             }
+
+    def metrics_snapshot(self) -> List[Dict[str, object]]:
+        """The daemon metrics snapshot, with state gauges refreshed.
+
+        Queue depths, cache sizes and the retained-job count are
+        scheduler state, not events — they are re-read under the lock
+        on every snapshot so the exposition always reflects reality
+        rather than the last mutation. Empty when the daemon runs with
+        observability off.
+        """
+        with self._cond:
+            depth: Dict[Tuple[str, int], int] = {}
+            for priority, tenants in self._queues.items():
+                for tenant, queue in tenants.items():
+                    live = sum(
+                        1 for key in queue
+                        if key in self._cells
+                        and self._cells[key].state == "pending"
+                    )
+                    if live:
+                        entry = (tenant, priority)
+                        depth[entry] = depth.get(entry, 0) + live
+            self.metrics.refresh_queue(
+                depth,
+                total=self._pending_count,
+                capacity=self.max_pending_cells,
+                running=self._running_count,
+                cached_cells=len(self._done),
+                jobs_retained=len(self._jobs),
+            )
+        return self.metrics.snapshot()
+
+    def metrics_exposition(self) -> str:
+        """The ``GET /metrics`` body (Prometheus text format)."""
+        if not self.metrics.enabled:
+            return (
+                "# repro-serve metrics are disabled; start the daemon "
+                "with --obs-level metrics (or trace)\n"
+            )
+        return render_prometheus(self.metrics_snapshot())
+
+    def healthz_snapshot(self) -> Dict[str, object]:
+        """The ``GET /healthz`` payload: readiness + liveness.
+
+        Works at every obs level (the heartbeat is tracked outside the
+        metric registry): reports whether the runners were started, the
+        age of the last runner heartbeat, and queue saturation — the
+        three things a supervisor needs to tell "busy" from "wedged".
+        """
+        with self._cond:
+            pending = self._pending_count
+            running = self._running_count
+            started = self._started
+        age = self.metrics.heartbeat_age()
+        return {
+            "status": "ok",
+            "started": started,
+            "workers": self.workers,
+            "obs_level": self.obs_level,
+            "uptime_seconds": round(self.metrics.uptime(), 3),
+            "scheduler_heartbeat_age_seconds": (
+                None if age is None else round(age, 3)
+            ),
+            "pending_cells": pending,
+            "running_cells": running,
+            "max_pending_cells": self.max_pending_cells,
+            "queue_saturation": round(
+                pending / self.max_pending_cells, 4
+            ),
+        }

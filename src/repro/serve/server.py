@@ -20,15 +20,25 @@ is a lab-bench daemon, not an internet service. Endpoints:
 ``GET /queue``
     Scheduler load, limits, fair-share and dedup accounting.
 ``GET /healthz``
-    Liveness probe.
+    Readiness + liveness: scheduler start state, last runner-heartbeat
+    age, and queue saturation.
+``GET /metrics``
+    Prometheus text exposition of the daemon's metrics (requires the
+    daemon to run with ``--obs-level metrics`` or ``trace``).
 ``POST /shutdown``
     Ask the daemon to exit (used by the CI smoke and tests).
+
+Every request — success or error — is timed and counted into the
+scheduler's :class:`~repro.obs.serve_metrics.ServeMetrics` under a
+normalised route template (``/jobs/{id}``, never the raw path), so
+``/metrics`` label cardinality stays bounded.
 """
 
 from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
@@ -41,13 +51,25 @@ __all__ = ["ServeHandler", "make_server", "serve_forever"]
 #: is a client bug (or abuse) and is rejected with 413.
 MAX_BODY_BYTES = 1 << 20
 
+#: Fixed single-segment routes, for route-template normalisation.
+_KNOWN_ROUTES = {
+    "healthz": "/healthz",
+    "metrics": "/metrics",
+    "queue": "/queue",
+    "jobs": "/jobs",
+    "shutdown": "/shutdown",
+}
+
 
 class ServeHandler(BaseHTTPRequestHandler):
     """Request handler translating HTTP to scheduler calls.
 
     The scheduler instance is attached to the *server* object
     (``server.scheduler``) by :func:`make_server`, so one handler class
-    serves any scheduler.
+    serves any scheduler. Every verb dispatches through
+    :meth:`_dispatch`, which times the request and feeds the daemon
+    metrics (HTTP latency histogram, per-route counters, in-flight
+    gauge) plus the structured request log.
     """
 
     server_version = "repro-serve/1.0"
@@ -55,12 +77,47 @@ class ServeHandler(BaseHTTPRequestHandler):
 
     # ----------------------------------------------------- plumbing
     def log_message(self, format: str, *args: object) -> None:
-        """Silence per-request stderr logging (tests run many)."""
+        """Route http.server's own log lines into the obs sink.
+
+        The base class prints to stderr per request, which tests and
+        the daemon's console cannot tolerate; instead the formatted
+        line becomes a structured ``http-log`` event when the daemon
+        runs with observability on, and is dropped otherwise.
+        """
+        self.scheduler.metrics.log(format % args)
 
     @property
     def scheduler(self) -> SweepScheduler:
         """The scheduler this daemon fronts."""
         return self.server.scheduler  # type: ignore[attr-defined]
+
+    def _route(self) -> str:
+        """The request path normalised to a bounded route template."""
+        path = self.path.partition("?")[0]
+        parts = [p for p in path.split("/") if p]
+        if len(parts) == 1 and parts[0] in _KNOWN_ROUTES:
+            return _KNOWN_ROUTES[parts[0]]
+        if len(parts) == 2 and parts[0] == "jobs":
+            return "/jobs/{id}"
+        return "<other>"
+
+    def _dispatch(self, handler) -> None:
+        """Run one verb handler with timing + metrics around it."""
+        metrics = self.scheduler.metrics
+        self._status = 0
+        self._tenant: Optional[str] = None
+        metrics.request_started()
+        started = time.perf_counter()
+        try:
+            handler()
+        finally:
+            metrics.request_finished(
+                self.command,
+                self._route(),
+                self._status,
+                max(time.perf_counter() - started, 0.0),
+                tenant=self._tenant,
+            )
 
     def _send_json(
         self,
@@ -69,11 +126,23 @@ class ServeHandler(BaseHTTPRequestHandler):
         headers: Optional[Tuple[Tuple[str, str], ...]] = None,
     ) -> None:
         body = json.dumps(payload, indent=2).encode("utf-8")
+        self._status = status
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         for name, value in headers or ():
             self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self._status = status
+        self.send_response(status)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
 
@@ -94,11 +163,24 @@ class ServeHandler(BaseHTTPRequestHandler):
 
     # ----------------------------------------------------- routing
     def do_GET(self) -> None:  # noqa: N802 (http.server convention)
-        """Route ``GET``: jobs, one job, queue, health."""
+        """Route ``GET``: jobs, one job, queue, health, metrics."""
+        self._dispatch(self._get)
+
+    def do_POST(self) -> None:  # noqa: N802
+        """Route ``POST``: job submission and daemon shutdown."""
+        self._dispatch(self._post)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        """Route ``DELETE``: job cancellation."""
+        self._dispatch(self._delete)
+
+    def _get(self) -> None:
         path, _, query = self.path.partition("?")
         parts = [p for p in path.split("/") if p]
         if parts == ["healthz"]:
-            self._send_json(200, {"status": "ok"})
+            self._send_json(200, self.scheduler.healthz_snapshot())
+        elif parts == ["metrics"]:
+            self._send_text(200, self.scheduler.metrics_exposition())
         elif parts == ["queue"]:
             self._send_json(200, self.scheduler.queue_snapshot())
         elif parts == ["jobs"]:
@@ -112,6 +194,7 @@ class ServeHandler(BaseHTTPRequestHandler):
             except KeyError:
                 self._error(404, f"no such job: {parts[1]}")
                 return
+            self._tenant = job.spec.tenant
             payload = job.to_dict()
             if "records=1" in query.split("&"):
                 payload["records"] = json.loads(
@@ -121,8 +204,7 @@ class ServeHandler(BaseHTTPRequestHandler):
         else:
             self._error(404, f"no such endpoint: {path}")
 
-    def do_POST(self) -> None:  # noqa: N802
-        """Route ``POST``: job submission and daemon shutdown."""
+    def _post(self) -> None:
         path = self.path.partition("?")[0]
         parts = [p for p in path.split("/") if p]
         if parts == ["shutdown"]:
@@ -145,6 +227,7 @@ class ServeHandler(BaseHTTPRequestHandler):
         if not isinstance(data, dict):
             self._error(400, "job spec must be a JSON object")
             return
+        self._tenant = str(data.get("tenant", "default"))
         try:
             job = self.scheduler.submit(data)
         except QueueFullError as exc:
@@ -158,8 +241,7 @@ class ServeHandler(BaseHTTPRequestHandler):
             return
         self._send_json(201, job.to_dict())
 
-    def do_DELETE(self) -> None:  # noqa: N802
-        """Route ``DELETE``: job cancellation."""
+    def _delete(self) -> None:
         parts = [p for p in self.path.partition("?")[0].split("/") if p]
         if len(parts) == 2 and parts[0] == "jobs":
             try:
@@ -167,6 +249,7 @@ class ServeHandler(BaseHTTPRequestHandler):
             except KeyError:
                 self._error(404, f"no such job: {parts[1]}")
                 return
+            self._tenant = job.spec.tenant
             self._send_json(200, job.to_dict())
         else:
             self._error(404, "DELETE supports /jobs/<id> only")

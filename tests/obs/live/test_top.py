@@ -1,0 +1,118 @@
+"""The daemon ops monitor: pure rendering and the injected loop."""
+
+import io
+
+from repro.obs.live import RuleSet, render_top_frame, top_loop
+
+
+def _status(**overrides):
+    status = {
+        "healthz": {
+            "status": "ok",
+            "started": True,
+            "workers": 2,
+            "obs_level": "metrics",
+            "uptime_seconds": 12.0,
+            "scheduler_heartbeat_age_seconds": 0.2,
+            "pending_cells": 3,
+            "running_cells": 1,
+            "max_pending_cells": 16,
+            "queue_saturation": 0.1875,
+        },
+        "queue": {
+            "pending_cells": 3,
+            "running_cells": 1,
+            "max_pending_cells": 16,
+            "pending_by_tenant": {"alice": 2, "bob": 1},
+            "jobs_by_state": {"running": 1, "done": 2},
+            "dedup_hits_total": 2,
+            "cells_computed_total": 6,
+            "cached_cells": 6,
+        },
+        "totals": {
+            "serve.http_requests": 40.0,
+            "serve.admission_rejected": 0.0,
+            "serve.admission_to_first_record_p95_seconds": 0.25,
+        },
+        "error": None,
+    }
+    status.update(overrides)
+    return status
+
+
+class TestRenderTopFrame:
+    def test_frame_shows_queue_tenants_and_dedup(self):
+        frame = render_top_frame(_status())
+        assert "serve: ok, workers 2, obs metrics" in frame
+        assert "queue: 3 pending / 1 running (limit 16)" in frame
+        assert "tenants pending: alice=2, bob=1" in frame
+        assert "jobs: 2 done, 1 running" in frame
+        assert "6 computed, 2 dedup hits (25% dedup rate)" in frame
+        assert "first-record p95 0.250s" in frame
+
+    def test_unreachable_daemon_frame(self):
+        frame = render_top_frame(
+            {"error": "connection refused", "healthz": {}}
+        )
+        assert frame == "daemon unreachable: connection refused\n"
+
+    def test_rules_fire_over_scraped_totals(self):
+        rules = RuleSet.from_dict({
+            "rules": [{
+                "name": "slow-first-record",
+                "kind": "threshold",
+                "metric": (
+                    "serve.admission_to_first_record_p95_seconds"
+                ),
+                "op": ">",
+                "value": 0.1,
+                "severity": "warning",
+            }],
+        })
+        frame = render_top_frame(_status(), rules=rules)
+        assert "[warning]" in frame
+        assert "slow-first-record" in frame
+        quiet = render_top_frame(
+            _status(totals={
+                "serve.admission_to_first_record_p95_seconds": 0.01,
+            }),
+            rules=rules,
+        )
+        assert "rules: none firing" in quiet
+
+
+class TestTopLoop:
+    def test_ticks_and_output(self):
+        fetches = []
+
+        def fetch():
+            fetches.append(True)
+            return _status()
+
+        slept = []
+        out = io.StringIO()
+        final = top_loop(
+            fetch, ticks=3, interval=0.5, out=out,
+            sleep=slept.append, ansi=False,
+        )
+        assert len(fetches) == 3
+        assert slept == [0.5, 0.5]
+        assert out.getvalue().count("serve: ok") == 3
+        assert final["error"] is None
+
+    def test_ansi_clear_prefix(self):
+        out = io.StringIO()
+        top_loop(
+            lambda: _status(), ticks=1, out=out,
+            sleep=lambda _: None, ansi=True,
+        )
+        assert out.getvalue().startswith("\x1b[2J\x1b[H")
+
+    def test_loop_survives_unreachable_daemon(self):
+        out = io.StringIO()
+        final = top_loop(
+            lambda: {"error": "boom", "healthz": {}},
+            ticks=2, out=out, sleep=lambda _: None, ansi=False,
+        )
+        assert final["error"] == "boom"
+        assert out.getvalue().count("daemon unreachable") == 2

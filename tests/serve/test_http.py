@@ -112,7 +112,18 @@ class TestRoundTrip:
         assert any(j["id"] == job["id"] for j in listed)
 
     def test_healthz(self, running):
-        assert running.healthz() == {"status": "ok"}
+        health = running.healthz()
+        assert health["status"] == "ok"
+        assert health["started"] is True
+        assert health["workers"] == 1
+        assert health["obs_level"] == "off"
+        assert health["max_pending_cells"] == 32
+        assert 0.0 <= health["queue_saturation"] <= 1.0
+
+    def test_metrics_disabled_daemon_says_so(self, running):
+        text = running.metrics()
+        assert text.startswith("#")
+        assert "disabled" in text
 
 
 class TestErrors:
