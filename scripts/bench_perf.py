@@ -27,6 +27,7 @@ Usage::
 
     python scripts/bench_perf.py [--out FILE] [--repeats N] [--quick]
         [--set-baseline] [--keep N] [--scale-sweep-max EDGES]
+        [--profile]
 
 ``--quick`` runs a single repeat per kernel and restricts the scale
 sweep to the fast algorithms (used by the perf gate); the committed
@@ -34,6 +35,16 @@ baseline should be produced with the default repeats and
 ``--scale-sweep-max 10000000`` so the 10^7 decade is on record.
 ``--set-baseline`` promotes this run to the retained baseline; ``--keep``
 bounds the history length (oldest entries are dropped).
+
+``--profile`` additionally captures one trimmed cProfile artifact per
+kernel (top functions by cumtime, stacks dropped) into the history
+entry's ``profiles`` section; when a later ``check_perf.py`` run trips
+a kernel gate, it diffs a fresh capture against that section to name
+the regressed functions. The hooks themselves are benchmarked
+unconditionally (``profiling_overhead``): the disabled ``profile_scope``
+checks on the hot paths are gated with the same budget as the obs
+hooks. ``repro obs trend`` reads the same history file for slow-creep
+detection (see ``docs/profiling.md``).
 """
 
 from __future__ import annotations
@@ -310,6 +321,173 @@ def bench_obs_overhead(repeats: int) -> dict:
     }
 
 
+def bench_profiling_overhead(repeats: int) -> dict:
+    """Cost of the profiling hooks on one fixed simulation cell.
+
+    Mirrors :func:`bench_obs_overhead` for the ``profile_scope`` hooks
+    compiled into the partitioner kernels, the engine epoch loops and
+    the executor cells: ``plain`` replaces the hook entry point with a
+    stub returning the shared null scope (the floor a hook-free build
+    would reach), ``off`` is the shipped default (hook present, ambient
+    capture disabled — one flag check per scope), and ``on`` runs with
+    ambient capture enabled (informational: cProfile tracing is
+    expected to be expensive; nobody gates it).
+    ``scripts/check_perf.py`` gates ``off`` against ``plain`` with the
+    same budget as the obs hooks — disabled profiling must stay within
+    a few percent so the scopes can live on the hot path permanently.
+    """
+    from repro.experiments import TrainingParams, run_distgnn
+    from repro.obs.profiling import capture as profiling
+
+    graph = load_dataset("OR", "tiny", seed=0)
+    params = TrainingParams()
+    # Same sub-timer-resolution cell as bench_obs_overhead.
+    inner = 50
+
+    def cell():
+        for _ in range(inner):
+            run_distgnn(graph, "hdrf", 4, params, seed=0)
+
+    run_distgnn(graph, "hdrf", 4, params, seed=0)  # warm partition cache
+
+    saved_scope = profiling.profile_scope
+
+    def _null_scope(name):
+        return profiling._NULL_SCOPE
+
+    def enter_plain():
+        profiling.profile_scope = _null_scope
+
+    def enter_off():
+        profiling.disable()
+
+    def enter_on():
+        profiling.enable()
+
+    def leave():
+        profiling.profile_scope = saved_scope
+        profiling.disable()  # also clears the ambient collector
+
+    variants = (
+        ("plain", enter_plain), ("off", enter_off), ("on", enter_on)
+    )
+    # Round-robin interleave, as in bench_obs_overhead: machine drift
+    # is of the same order as the flag check being measured.
+    timings = {name: float("inf") for name, _ in variants}
+    for _ in range(max(repeats, 3)):
+        for name, enter in variants:
+            enter()
+            try:
+                timings[name] = min(timings[name], _time(cell, 1))
+            finally:
+                leave()
+
+    plain = timings["plain"]
+    return {
+        "graph": "OR",
+        "scale": "tiny",
+        "k": 4,
+        "inner_repeats": inner,
+        "plain_seconds": plain,
+        "off_seconds": timings["off"],
+        "on_seconds": timings["on"],
+        "off_overhead_fraction": (
+            (timings["off"] - plain) / plain if plain > 0 else 0.0
+        ),
+        "on_overhead_fraction": (
+            (timings["on"] - plain) / plain if plain > 0 else 0.0
+        ),
+    }
+
+
+#: Functions kept per embedded kernel profile (top by cumtime).
+PROFILE_TOP_FUNCTIONS = 40
+
+_EXTENSION_FACTORIES = {
+    "fennel": FennelPartitioner,
+    "reldg": RestreamingLdgPartitioner,
+}
+
+
+def _trim_profile_dict(profile, top: int = PROFILE_TOP_FUNCTIONS) -> dict:
+    """Serialize a profile trimmed for embedding in a history entry.
+
+    Keeps the ``top`` hottest functions by cumtime and drops the
+    collapsed stacks — enough for ``profile_diff`` and hotspot tables
+    without bloating ``BENCH_partitioning.json``.
+    """
+    data = profile.to_dict()
+    data["functions"] = [
+        stat.to_dict()
+        for stat in profile.top_functions(top, key="cumtime")
+    ]
+    data["stacks"] = {}
+    data["meta"] = dict(data.get("meta") or {}, trimmed_top=top)
+    return data
+
+
+def _kernel_partitioner(name: str):
+    if name in EDGE_PARTITIONER_NAMES:
+        return make_edge_partitioner(name)
+    if name in VERTEX_PARTITIONER_NAMES:
+        return make_vertex_partitioner(name)
+    return _EXTENSION_FACTORIES[name]()
+
+
+def profile_kernel(kernel: str, graphs: dict = None):
+    """A fresh, untrimmed :class:`Profile` of one ``GRAPH/name`` kernel.
+
+    ``scripts/check_perf.py`` calls this when a kernel trips the gate,
+    then diffs the result against the baseline's embedded profile to
+    name the regressed functions.
+    """
+    from repro.obs.profiling import capture as profiling
+
+    key, name = kernel.split("/", 1)
+    graph = (graphs or {}).get(key)
+    if graph is None:
+        graph = load_dataset(key, "small", seed=0)
+    graph.undirected_edges()
+    graph.symmetric_csr()
+    graph.degrees()
+    with profiling.capture(f"kernel.{kernel}") as cap:
+        _kernel_partitioner(name).partition(graph, BENCH_K, seed=0)
+    return cap.profile
+
+
+def bench_kernel_profiles(
+    graphs: dict, top: int = PROFILE_TOP_FUNCTIONS
+) -> dict:
+    """One trimmed cProfile artifact per kernel (``--profile``).
+
+    Keys match the ``kernels`` timing section (``GRAPH/name``) so the
+    perf gate can look up the profile of whichever kernel regressed.
+    Captured separately from the timing runs — cProfile tracing slows
+    the kernels severalfold, so profiled timings would be useless.
+    """
+    from repro.obs.profiling import capture as profiling
+
+    results: dict = {}
+    for key, graph in graphs.items():
+        graph.undirected_edges()
+        graph.symmetric_csr()
+        graph.degrees()
+        names = (
+            list(EDGE_PARTITIONER_NAMES)
+            + list(VERTEX_PARTITIONER_NAMES)
+            + list(_EXTENSION_FACTORIES)
+        )
+        for name in names:
+            with profiling.capture(f"kernel.{key}/{name}") as cap:
+                _kernel_partitioner(name).partition(
+                    graph, BENCH_K, seed=0
+                )
+            results[f"{key}/{name}"] = _trim_profile_dict(
+                cap.profile, top
+            )
+    return results
+
+
 def bench_comm_codecs(repeats: int) -> dict:
     """Overhead of comm-codec bookkeeping on one fixed simulation cell.
 
@@ -478,6 +656,7 @@ def run_bench(
     repeats: int,
     scale_sweep_max: int = 10**6,
     scale_sweep_algos=None,
+    profile: bool = False,
 ) -> dict:
     graphs = {
         key: load_dataset(key, "small", seed=0) for key in DATASET_KEYS
@@ -497,11 +676,14 @@ def run_bench(
         ),
         "sampling": bench_sampling(graphs[LARGEST_GRAPH], repeats),
         "obs_overhead": bench_obs_overhead(repeats),
+        "profiling_overhead": bench_profiling_overhead(repeats),
         "comm_codecs": bench_comm_codecs(repeats),
         "scale_sweep": bench_scale_sweep(
             scale_sweep_max, scale_sweep_algos
         ),
     }
+    if profile:
+        report["profiles"] = bench_kernel_profiles(graphs)
     return report
 
 
@@ -573,6 +755,11 @@ def main(argv=None) -> int:
         help="largest out-of-core sweep decade (edges); the committed "
         "baseline run should use 10000000",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="embed a trimmed per-kernel cProfile hotspot table in "
+        "the history entry (check_perf.py diffs it on a gate failure)",
+    )
     args = parser.parse_args(argv)
     repeats = 1 if args.quick else args.repeats
     sweep_algos = SCALE_SWEEP_QUICK_ALGOS if args.quick else None
@@ -581,6 +768,7 @@ def main(argv=None) -> int:
         repeats,
         scale_sweep_max=args.scale_sweep_max,
         scale_sweep_algos=sweep_algos,
+        profile=args.profile,
     )
     timestamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
     series = append_run(
@@ -612,6 +800,18 @@ def main(argv=None) -> int:
         f"off +{overhead['off_overhead_fraction'] * 100:.1f}%, "
         f"metrics +{overhead['metrics_overhead_fraction'] * 100:.1f}%"
     )
+    prof = report["profiling_overhead"]
+    print(
+        f"profiling hooks on {prof['graph']}/{prof['scale']} "
+        f"(k={prof['k']}): plain {prof['plain_seconds']:.4f}s, "
+        f"off +{prof['off_overhead_fraction'] * 100:.1f}%, "
+        f"on +{prof['on_overhead_fraction'] * 100:.0f}%"
+    )
+    if "profiles" in report:
+        print(
+            f"kernel profiles: {len(report['profiles'])} embedded "
+            f"(top {PROFILE_TOP_FUNCTIONS} functions each)"
+        )
     slowest = sorted(
         report["kernels"].items(),
         key=lambda item: -item[1]["seconds"],

@@ -7,8 +7,19 @@ retained ``baseline`` report when the history is empty; legacy flat
 schema-1 files still work). Fails (exit code 1) when any kernel is
 more than ``--threshold`` times slower — the default 2x tolerates
 machine-to-machine variance while catching real regressions. The
-disabled observability hooks and the comm-codec bookkeeping are gated
-against tighter fractional budgets on the fresh run.
+disabled observability hooks, the disabled profiling hooks and the
+comm-codec bookkeeping are gated against tighter fractional budgets
+on the fresh run.
+
+When a kernel trips the gate, the failure is triaged at function
+level: a fresh cProfile capture of the regressed kernel is diffed
+against the baseline's embedded ``profiles`` section (written by
+``bench_perf.py --profile``) and the ranked hotspot diff is printed —
+or a fresh hotspot table when the baseline carries no profiles.
+Gated series with nothing to compare against (a baseline predating a
+section, an empty fresh section) are printed as *skipped*, so a pass
+can never silently mean "nothing was gated"; a baseline with no
+kernel timings at all fails outright.
 
 The out-of-core scale sweep is gated for *sublinearity*: for every
 algorithm whose sweep series spans at least a 100x edge-count ratio,
@@ -57,6 +68,16 @@ OBS_OFF_MAX_OVERHEAD = 0.03
 #: ...unless the absolute delta is below this floor, where the timer
 #: cannot resolve the difference anyway.
 OBS_OFF_ABS_FLOOR_SECONDS = 0.01
+
+#: Disabled ``profile_scope`` budget: the profiling hooks share the
+#: obs hooks' off-path bar — at most max(3%, 10ms) over a hook-free
+#: build, so they can live on the hot paths unconditionally.
+PROFILING_OFF_MAX_OVERHEAD = OBS_OFF_MAX_OVERHEAD
+PROFILING_OFF_ABS_FLOOR_SECONDS = OBS_OFF_ABS_FLOOR_SECONDS
+
+#: Kernel hotspot diffs printed per gate failure (the rest are listed
+#: by name only — a broad regression has one cause, not thirty).
+MAX_HOTSPOT_DIFFS = 3
 
 #: Comm-codec budget: a codec is modelled (ratio arithmetic, never a
 #: real quantisation pass), so enabling one may add at most this
@@ -121,28 +142,59 @@ def check_scale_sweep(report: dict, label: str) -> list:
     return regressions
 
 
+def skipped_sections(baseline: dict, fresh: dict) -> list:
+    """Gated series with no data to gate against — never silent.
+
+    A baseline that predates a gated section (or an empty fresh
+    section) means that series simply is not being gated this run;
+    the gate prints these so a "pass" can't silently mean "nothing
+    was compared".
+    """
+    skipped = []
+    if not baseline.get("kernels"):
+        skipped.append("kernels: baseline has no kernel timings")
+    if not baseline.get("sampling"):
+        skipped.append("sampling: baseline has no sampling benchmark")
+    for section in (
+        "obs_overhead", "profiling_overhead", "comm_codecs"
+    ):
+        if not fresh.get(section):
+            skipped.append(f"{section}: fresh run produced no data")
+    return skipped
+
+
 def compare(
     baseline: dict,
     fresh: dict,
     threshold: float,
     floor: float = MIN_GATED_SECONDS,
+    regressed_kernels: list = None,
 ) -> list:
-    """Return a list of human-readable regression descriptions."""
+    """Return a list of human-readable regression descriptions.
+
+    ``regressed_kernels``, when given, collects the ``GRAPH/name``
+    keys of kernels that tripped the ratio gate, so the caller can
+    print function-level hotspot diffs for them.
+    """
     regressions = []
 
-    def check(name: str, old: float, new: float) -> None:
+    def check(name: str, old: float, new: float) -> bool:
         if new > threshold * max(old, floor):
             regressions.append(
                 f"{name}: {old:.4f}s -> {new:.4f}s "
                 f"({new / old:.1f}x > {threshold:.1f}x threshold)"
             )
+            return True
+        return False
 
     for name, entry in baseline.get("kernels", {}).items():
         fresh_entry = fresh["kernels"].get(name)
         if fresh_entry is None:
             regressions.append(f"{name}: kernel missing from fresh run")
             continue
-        check(name, entry["seconds"], fresh_entry["seconds"])
+        if check(name, entry["seconds"], fresh_entry["seconds"]):
+            if regressed_kernels is not None:
+                regressed_kernels.append(name)
     base_sampling = baseline.get("sampling")
     if base_sampling:
         check(
@@ -169,6 +221,21 @@ def compare(
                 f"({delta / plain * 100:.1f}% > "
                 f"{OBS_OFF_MAX_OVERHEAD * 100:.0f}% budget)"
             )
+    profiling = fresh.get("profiling_overhead")
+    if profiling:
+        plain = profiling["plain_seconds"]
+        delta = profiling["off_seconds"] - plain
+        budget = max(
+            PROFILING_OFF_MAX_OVERHEAD * plain,
+            PROFILING_OFF_ABS_FLOOR_SECONDS,
+        )
+        if delta > budget:
+            regressions.append(
+                f"profiling_overhead: disabled profile_scope hooks "
+                f"cost {delta:.4f}s over the {plain:.4f}s plain run "
+                f"({delta / plain * 100:.1f}% > "
+                f"{PROFILING_OFF_MAX_OVERHEAD * 100:.0f}% budget)"
+            )
     # Gated on the fresh run only, so committed baselines that predate
     # the comm_codecs section still gate cleanly.
     codecs = fresh.get("comm_codecs")
@@ -191,6 +258,45 @@ def compare(
     return regressions
 
 
+def print_hotspot_diffs(baseline: dict, regressed_kernels: list) -> None:
+    """Function-level triage for kernels that tripped the gate.
+
+    Captures a fresh profile of each regressed kernel and diffs it
+    against the baseline's embedded ``profiles`` section (written by
+    ``bench_perf.py --profile``); a baseline without profiles still
+    gets a fresh hotspot table, so the failure is never opaque.
+    """
+    if not regressed_kernels:
+        return
+    from bench_perf import profile_kernel
+
+    from repro.obs.profiling import Profile, profile_diff, render_diff
+
+    base_profiles = baseline.get("profiles") or {}
+    for kernel in regressed_kernels[:MAX_HOTSPOT_DIFFS]:
+        try:
+            fresh_profile = profile_kernel(kernel)
+        except Exception as error:  # noqa: BLE001 - triage must not mask
+            print(f"\ncould not profile {kernel}: {error}")
+            continue
+        section = base_profiles.get(kernel)
+        if section:
+            diff = profile_diff(
+                Profile.from_dict(section), fresh_profile
+            )
+            print(f"\nhotspot diff for {kernel} (baseline -> fresh):")
+            print(render_diff(diff))
+        else:
+            print(
+                f"\nno baseline profile for {kernel} (rerun "
+                f"bench_perf.py --profile); fresh hotspots:"
+            )
+            print(fresh_profile.top_table(10))
+    rest = len(regressed_kernels) - MAX_HOTSPOT_DIFFS
+    if rest > 0:
+        print(f"\n({rest} more regressed kernels not profiled)")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -211,13 +317,28 @@ def main(argv=None) -> int:
     fresh = run_bench(
         repeats=1, scale_sweep_algos=SCALE_SWEEP_QUICK_ALGOS
     )
-    regressions = compare(baseline, fresh, args.threshold)
+    regressed_kernels: list = []
+    regressions = compare(
+        baseline, fresh, args.threshold,
+        regressed_kernels=regressed_kernels,
+    )
     regressions += check_scale_sweep(fresh, "fresh")
     regressions += check_scale_sweep(baseline, "baseline")
+
+    skipped = skipped_sections(baseline, fresh)
+    if skipped:
+        print("skipped series (no data to gate):")
+        for line in skipped:
+            print(f"  {line}")
+    if not baseline.get("kernels"):
+        print("nothing was gated: baseline has no kernel timings")
+        return 1
+
     if regressions:
         print("perf regressions detected:")
         for line in regressions:
             print(f"  {line}")
+        print_hotspot_diffs(baseline, regressed_kernels)
         return 1
     print(
         f"perf gate passed: {len(baseline.get('kernels', {}))} kernels "

@@ -15,8 +15,11 @@ fails (exit 1) unless the whole lifecycle is clean:
 6. scrape ``GET /metrics`` + ``GET /healthz`` (the daemon runs with
    ``--obs-level metrics``) and reconcile the exposed counters with
    the scheduler's own queue accounting;
-7. render one ``repro obs top --once`` frame against the live daemon;
-8. ``POST /shutdown`` and verify the daemon exits cleanly (no orphan
+7. ``POST /profile?seconds=0.2`` — the thread sampler must return a
+   ``mode="sample"`` profile and ``/healthz`` must report the
+   profiler idle again with its sample accounting intact;
+8. render one ``repro obs top --once`` frame against the live daemon;
+9. ``POST /shutdown`` and verify the daemon exits cleanly (no orphan
    workers, bus streams flushed and closed on disk).
 
 Usage::
@@ -190,6 +193,24 @@ def main() -> int:
             f"{int(totals['serve.cells_computed'])} computed, "
             f"{int(totals['serve.dedup_hits'])} dedup hits, "
             f"{int(totals['serve.http_requests'])} http requests"
+        )
+
+        profile = client.profile(seconds=0.2)
+        if profile.get("mode") != "sample":
+            _fail(f"POST /profile returned mode {profile.get('mode')!r}")
+        if float(profile.get("seconds", 0.0)) <= 0:
+            _fail("POST /profile reports a zero-length capture window")
+        health = client.healthz()
+        profiler = health.get("profiler")
+        if not isinstance(profiler, dict):
+            _fail(f"healthz reports no profiler state: {health}")
+        if profiler.get("sampling") is not False:
+            _fail(f"profiler still sampling after capture: {profiler}")
+        if int(profiler.get("samples_collected", -1)) < 0:
+            _fail(f"profiler sample accounting missing: {profiler}")
+        print(
+            "POST /profile sampled the daemon "
+            f"({int(profiler['samples_collected'])} samples collected)"
         )
 
         top = subprocess.run(

@@ -15,6 +15,7 @@ Usage::
         [--cache-fraction 0,0.5]
         [--obs-level metrics] [--obs-out sweep_obs.jsonl]
         [--bus-out BUS_DIR] [--rules rules.json] [--abort-on critical]
+        [--profile-out PROFILE_DIR]
 
 ``--quick`` restricts to the corner-covering reduced grid (the same one
 the benchmarks use). ``--workers N`` fans the (machines, partitioner)
@@ -41,6 +42,12 @@ parallel runs — and ``--obs-out`` receives a JSONL dump (trace events,
 when tracing, plus a final metrics-snapshot record from the coordinator
 process). Feed the saved sweeps to ``scripts/build_run_report.py`` for
 a consolidated markdown/JSON run report.
+
+``--profile-out DIR`` captures one deterministic cProfile artifact per
+grid cell (``profile-cell-NNNNNN.json`` — see ``docs/profiling.md``);
+render one with ``repro obs flamegraph``, compare two runs with
+``repro obs profile-diff``. Capturing disables the serial fast path so
+profiled and unprofiled sweeps still produce identical records.
 
 ``--bus-out DIR`` streams live progress events onto a telemetry bus
 (per-worker JSONL files; watch it from another terminal with
@@ -137,6 +144,11 @@ def parse_args(argv):
     parser.add_argument("--bus-out", default=None,
                         help="telemetry-bus directory: stream live "
                              "progress events for `repro obs watch`")
+    parser.add_argument("--profile-out", default=None,
+                        help="directory for per-cell cProfile artifacts "
+                             "(profile-cell-NNNNNN.json; render with "
+                             "`repro obs flamegraph`, compare with "
+                             "`repro obs profile-diff`)")
     parser.add_argument("--rules", default=None,
                         help="alert-rules JSON evaluated per finished "
                              "cell (see docs/live.md)")
@@ -284,6 +296,7 @@ def main(argv=None) -> int:
                         bus_dir=args.bus_out,
                         cell_callback=cell_callback,
                         cell_offset=cell_offset, comm_config=comm,
+                        profile_dir=args.profile_out,
                     )
                 )
                 cell_offset += len(machines) * len(EDGE_PARTITIONER_NAMES)
@@ -301,6 +314,7 @@ def main(argv=None) -> int:
                         bus_dir=args.bus_out,
                         cell_callback=cell_callback,
                         cell_offset=cell_offset, comm_config=comm,
+                        profile_dir=args.profile_out,
                     )
                 )
                 cell_offset += (

@@ -15,6 +15,10 @@ Subcommands::
     python -m repro obs dashboard RUN... -o out.html
     python -m repro obs watch     BUS_DIR           # live sweep monitor
     python -m repro obs top       http://host:8642  # live daemon ops monitor
+    python -m repro obs profile -o p.json -- distgnn --graph DI ...
+    python -m repro obs flamegraph p.json -o flame.html
+    python -m repro obs profile-diff base.json new.json
+    python -m repro obs trend --bench BENCH_partitioning.json
 
 All numbers are simulated cluster seconds under the default cost model;
 see ``repro.costmodel`` for calibration details.
@@ -809,12 +813,149 @@ def _cmd_jobs(args) -> int:
     return 0
 
 
+def _cmd_obs_profile(args) -> int:
+    import os
+
+    from .obs.profiling import capture as profiling
+    from .obs.profiling import render_flamegraph
+
+    command = list(args.profile_argv)
+    if command and command[0] == "--":
+        command = command[1:]
+    if not command:
+        print(
+            "obs profile: give a repro subcommand to profile, e.g.\n"
+            "  repro obs profile -o prof.json -- distgnn --graph DI "
+            "--partitioner hdrf -k 4"
+        )
+        return 2
+    label = args.label or " ".join(command)
+    if args.scoped:
+        profiling.enable()
+        try:
+            code = main(command)
+            profiles = profiling.drain()
+        finally:
+            profiling.disable()
+        os.makedirs(args.scoped, exist_ok=True)
+        for index, prof in enumerate(profiles):
+            slug = "".join(
+                c if c.isalnum() or c in "._-" else "-"
+                for c in prof.name
+            )
+            path = os.path.join(
+                args.scoped, f"scope-{index:04d}-{slug}.json"
+            )
+            prof.save(path)
+        print(
+            f"{len(profiles)} scoped profiles written to {args.scoped}"
+        )
+        return code
+    with profiling.capture(
+        f"cli:{command[0]}", meta={"argv": command}
+    ) as cap:
+        code = main(command)
+    prof = cap.profile
+    if prof is None:
+        print("obs profile: a capture was already active; no profile")
+        return 1
+    print(prof.top_table(args.top))
+    if args.out:
+        prof.save(args.out)
+        print(f"profile written to {args.out}")
+    if args.collapsed:
+        with open(args.collapsed, "w", encoding="utf-8") as handle:
+            handle.write(prof.collapsed())
+        print(f"collapsed stacks written to {args.collapsed}")
+    if args.flamegraph:
+        html = render_flamegraph(prof, title=f"Flamegraph: {label}")
+        with open(args.flamegraph, "w", encoding="utf-8") as handle:
+            handle.write(html)
+        print(f"flamegraph written to {args.flamegraph}")
+    return code
+
+
+def _cmd_obs_flamegraph(args) -> int:
+    from .obs.profiling import load_profile, render_flamegraph
+
+    profile = load_profile(args.profile)
+    if not profile.stacks:
+        print(
+            f"{args.profile} has no collapsed stacks (a trimmed "
+            "hotspot table?); cannot render a flamegraph"
+        )
+        return 1
+    title = args.title or f"Flamegraph: {profile.name}"
+    html = render_flamegraph(profile, title=title)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(html)
+    print(
+        f"flamegraph written to {args.out} "
+        f"({len(profile.stacks)} stacks)"
+    )
+    return 0
+
+
+def _cmd_obs_profile_diff(args) -> int:
+    from .obs.profiling import load_profile, profile_diff, render_diff
+
+    base = load_profile(args.base)
+    new = load_profile(args.new)
+    diff = profile_diff(
+        base, new,
+        threshold=args.threshold, min_seconds=args.min_seconds,
+    )
+    print(render_diff(diff, top=args.top))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(diff.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"diff written to {args.out}")
+    return 0 if diff.is_empty else 1
+
+
+def _cmd_obs_trend(args) -> int:
+    from .obs.analysis.anomaly import AnomalyThresholds
+    from .obs.profiling import (
+        TrendThresholds,
+        detect_trends,
+        extract_history_series,
+        load_bench_history,
+        render_trend_report,
+    )
+
+    history = load_bench_history(args.bench)
+    thresholds = TrendThresholds(
+        anomaly=AnomalyThresholds(z_threshold=args.z_threshold),
+        creep_ratio=args.creep_ratio,
+    )
+    findings = detect_trends(history, thresholds)
+    series = extract_history_series(history)
+    print(render_trend_report(findings, series, thresholds))
+    if args.out:
+        payload = {
+            "bench": args.bench,
+            "entries": len(history),
+            "thresholds": thresholds.to_dict(),
+            "findings": [f.to_dict() for f in findings],
+        }
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"trend report written to {args.out}")
+    return 1 if findings else 0
+
+
 _OBS_COMMANDS = {
     "analyze": _cmd_obs_analyze,
     "diff": _cmd_obs_diff,
     "dashboard": _cmd_obs_dashboard,
     "watch": _cmd_obs_watch,
     "top": _cmd_obs_top,
+    "profile": _cmd_obs_profile,
+    "flamegraph": _cmd_obs_flamegraph,
+    "profile-diff": _cmd_obs_profile_diff,
+    "trend": _cmd_obs_trend,
 }
 
 
@@ -826,7 +967,8 @@ def _add_obs_subcommands(sub) -> None:
     """Attach the ``repro obs analyze|diff|dashboard`` command group."""
     obs_parser = sub.add_parser(
         "obs",
-        help="analyze run telemetry: diagnose, diff, build a dashboard",
+        help="analyze run telemetry: diagnose, diff, dashboard, "
+             "profile, flamegraph, trend",
     )
     obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
 
@@ -956,6 +1098,101 @@ def _add_obs_subcommands(sub) -> None:
         "--summary-json", default=None,
         help="write the final fetched status (healthz/queue/totals) "
              "JSON here on exit",
+    )
+
+    profile = obs_sub.add_parser(
+        "profile",
+        help="run a repro subcommand under the deterministic cProfile "
+             "capture (see docs/profiling.md)",
+    )
+    profile.add_argument(
+        "-o", "--out", default=None,
+        help="write the normalized profile artifact JSON here",
+    )
+    profile.add_argument(
+        "--collapsed", default=None,
+        help="write flamegraph.pl-style folded stacks here",
+    )
+    profile.add_argument(
+        "--flamegraph", default=None,
+        help="write the self-contained flamegraph HTML here",
+    )
+    profile.add_argument(
+        "--top", type=int, default=15,
+        help="hotspot table rows to print (default: 15)",
+    )
+    profile.add_argument(
+        "--label", default=None,
+        help="override the flamegraph title label",
+    )
+    profile.add_argument(
+        "--scoped", default=None, metavar="DIR",
+        help="instead of one whole-command capture, enable the "
+             "ambient profile_scope hooks (partitioner kernels, "
+             "engine epochs, executor cells) and write one profile "
+             "per scope into DIR",
+    )
+    profile.add_argument(
+        "profile_argv", nargs=argparse.REMAINDER, metavar="command",
+        help="the repro subcommand to profile (prefix with --)",
+    )
+
+    flame = obs_sub.add_parser(
+        "flamegraph",
+        help="render a profile artifact as a single-file flamegraph "
+             "HTML",
+    )
+    flame.add_argument("profile", help="profile artifact JSON")
+    flame.add_argument("-o", "--out", required=True,
+                       help="output HTML path")
+    flame.add_argument("--title", default=None)
+
+    pdiff = obs_sub.add_parser(
+        "profile-diff",
+        help="function-level regression diff of two profile artifacts "
+             "(exit 1 when not clean)",
+    )
+    pdiff.add_argument("base", help="baseline profile artifact JSON")
+    pdiff.add_argument("new", help="candidate profile artifact JSON")
+    pdiff.add_argument(
+        "--threshold", type=float, default=0.10,
+        help="relative cumtime growth that flags a function "
+             "(default: 0.10)",
+    )
+    pdiff.add_argument(
+        "--min-seconds", type=float, default=0.001,
+        help="absolute cumtime growth floor in seconds "
+             "(default: 0.001)",
+    )
+    pdiff.add_argument(
+        "--top", type=int, default=15,
+        help="rows to print (default: 15)",
+    )
+    pdiff.add_argument(
+        "-o", "--out", default=None, help="write the diff JSON here"
+    )
+
+    trend = obs_sub.add_parser(
+        "trend",
+        help="MAD drift detection over the bench history: catch "
+             "multi-PR slow creep (exit 1 on findings)",
+    )
+    trend.add_argument(
+        "--bench", default="BENCH_partitioning.json",
+        help="bench history file (default: BENCH_partitioning.json)",
+    )
+    trend.add_argument(
+        "--z-threshold", type=float, default=3.5,
+        help="rolling MAD z-score threshold (default: 3.5)",
+    )
+    trend.add_argument(
+        "--creep-ratio", type=float, default=1.25,
+        help="oldest-vs-newest median ratio that flags total drift "
+             "(default: 1.25)",
+    )
+    trend.add_argument(
+        "-o", "--out", default=None,
+        help="write the trend report JSON here",
     )
 
 

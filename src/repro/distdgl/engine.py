@@ -39,6 +39,7 @@ from ..costmodel import (
 from ..gnn import default_fanouts, sample_blocks
 from ..graph import VertexSplit
 from ..obs import api as obs
+from ..obs.profiling import capture as profiling
 from ..partitioning import VertexPartition
 
 __all__ = ["DistDglEngine", "StepBreakdown", "EpochReport"]
@@ -678,17 +679,20 @@ class DistDglEngine:
     ) -> List[EpochReport]:
         """Run ``num_epochs`` epochs, optionally under a fault plan."""
         if fault_plan is None and recovery is None:
-            return [self.run_epoch() for _ in range(num_epochs)]
+            with profiling.profile_scope("distdgl.epochs"):
+                return [self.run_epoch() for _ in range(num_epochs)]
         if recovery is None:
             recovery = RecoveryPolicy()
         self.fault_summary = FaultSummary()
         self._dead_workers = set()
-        return [
-            self.run_epoch(
-                fault_plan=fault_plan, recovery=recovery, epoch_index=epoch
-            )
-            for epoch in range(num_epochs)
-        ]
+        with profiling.profile_scope("distdgl.epochs"):
+            return [
+                self.run_epoch(
+                    fault_plan=fault_plan, recovery=recovery,
+                    epoch_index=epoch,
+                )
+                for epoch in range(num_epochs)
+            ]
 
     def comm_summary(self) -> CommSummary:
         """Accumulated communication-reduction accounting.

@@ -34,6 +34,7 @@ from ..costmodel import (
     gemm_flops,
 )
 from ..obs import api as obs
+from ..obs.profiling import capture as profiling
 from ..partitioning import EdgePartition
 
 __all__ = ["DistGnnEngine", "EpochBreakdown"]
@@ -524,7 +525,10 @@ class DistGnnEngine:
         :attr:`fault_summary`.
         """
         if fault_plan is None and recovery is None:
-            return [self.simulate_epoch() for _ in range(num_epochs)]
+            with profiling.profile_scope("distgnn.epochs"):
+                return [
+                    self.simulate_epoch() for _ in range(num_epochs)
+                ]
         if fault_plan is None:
             fault_plan = FaultPlan()
         if recovery is None:

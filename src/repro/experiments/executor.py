@@ -70,13 +70,16 @@ class CellTask:
     def run(self):
         """Execute the cell inline and return its result.
 
-        The span is a shared no-op while observability is off (the
-        default), so the inline path stays inside the perf gate.
+        The span and profile scope are shared no-ops while
+        observability and profiling are off (the default), so the
+        inline path stays inside the perf gate.
         """
         from ..obs import api as obs
+        from ..obs.profiling import capture as profiling
 
         with obs.span("executor.cell"):
-            return self.fn(*self.args)
+            with profiling.profile_scope("executor.cell"):
+                return self.fn(*self.args)
 
 
 def fifo_schedule(tasks: Sequence[CellTask]) -> List[int]:

@@ -48,6 +48,7 @@ in-process in the same order.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import time
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
@@ -131,6 +132,36 @@ def _cell_obs(
     return finish
 
 
+@contextlib.contextmanager
+def _cell_profile(profile_out: Optional[str], cell: int):
+    """Capture this cell's run under cProfile, saved to ``profile_out``.
+
+    A no-op when ``profile_out`` is ``None`` (every sweep without
+    ``--profile-out`` / serve trace level). The capture is explicit —
+    independent of the ambient ``profile_scope`` switch — and crosses
+    process boundaries by riding the cell-task args, since pool
+    workers never pass through :meth:`CellTask.run`.
+    """
+    if not profile_out:
+        yield
+        return
+    from ..obs.profiling import capture as profiling
+
+    with profiling.capture(f"cell-{cell:06d}") as cap:
+        yield
+    if cap.profile is not None:
+        cap.profile.save(profile_out)
+
+
+def _profile_path(
+    profile_dir: Optional[str], cell: int
+) -> Optional[str]:
+    """The per-cell profile artifact path under ``profile_dir``."""
+    if profile_dir is None:
+        return None
+    return os.path.join(profile_dir, f"profile-cell-{cell:06d}.json")
+
+
 def _distgnn_cell(
     graph: Graph,
     partitioner: str,
@@ -146,6 +177,7 @@ def _distgnn_cell(
     bus_dir: Optional[str] = None,
     trace_out: Optional[str] = None,
     trace_ctx: Optional[Dict[str, object]] = None,
+    profile_out: Optional[str] = None,
 ) -> List[DistGnnRecord]:
     """One (machines, partitioner) cell of the DistGNN grid."""
     finish_obs = _cell_obs(obs_level, trace_out, trace_ctx)
@@ -159,16 +191,17 @@ def _distgnn_cell(
     try:
         obs.event("span-begin", "serve.cell", cell=cell)
         records = []
-        for index, params in enumerate(grid):
-            record = run_distgnn(
-                graph, partitioner, num_machines, params, seed,
-                cost_model, fault_config=fault_config,
-                num_epochs=num_epochs, comm_config=comm_config,
-            )
-            records.append(record)
-            if writer:
-                writer.record_done(cell, index, record, "distgnn")
-                writer.heartbeat()
+        with _cell_profile(profile_out, cell):
+            for index, params in enumerate(grid):
+                record = run_distgnn(
+                    graph, partitioner, num_machines, params, seed,
+                    cost_model, fault_config=fault_config,
+                    num_epochs=num_epochs, comm_config=comm_config,
+                )
+                records.append(record)
+                if writer:
+                    writer.record_done(cell, index, record, "distgnn")
+                    writer.heartbeat()
         obs.event(
             "span-end", "serve.cell", cell=cell,
             seconds=round(time.perf_counter() - started, 9),
@@ -198,6 +231,7 @@ def _distdgl_cell(
     bus_dir: Optional[str] = None,
     trace_out: Optional[str] = None,
     trace_ctx: Optional[Dict[str, object]] = None,
+    profile_out: Optional[str] = None,
 ) -> List[DistDglRecord]:
     """One (machines, partitioner) cell of the DistDGL grid."""
     finish_obs = _cell_obs(obs_level, trace_out, trace_ctx)
@@ -211,16 +245,18 @@ def _distdgl_cell(
     try:
         obs.event("span-begin", "serve.cell", cell=cell)
         records = []
-        for index, params in enumerate(grid):
-            record = run_distdgl(
-                graph, partitioner, num_machines, params, split=split,
-                num_epochs=num_epochs, seed=seed, cost_model=cost_model,
-                fault_config=fault_config, comm_config=comm_config,
-            )
-            records.append(record)
-            if writer:
-                writer.record_done(cell, index, record, "distdgl")
-                writer.heartbeat()
+        with _cell_profile(profile_out, cell):
+            for index, params in enumerate(grid):
+                record = run_distdgl(
+                    graph, partitioner, num_machines, params,
+                    split=split, num_epochs=num_epochs, seed=seed,
+                    cost_model=cost_model, fault_config=fault_config,
+                    comm_config=comm_config,
+                )
+                records.append(record)
+                if writer:
+                    writer.record_done(cell, index, record, "distdgl")
+                    writer.heartbeat()
         obs.event(
             "span-end", "serve.cell", cell=cell,
             seconds=round(time.perf_counter() - started, 9),
@@ -274,15 +310,19 @@ def run_distgnn_grid_parallel(
     cell_callback: Optional[Callable[[int, List], None]] = None,
     cell_offset: int = 0,
     comm_config: Optional[CommConfig] = None,
+    profile_dir: Optional[str] = None,
 ) -> List[DistGnnRecord]:
     """Parallel :func:`~.runner.run_distgnn_grid` (same records, same order)."""
     grid = list(grid)
     cells = [
         (k, name) for k in machine_counts for name in partitioners
     ]
+    if profile_dir is not None:
+        os.makedirs(profile_dir, exist_ok=True)
     if (
         workers is not None and workers <= 1
         and bus_dir is None and cell_callback is None
+        and profile_dir is None
     ):
         return run_distgnn_grid(
             graph, partitioners, machine_counts, grid, seed,
@@ -296,7 +336,8 @@ def run_distgnn_grid_parallel(
             args=(
                 graph, name, k, grid, seed, cost_model, fault_config,
                 comm_config, num_epochs, obs.level(),
-                cell_offset + index, bus_dir,
+                cell_offset + index, bus_dir, None, None,
+                _profile_path(profile_dir, cell_offset + index),
             ),
         )
         for index, (k, name) in enumerate(cells)
@@ -319,6 +360,7 @@ def run_distdgl_grid_parallel(
     cell_callback: Optional[Callable[[int, List], None]] = None,
     cell_offset: int = 0,
     comm_config: Optional[CommConfig] = None,
+    profile_dir: Optional[str] = None,
 ) -> List[DistDglRecord]:
     """Parallel :func:`~.runner.run_distdgl_grid` (same records, same order)."""
     if split is None:
@@ -327,9 +369,12 @@ def run_distdgl_grid_parallel(
     cells = [
         (k, name) for k in machine_counts for name in partitioners
     ]
+    if profile_dir is not None:
+        os.makedirs(profile_dir, exist_ok=True)
     if (
         workers is not None and workers <= 1
         and bus_dir is None and cell_callback is None
+        and profile_dir is None
     ):
         return run_distdgl_grid(
             graph, partitioners, machine_counts, grid,
@@ -344,7 +389,8 @@ def run_distdgl_grid_parallel(
             args=(
                 graph, name, k, grid, split, seed, cost_model,
                 fault_config, comm_config, num_epochs, obs.level(),
-                cell_offset + index, bus_dir,
+                cell_offset + index, bus_dir, None, None,
+                _profile_path(profile_dir, cell_offset + index),
             ),
         )
         for index, (k, name) in enumerate(cells)

@@ -44,6 +44,13 @@ from .api import (
 )
 from .catalog import CATALOG, MetricSpec, find_spec, metric_names
 from .docs import render_metric_docs
+from .profiling import (
+    Profile,
+    ThreadSampler,
+    profile_diff,
+    profile_scope,
+    render_flamegraph,
+)
 from .memory import (
     PeakMemoryTracker,
     read_rss_high_water,
@@ -105,6 +112,12 @@ __all__ = [
     "MemorySink",
     "JsonlSink",
     "read_jsonl",
+    # profiling
+    "Profile",
+    "ThreadSampler",
+    "profile_diff",
+    "profile_scope",
+    "render_flamegraph",
     # docs
     "render_metric_docs",
     # memory

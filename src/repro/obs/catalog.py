@@ -475,6 +475,26 @@ CATALOG: Tuple[MetricSpec, ...] = (
         "(``with obs.span(name):``), labelled with the span name.",
         labels=("span",), buckets=_TIME_BUCKETS,
     ),
+    # ----------------------------------------------------------- profiling
+    MetricSpec(
+        "profiling.captures", "counter", "count",
+        "Finished cProfile captures (explicit ``capture`` blocks and "
+        "enabled ``profile_scope`` hooks), labelled with the capture "
+        "scope name.",
+        labels=("scope",),
+    ),
+    MetricSpec(
+        "profiling.capture_seconds", "timer", "seconds (wall)",
+        "Wall-clock duration of each cProfile capture window (the "
+        "profiled block itself, tracing overhead included), per "
+        "scope.",
+        labels=("scope",), buckets=_TIME_BUCKETS,
+    ),
+    MetricSpec(
+        "profiling.samples", "counter", "count",
+        "Thread-stack snapshots folded by the serve daemon's "
+        "wall-clock sampler across POST /profile windows.",
+    ),
 )
 
 _BY_NAME: Dict[str, MetricSpec] = {spec.name: spec for spec in CATALOG}

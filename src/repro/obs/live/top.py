@@ -106,6 +106,14 @@ def render_top_frame(
         header += f", heartbeat {float(age):.1f}s ago"
     lines.append(header)
 
+    profiler = healthz.get("profiler") or {}
+    if profiler.get("sampling"):
+        lines.append(
+            "profiler: SAMPLING ACTIVE "
+            f"({int(profiler.get('samples_collected', 0))} samples "
+            "collected)"
+        )
+
     pending = int(queue.get("pending_cells", 0))
     running = int(queue.get("running_cells", 0))
     limit = int(queue.get("max_pending_cells", 0) or 0)

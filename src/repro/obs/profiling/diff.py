@@ -1,0 +1,213 @@
+"""Function-level profile comparison for perf-regression triage.
+
+:func:`profile_diff` lines two :class:`~.profile.Profile`\\ s up
+function by function and classifies every function as added, removed,
+regressed, improved or unchanged. Classification mixes one timing
+signal with one structural signal:
+
+* a function *regresses* when its cumulative time grows by more than
+  ``threshold`` (relative) **and** ``min_seconds`` (absolute) — the
+  double guard is the same shape as the perf gate's floor, so
+  microsecond jitter on trivial functions never ranks;
+* added/removed functions are structural (identity-level) changes and
+  surface whenever their cumulative time clears the ``min_seconds``
+  floor — below it they are noise, not findings (a baseline trimmed
+  to its top functions would otherwise flag every cheap helper the
+  trim dropped as "added").
+
+A profile diffed against itself is empty by construction (every delta
+is exactly zero, nothing added or removed), which is what the CI
+smoke job asserts. ``check_perf.py`` renders :func:`render_diff`
+against the baseline's stored hotspot section whenever a kernel gate
+fires, so a red gate names functions, not just a kernel.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from .profile import Profile
+
+__all__ = ["DiffEntry", "ProfileDiff", "profile_diff", "render_diff"]
+
+#: A function must grow by this fraction of its baseline cumtime ...
+DEFAULT_THRESHOLD = 0.10
+#: ... and by at least this many absolute seconds, to count as a
+#: regression (mirrors the perf gate's jitter floor).
+DEFAULT_MIN_SECONDS = 0.001
+
+
+@dataclasses.dataclass(frozen=True)
+class DiffEntry:
+    """One function's before/after comparison."""
+
+    func: str
+    status: str  # added | removed | regressed | improved | unchanged
+    base_cumtime: float
+    new_cumtime: float
+    base_ncalls: int
+    new_ncalls: int
+
+    @property
+    def delta(self) -> float:
+        """Absolute cumulative-seconds change (new minus base)."""
+        return self.new_cumtime - self.base_cumtime
+
+    @property
+    def ratio(self) -> float:
+        """Relative cumulative-time ratio (new over base)."""
+        if self.base_cumtime <= 0.0:
+            return float("inf") if self.new_cumtime > 0 else 1.0
+        return self.new_cumtime / self.base_cumtime
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view of this entry (rounded timings)."""
+        return {
+            "func": self.func,
+            "status": self.status,
+            "base_cumtime": round(self.base_cumtime, 9),
+            "new_cumtime": round(self.new_cumtime, 9),
+            "delta": round(self.delta, 9),
+            "base_ncalls": self.base_ncalls,
+            "new_ncalls": self.new_ncalls,
+        }
+
+
+@dataclasses.dataclass
+class ProfileDiff:
+    """The full comparison; ``findings`` is what a gate acts on."""
+
+    base_name: str
+    new_name: str
+    entries: List[DiffEntry]
+
+    @property
+    def findings(self) -> List[DiffEntry]:
+        """Added + regressed entries, worst first."""
+        flagged = [
+            e for e in self.entries
+            if e.status in ("added", "regressed")
+        ]
+        return sorted(
+            flagged, key=lambda e: (-e.delta, e.func)
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        """True when nothing regressed, appeared or disappeared."""
+        return not any(
+            e.status in ("added", "removed", "regressed")
+            for e in self.entries
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready diff report; unchanged entries are dropped."""
+        return {
+            "base": self.base_name,
+            "new": self.new_name,
+            "empty": self.is_empty,
+            "entries": [
+                e.to_dict() for e in self.entries
+                if e.status != "unchanged"
+            ],
+        }
+
+
+def profile_diff(
+    base: Profile,
+    new: Profile,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> ProfileDiff:
+    """Compare two profiles function by function."""
+    base_index = base.function_index()
+    new_index = new.function_index()
+    entries: List[DiffEntry] = []
+    for func in sorted(set(base_index) | set(new_index)):
+        before = base_index.get(func)
+        after = new_index.get(func)
+        if before is None:
+            assert after is not None
+            status = (
+                "added" if after.cumtime > min_seconds else "unchanged"
+            )
+            entries.append(
+                DiffEntry(
+                    func=func, status=status,
+                    base_cumtime=0.0, new_cumtime=after.cumtime,
+                    base_ncalls=0, new_ncalls=after.ncalls,
+                )
+            )
+            continue
+        if after is None:
+            status = (
+                "removed"
+                if before.cumtime > min_seconds else "unchanged"
+            )
+            entries.append(
+                DiffEntry(
+                    func=func, status=status,
+                    base_cumtime=before.cumtime, new_cumtime=0.0,
+                    base_ncalls=before.ncalls, new_ncalls=0,
+                )
+            )
+            continue
+        delta = after.cumtime - before.cumtime
+        if (
+            delta > min_seconds
+            and delta > threshold * before.cumtime
+        ):
+            status = "regressed"
+        elif (
+            -delta > min_seconds
+            and -delta > threshold * before.cumtime
+        ):
+            status = "improved"
+        else:
+            status = "unchanged"
+        entries.append(
+            DiffEntry(
+                func=func, status=status,
+                base_cumtime=before.cumtime,
+                new_cumtime=after.cumtime,
+                base_ncalls=before.ncalls,
+                new_ncalls=after.ncalls,
+            )
+        )
+    return ProfileDiff(
+        base_name=base.name, new_name=new.name, entries=entries
+    )
+
+
+def render_diff(diff: ProfileDiff, top: int = 15) -> str:
+    """Plain-text triage view: worst regressions first."""
+    lines = [f"profile diff: {diff.base_name} -> {diff.new_name}"]
+    if diff.is_empty:
+        lines.append("no function-level regressions")
+        return "\n".join(lines)
+    lines.append(
+        f"{'status':>9} {'base':>10} {'new':>10} {'delta':>10}"
+        f" {'calls':>13}  function"
+    )
+    shown = diff.findings[:top]
+    removed = [e for e in diff.entries if e.status == "removed"]
+    improved = sorted(
+        (e for e in diff.entries if e.status == "improved"),
+        key=lambda e: (e.delta, e.func),
+    )
+    for entry in shown + improved[: max(0, top - len(shown))]:
+        lines.append(
+            f"{entry.status:>9} {entry.base_cumtime:>10.4f}"
+            f" {entry.new_cumtime:>10.4f} {entry.delta:>+10.4f}"
+            f" {entry.base_ncalls:>6}->{entry.new_ncalls:<6}"
+            f" {entry.func}"
+        )
+    hidden = len(diff.findings) - len(shown)
+    if hidden > 0:
+        lines.append(f"... {hidden} more flagged functions")
+    if removed:
+        lines.append(
+            f"{len(removed)} functions removed (baseline only)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,320 @@
+"""Self-contained single-file flamegraph HTML for profile artifacts.
+
+:func:`render_flamegraph` turns one :class:`~.profile.Profile` into a
+single HTML page with inline CSS/JS and the collapsed stacks embedded
+in a ``<script type="application/json">`` block — no network
+requests, no external assets, openable from disk (the same
+conventions as the analysis dashboard). Output is deterministic:
+identical profiles render byte-identical HTML.
+
+The JS builds the frame tree client-side from the folded stacks
+(``a;b;c`` → nested frames with self + cumulative weight), lays it
+out as absolutely-positioned divs (width ∝ time share), and supports
+hover details, click-to-zoom, a substring search highlight and the
+shared light/dark theme toggle. Colors come from a small warm ramp
+hashed on the frame name so a function keeps its color across zooms
+and between two flamegraphs of the same code.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from .profile import Profile
+
+__all__ = ["render_flamegraph"]
+
+_CSS = """
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted: #898781;
+  --grid: #e1e0d9;
+  --border: rgba(11, 11, 11, 0.10);
+  --frame-text: #1d1309;
+  --match: #2a78d6;
+}
+:root[data-theme="dark"] {
+  color-scheme: dark;
+  --surface-1: #1a1a19;
+  --page: #0d0d0d;
+  --text-primary: #ffffff;
+  --text-secondary: #c3c2b7;
+  --text-muted: #898781;
+  --grid: #2c2c2a;
+  --border: rgba(255, 255, 255, 0.10);
+  --frame-text: #140d05;
+  --match: #3987e5;
+}
+@media (prefers-color-scheme: dark) {
+  :root:not([data-theme="light"]) {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted: #898781;
+    --grid: #2c2c2a;
+    --border: rgba(255, 255, 255, 0.10);
+    --frame-text: #140d05;
+    --match: #3987e5;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 24px;
+  background: var(--page); color: var(--text-primary);
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  font-size: 14px; line-height: 1.45;
+}
+main { max-width: 1200px; margin: 0 auto; }
+h1 { font-size: 20px; margin: 0 0 4px; }
+.subtitle { color: var(--text-secondary); margin: 0 0 16px; }
+.card {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 10px; padding: 16px 18px; margin: 0 0 18px;
+}
+#controls { display: flex; gap: 10px; align-items: center;
+  margin: 0 0 12px; flex-wrap: wrap; }
+#search {
+  background: var(--surface-1); color: var(--text-primary);
+  border: 1px solid var(--border); border-radius: 6px;
+  padding: 4px 10px; font-size: 13px; min-width: 220px;
+}
+button {
+  background: var(--surface-1); color: var(--text-secondary);
+  border: 1px solid var(--border); border-radius: 6px;
+  padding: 4px 10px; cursor: pointer; font-size: 12px;
+}
+#theme-toggle { float: right; }
+#flame { position: relative; width: 100%; }
+.frame {
+  position: absolute; height: 17px; overflow: hidden;
+  white-space: nowrap; font-size: 11px; line-height: 17px;
+  padding: 0 3px; border-radius: 2px; cursor: pointer;
+  color: var(--frame-text);
+  border: 1px solid var(--page);
+}
+.frame.match { outline: 2px solid var(--match); z-index: 2; }
+.frame.dim { opacity: 0.35; }
+#status { color: var(--text-muted); font-size: 12px; margin-top: 8px; }
+#tooltip {
+  position: fixed; pointer-events: none; display: none; z-index: 10;
+  background: var(--surface-1); color: var(--text-primary);
+  border: 1px solid var(--border); border-radius: 6px;
+  padding: 6px 9px; font-size: 12px; max-width: 480px;
+  box-shadow: 0 2px 10px rgba(0, 0, 0, 0.18);
+  font-variant-numeric: tabular-nums;
+}
+"""
+
+#: Warm ramp (light, dark) hashed on frame name — classic flame hues.
+_PALETTE = [
+    ("#f2a65a", "#d98a3f"),
+    ("#ef8b4f", "#cf7336"),
+    ("#f5b971", "#dd9c4e"),
+    ("#ea7a45", "#c9642f"),
+    ("#f6c98a", "#e0ac5f"),
+    ("#ec9a5e", "#cc8042"),
+]
+
+_JS = """
+'use strict';
+var data = JSON.parse(
+  document.getElementById('profile-data').textContent);
+var PALETTE = JSON.parse(
+  document.getElementById('palette-data').textContent);
+
+function isDark() {
+  var forced = document.documentElement.getAttribute('data-theme');
+  if (forced) return forced === 'dark';
+  return window.matchMedia &&
+    window.matchMedia('(prefers-color-scheme: dark)').matches;
+}
+function frameColor(name) {
+  var hash = 0;
+  for (var i = 0; i < name.length; i++) {
+    hash = ((hash << 5) - hash + name.charCodeAt(i)) | 0;
+  }
+  var slot = Math.abs(hash) % PALETTE.length;
+  return PALETTE[slot][isDark() ? 1 : 0];
+}
+
+// Build the frame tree from folded stacks.
+function newNode(name) {
+  return {name: name, value: 0, children: {}};
+}
+var root = newNode('all');
+Object.keys(data.stacks).sort().forEach(function (stack) {
+  var weight = data.stacks[stack];
+  var frames = stack.split(';');
+  var node = root;
+  root.value += weight;
+  frames.forEach(function (name) {
+    if (!node.children[name]) node.children[name] = newNode(name);
+    node = node.children[name];
+    node.value += weight;
+  });
+});
+
+var flame = document.getElementById('flame');
+var tooltip = document.getElementById('tooltip');
+var statusLine = document.getElementById('status');
+var zoomNode = root;
+var ROW = 18;
+
+function fmt(seconds) {
+  if (data.mode === 'sample') {
+    return (seconds / data.interval).toFixed(0) + ' samples';
+  }
+  return seconds.toFixed(4) + 's';
+}
+
+function depthOf(node) {
+  var max = 0;
+  Object.keys(node.children).forEach(function (key) {
+    var d = depthOf(node.children[key]) + 1;
+    if (d > max) max = d;
+  });
+  return max;
+}
+
+function render() {
+  flame.innerHTML = '';
+  var total = zoomNode.value || 1;
+  var width = flame.clientWidth || 960;
+  var query = document.getElementById('search').value.toLowerCase();
+  var matched = 0;
+  flame.style.height = ((depthOf(zoomNode) + 1) * ROW + 4) + 'px';
+  function place(node, x, depth) {
+    var w = node.value / total * width;
+    if (w < 0.4) return;
+    var div = document.createElement('div');
+    div.className = 'frame';
+    div.style.left = x + 'px';
+    div.style.top = (depth * ROW) + 'px';
+    div.style.width = Math.max(w - 1, 1) + 'px';
+    div.style.background = frameColor(node.name);
+    div.textContent = w > 28 ? node.name : '';
+    var lower = node.name.toLowerCase();
+    if (query && lower.indexOf(query) !== -1) {
+      div.className += ' match';
+      matched += node.value;
+    } else if (query) {
+      div.className += ' dim';
+    }
+    div.addEventListener('mousemove', function (evt) {
+      tooltip.textContent = node.name + ' — ' + fmt(node.value) +
+        ' (' + (node.value / (root.value || 1) * 100).toFixed(1) +
+        '% of all)';
+      tooltip.style.display = 'block';
+      var tx = Math.min(evt.clientX + 14, window.innerWidth - 490);
+      tooltip.style.left = tx + 'px';
+      tooltip.style.top = (evt.clientY + 14) + 'px';
+    });
+    div.addEventListener('mouseleave', function () {
+      tooltip.style.display = 'none';
+    });
+    div.addEventListener('click', function () {
+      zoomNode = node;
+      render();
+    });
+    flame.appendChild(div);
+    var cx = x;
+    Object.keys(node.children).sort().forEach(function (key) {
+      var child = node.children[key];
+      place(child, cx, depth + 1);
+      cx += child.value / total * width;
+    });
+  }
+  place(zoomNode, 0, 0);
+  var parts = ['total ' + fmt(root.value)];
+  if (zoomNode !== root) {
+    parts.push('zoom: ' + zoomNode.name + ' (' + fmt(zoomNode.value) +
+      ')');
+  }
+  if (query) parts.push('matched ' + fmt(matched));
+  statusLine.textContent = parts.join(' · ');
+}
+
+document.getElementById('reset').addEventListener('click', function () {
+  zoomNode = root;
+  document.getElementById('search').value = '';
+  render();
+});
+document.getElementById('search').addEventListener('input', render);
+document.getElementById('theme-toggle').addEventListener(
+  'click', function () {
+    document.documentElement.setAttribute(
+      'data-theme', isDark() ? 'light' : 'dark');
+    render();
+  });
+if (window.matchMedia) {
+  window.matchMedia('(prefers-color-scheme: dark)')
+    .addEventListener('change', render);
+}
+window.addEventListener('resize', render);
+render();
+"""
+
+
+def _embed_json(payload: object) -> str:
+    """Canonical JSON safe for inline ``<script>`` embedding."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return text.replace("</", "<\\/")
+
+
+def render_flamegraph(
+    profile: Profile, title: Optional[str] = None
+) -> str:
+    """Render one profile as a self-contained flamegraph HTML page."""
+    if title is None:
+        title = profile.name
+    payload: Dict[str, object] = {
+        "name": profile.name,
+        "mode": profile.mode,
+        "seconds": round(profile.seconds, 9),
+        "interval": float(profile.meta.get("interval", 0.01) or 0.01),
+        "stacks": {
+            k: round(v, 9) for k, v in sorted(profile.stacks.items())
+        },
+    }
+    subtitle = (
+        f"{profile.name} — {profile.mode} capture, "
+        f"{profile.seconds:.3f}s wall, "
+        f"{len(profile.stacks)} stacks"
+    )
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{title}</title>
+<style>{_CSS}</style>
+</head>
+<body>
+<main>
+  <button id="theme-toggle" type="button">light/dark</button>
+  <h1>{title}</h1>
+  <p class="subtitle">{subtitle}</p>
+  <div class="card">
+    <div id="controls">
+      <input id="search" type="search"
+             placeholder="highlight functions (substring)">
+      <button id="reset" type="button">reset zoom</button>
+    </div>
+    <div id="flame"></div>
+    <div id="status"></div>
+  </div>
+</main>
+<div id="tooltip" role="status"></div>
+<script type="application/json" id="profile-data">{_embed_json(payload)}</script>
+<script type="application/json" id="palette-data">{_embed_json(_PALETTE)}</script>
+<script>{_JS}</script>
+</body>
+</html>
+"""

@@ -1,0 +1,285 @@
+"""The normalized ``Profile`` artifact shared by every capture mode.
+
+A :class:`Profile` is what the deterministic ``cProfile`` captures
+(:mod:`.capture`), the serve daemon's wall-clock sampler
+(:mod:`.sampler`) and the artifact tooling (:mod:`.diff`,
+:mod:`.flamegraph`) all speak. It holds two views of one capture:
+
+* ``functions`` — per-function rollups (ncalls / primitive calls /
+  tottime / cumtime), the granularity :func:`~.diff.profile_diff`
+  compares; and
+* ``stacks`` — collapsed call stacks (``a;b;c`` folded keys mapping to
+  seconds), the flamegraph's input and the classic ``flamegraph.pl``
+  interchange format (:meth:`Profile.collapsed`).
+
+Determinism contract: function identifiers are *normalized* —
+filesystem paths are relativized against the repo source tree (then
+the interpreter prefix, then the cwd) and rendered with POSIX
+separators, so the same code produces the same identifiers on any
+checkout. :meth:`Profile.identity` then projects a capture onto its
+timing-free fields (the stack-key set, and per-function call counts);
+two captures of the same seeded run must have equal identities even
+though their seconds differ. Tests and the perf gate compare
+identities, never raw timings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import re
+import sys
+import sysconfig
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "FunctionStat",
+    "Profile",
+    "normalize_func",
+    "load_profile",
+    "save_profile",
+]
+
+#: Profile artifact schema version (bump on incompatible changes).
+SCHEMA = 1
+
+
+def _source_roots() -> List[str]:
+    """Path prefixes to strip, longest first, when relativizing."""
+    roots = []
+    here = os.path.dirname(os.path.abspath(__file__))
+    # .../src/repro/obs/profiling -> .../src
+    src = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    roots.append(src)
+    try:
+        stdlib = sysconfig.get_paths()["stdlib"]
+        roots.append(stdlib)
+    except (KeyError, OSError):  # pragma: no cover - exotic layouts
+        pass
+    roots.append(sys.prefix)
+    roots.append(os.getcwd())
+    return sorted({os.path.abspath(r) for r in roots}, key=len,
+                  reverse=True)
+
+
+_ROOTS = _source_roots()
+
+#: Memory addresses embedded in builtin reprs (``<built-in method
+#: __new__ of type object at 0x7f...>``) — per-process noise that must
+#: never reach a normalized identifier.
+_ADDRESS = re.compile(r" at 0x[0-9a-fA-F]+")
+
+
+def normalize_func(func: Tuple[str, int, str]) -> str:
+    """Render one ``cProfile`` function key as a stable identifier.
+
+    ``func`` is the ``(filename, lineno, name)`` triple ``pstats``
+    uses. Built-ins (filename ``~``) collapse to their bare name with
+    any embedded memory address stripped; real files become
+    ``relative/posix/path.py:lineno:name`` with the path relativized
+    against the repo source tree, the interpreter prefix or the cwd
+    (whichever matches first, longest root wins) — absolute,
+    machine-specific prefixes and per-process addresses never leak
+    into artifacts.
+    """
+    filename, lineno, name = func
+    if filename == "~" or not filename:
+        return _ADDRESS.sub("", name)
+    path = os.path.abspath(filename)
+    for root in _ROOTS:
+        if path.startswith(root + os.sep):
+            path = path[len(root) + 1:]
+            break
+    else:
+        path = os.path.basename(path)
+    return f"{path.replace(os.sep, '/')}:{lineno}:{name}"
+
+
+@dataclasses.dataclass(frozen=True)
+class FunctionStat:
+    """One function's rollup within a capture."""
+
+    func: str
+    ncalls: int
+    primitive_calls: int
+    tottime: float
+    cumtime: float
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view of this function's stats."""
+        return {
+            "func": self.func,
+            "ncalls": self.ncalls,
+            "primitive_calls": self.primitive_calls,
+            "tottime": round(self.tottime, 9),
+            "cumtime": round(self.cumtime, 9),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FunctionStat":
+        """Rebuild a stat row from its :meth:`to_dict` form."""
+        return cls(
+            func=str(data["func"]),
+            ncalls=int(data.get("ncalls", 0)),
+            primitive_calls=int(data.get("primitive_calls", 0)),
+            tottime=float(data.get("tottime", 0.0)),
+            cumtime=float(data.get("cumtime", 0.0)),
+        )
+
+
+@dataclasses.dataclass
+class Profile:
+    """A normalized capture: function rollups + collapsed stacks.
+
+    ``mode`` is ``"cprofile"`` (deterministic tracing capture) or
+    ``"sample"`` (wall-clock thread sampler); for samples the stack
+    weights are sample *counts* scaled by the sampling interval and
+    per-function stats carry counts in ``ncalls``.
+    """
+
+    name: str
+    mode: str = "cprofile"
+    seconds: float = 0.0
+    functions: List[FunctionStat] = dataclasses.field(
+        default_factory=list
+    )
+    stacks: Dict[str, float] = dataclasses.field(default_factory=dict)
+    meta: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def function_index(self) -> Dict[str, FunctionStat]:
+        """Function id -> rollup (for diffing)."""
+        return {stat.func: stat for stat in self.functions}
+
+    def top_functions(
+        self, n: int = 10, key: str = "cumtime"
+    ) -> List[FunctionStat]:
+        """The ``n`` hottest functions by ``cumtime`` or ``tottime``."""
+        if key not in ("cumtime", "tottime"):
+            raise ValueError(f"unknown sort key {key!r}")
+        ranked = sorted(
+            self.functions,
+            key=lambda s: (-getattr(s, key), s.func),
+        )
+        return ranked[:n]
+
+    def top_table(self, n: int = 10, key: str = "cumtime") -> str:
+        """Plain-text hotspot table (the ``obs profile`` terminal view)."""
+        rows = self.top_functions(n, key=key)
+        lines = [
+            f"profile {self.name} ({self.mode}, "
+            f"{self.seconds:.3f}s wall)",
+            f"{'cumtime':>10} {'tottime':>10} {'ncalls':>8}  function",
+        ]
+        for stat in rows:
+            lines.append(
+                f"{stat.cumtime:>10.4f} {stat.tottime:>10.4f} "
+                f"{stat.ncalls:>8d}  {stat.func}"
+            )
+        return "\n".join(lines)
+
+    def collapsed(self, unit: str = "usec") -> str:
+        """Folded-stack text (``a;b;c <weight>`` per line, sorted).
+
+        ``unit="usec"`` weights stacks in integer microseconds (the
+        flamegraph.pl convention); ``unit="seconds"`` keeps float
+        seconds. Line *set and order* are timing-free (sorted keys);
+        only the weights vary run to run.
+        """
+        lines = []
+        for stack in sorted(self.stacks):
+            seconds = self.stacks[stack]
+            if unit == "usec":
+                weight = str(int(round(seconds * 1e6)))
+            else:
+                weight = f"{seconds:.9f}"
+            lines.append(f"{stack} {weight}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def identity(self) -> Dict[str, object]:
+        """The timing-free projection two same-seed runs must share.
+
+        Covers the capture name/mode, the sorted collapsed-stack key
+        set, and per-function ``(func, ncalls, primitive_calls)``
+        triples — everything except wall-clock weights. ``"sample"``
+        profiles have no deterministic identity (sampling is
+        wall-clock driven); their identity covers name/mode only.
+        """
+        if self.mode != "cprofile":
+            return {"name": self.name, "mode": self.mode}
+        return {
+            "name": self.name,
+            "mode": self.mode,
+            "stacks": sorted(self.stacks),
+            "functions": sorted(
+                (s.func, s.ncalls, s.primitive_calls)
+                for s in self.functions
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON form (sorted stacks, rounded weights)."""
+        return {
+            "schema": SCHEMA,
+            "name": self.name,
+            "mode": self.mode,
+            "seconds": round(self.seconds, 9),
+            "functions": [s.to_dict() for s in self.functions],
+            "stacks": {
+                k: round(v, 9) for k, v in sorted(self.stacks.items())
+            },
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Profile":
+        """Rebuild a profile from its :meth:`to_dict` form.
+
+        Tolerates trimmed artifacts (missing stacks/meta sections).
+        """
+        return cls(
+            name=str(data.get("name", "")),
+            mode=str(data.get("mode", "cprofile")),
+            seconds=float(data.get("seconds", 0.0)),
+            functions=[
+                FunctionStat.from_dict(f)
+                for f in data.get("functions", [])
+            ],
+            stacks={
+                str(k): float(v)
+                for k, v in (data.get("stacks") or {}).items()
+            },
+            meta=dict(data.get("meta") or {}),
+        )
+
+    def save(self, path: str) -> None:
+        """Write this profile as canonical JSON (:func:`save_profile`)."""
+        save_profile(self, path)
+
+
+def save_profile(profile: Profile, path: str) -> None:
+    """Write one profile as canonical JSON (sorted keys, trailing \\n)."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(profile.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_profile(path: str) -> Profile:
+    """Load a profile artifact written by :func:`save_profile`.
+
+    Also accepts the trimmed per-target sections ``bench_perf.py
+    --profile`` embeds in history entries (functions only, no
+    stacks) — those diff fine, they just can't render a flamegraph.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    return Profile.from_dict(data)

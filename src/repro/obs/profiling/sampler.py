@@ -1,0 +1,179 @@
+"""Low-overhead wall-clock thread sampler for the serve daemon.
+
+``cProfile`` traces every call, which is fine for a bounded sweep cell
+but not for a long-lived daemon serving tenants — so ``repro serve``
+profiles itself by *sampling*: a background thread wakes every
+``interval`` seconds, snapshots every other thread's stack via
+``sys._current_frames()``, and folds the frames into collapsed-stack
+counts. Overhead is proportional to the sampling rate, not the
+request rate, and nothing is installed in the serving threads
+themselves.
+
+The sampler produces the same normalized :class:`~.profile.Profile`
+artifact as the tracing capture (``mode="sample"``, stack weights are
+``samples * interval`` pseudo-seconds), so the flamegraph and diff
+tooling apply unchanged. Sampled profiles have no determinism
+contract — they observe the wall clock by construction.
+
+``start``/``stop`` are idempotent and thread-safe (``POST /profile``
+races with shutdown in a threaded HTTP server); ``stop`` joins the
+sampling thread before returning so a finished capture never keeps
+writing.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Dict, List, Optional
+
+from .profile import FunctionStat, Profile
+
+__all__ = ["ThreadSampler"]
+
+
+def _fold_frame(frame) -> Optional[str]:
+    """Fold one thread's live stack into an ``a;b;c`` key (root first)."""
+    from .profile import normalize_func
+
+    frames: List[str] = []
+    depth = 0
+    while frame is not None and depth < 128:
+        code = frame.f_code
+        frames.append(
+            normalize_func(
+                (code.co_filename, code.co_firstlineno, code.co_name)
+            )
+        )
+        frame = frame.f_back
+        depth += 1
+    if not frames:
+        return None
+    frames.reverse()
+    return ";".join(frames)
+
+
+class ThreadSampler:
+    """Samples every live thread's stack on a fixed interval."""
+
+    def __init__(self, interval: float = 0.01) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = interval
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._counts: Dict[str, int] = {}
+        self._samples = 0
+        self._started_at = 0.0
+        self._elapsed = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin sampling; a second ``start`` while running is a no-op."""
+        with self._lock:
+            if self._thread is not None:
+                return
+            self._stop.clear()
+            self._counts = {}
+            self._samples = 0
+            self._started_at = time.perf_counter()
+            self._elapsed = 0.0
+            thread = threading.Thread(
+                target=self._run, name="repro-profiler", daemon=True
+            )
+            self._thread = thread
+        thread.start()
+
+    def stop(self) -> None:
+        """Stop sampling and join the thread; idempotent."""
+        with self._lock:
+            thread = self._thread
+            if thread is None:
+                return
+            self._stop.set()
+        thread.join(timeout=5.0)
+        with self._lock:
+            self._thread = None
+            self._elapsed = time.perf_counter() - self._started_at
+
+    @property
+    def running(self) -> bool:
+        """True while the sampling thread is alive."""
+        with self._lock:
+            return self._thread is not None
+
+    @property
+    def samples(self) -> int:
+        """Thread-stack snapshots folded so far."""
+        with self._lock:
+            return self._samples
+
+    # ------------------------------------------------------------------
+    # Sampling loop
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        own = threading.get_ident()
+        while not self._stop.wait(self.interval):
+            frames = sys._current_frames()
+            folded = []
+            for thread_id, frame in frames.items():
+                if thread_id == own:
+                    continue
+                key = _fold_frame(frame)
+                if key is not None:
+                    folded.append(key)
+            with self._lock:
+                for key in folded:
+                    self._counts[key] = self._counts.get(key, 0) + 1
+                self._samples += len(folded)
+
+    # ------------------------------------------------------------------
+    # Artifact
+    # ------------------------------------------------------------------
+    def build(self, name: str = "serve.sample") -> Profile:
+        """Fold the collected samples into a ``mode="sample"`` profile."""
+        with self._lock:
+            counts = dict(self._counts)
+            samples = self._samples
+            elapsed = self._elapsed
+            if self._thread is not None:
+                elapsed = time.perf_counter() - self._started_at
+        stacks = {
+            key: count * self.interval
+            for key, count in counts.items()
+        }
+        leaves: Dict[str, int] = {}
+        cumulative: Dict[str, int] = {}
+        for key, count in counts.items():
+            frames = key.split(";")
+            leaves[frames[-1]] = leaves.get(frames[-1], 0) + count
+            for func in set(frames):
+                cumulative[func] = cumulative.get(func, 0) + count
+        functions = sorted(
+            (
+                FunctionStat(
+                    func=func,
+                    ncalls=count,
+                    primitive_calls=count,
+                    tottime=leaves.get(func, 0) * self.interval,
+                    cumtime=count * self.interval,
+                )
+                for func, count in cumulative.items()
+            ),
+            key=lambda s: s.func,
+        )
+        return Profile(
+            name=name,
+            mode="sample",
+            seconds=elapsed,
+            functions=functions,
+            stacks=stacks,
+            meta={
+                "interval": self.interval,
+                "samples": samples,
+            },
+        )

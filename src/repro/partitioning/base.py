@@ -31,6 +31,7 @@ import numpy as np
 from ..graph import Graph
 from ..graph.chunkstore import EdgeChunkReader
 from ..obs import api as obs
+from ..obs.profiling import capture as profiling
 from .assignment import EdgePartition, VertexPartition
 from .outofcore import (
     StoreGraphView,
@@ -91,7 +92,10 @@ class EdgePartitioner(Partitioner):
         self._check_args(graph, num_partitions)
         edges = graph.undirected_edges()
         start = time.perf_counter()
-        assignment = self._assign(graph, edges, num_partitions, seed)
+        with profiling.profile_scope(f"partitioner.{self.name.lower()}"):
+            assignment = self._assign(
+                graph, edges, num_partitions, seed
+            )
         self.last_partitioning_seconds = time.perf_counter() - start
         if obs.enabled():
             obs.count("partitioner.runs", algorithm=self.name)
@@ -144,12 +148,15 @@ class EdgePartitioner(Partitioner):
         """
         self._check_stream_args(reader, num_partitions)
         start = time.perf_counter()
-        parts = [
-            assignment
-            for _, assignment in self._assign_stream(
-                reader, num_partitions, seed
-            )
-        ]
+        with profiling.profile_scope(
+            f"partitioner.{self.name.lower()}.stream"
+        ):
+            parts = [
+                assignment
+                for _, assignment in self._assign_stream(
+                    reader, num_partitions, seed
+                )
+            ]
         self.last_partitioning_seconds = time.perf_counter() - start
         assignment = (
             np.concatenate(parts)
@@ -190,7 +197,8 @@ class VertexPartitioner(Partitioner):
         """Partition the graph's vertices into ``num_partitions`` parts."""
         self._check_args(graph, num_partitions)
         start = time.perf_counter()
-        assignment = self._assign(graph, num_partitions, seed)
+        with profiling.profile_scope(f"partitioner.{self.name.lower()}"):
+            assignment = self._assign(graph, num_partitions, seed)
         self.last_partitioning_seconds = time.perf_counter() - start
         if obs.enabled():
             obs.count("partitioner.runs", algorithm=self.name)
@@ -226,7 +234,12 @@ class VertexPartitioner(Partitioner):
         """
         self._check_stream_args(reader, num_partitions)
         start = time.perf_counter()
-        assignment = self._assign_stream(reader, num_partitions, seed)
+        with profiling.profile_scope(
+            f"partitioner.{self.name.lower()}.stream"
+        ):
+            assignment = self._assign_stream(
+                reader, num_partitions, seed
+            )
         self.last_partitioning_seconds = time.perf_counter() - start
         if obs.enabled():
             obs.count("partitioner.runs", algorithm=self.name)

@@ -133,6 +133,21 @@ class ServeClient:
         """Ask the daemon to exit (``POST /shutdown``)."""
         return self._request("POST", "/shutdown")
 
+    def profile(
+        self, seconds: float = 1.0, interval: Optional[float] = None
+    ) -> Dict[str, object]:
+        """Sample the daemon's threads (``POST /profile?seconds=N``).
+
+        Blocks for the capture window and returns the profile
+        artifact dict (``mode="sample"``; feed it to ``repro obs
+        flamegraph``). Raises :class:`ServeError` with status 409
+        while another capture is running.
+        """
+        query = f"?seconds={seconds:g}"
+        if interval is not None:
+            query += f"&interval={interval:g}"
+        return self._request("POST", f"/profile{query}")
+
     def wait(
         self,
         job_id: str,

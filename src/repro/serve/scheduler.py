@@ -47,6 +47,7 @@ from ..experiments.parallel import _distdgl_cell, _distgnn_cell
 from ..graph import load_dataset, random_split
 from ..obs.api import LEVELS
 from ..obs.live import BusWriter, RuleSet, severity_at_least
+from ..obs.profiling import Profile, ThreadSampler
 from ..obs.serve_metrics import ServeMetrics, render_prometheus
 from ..obs.sink import JsonlSink
 from .jobs import Job, SweepJobSpec
@@ -177,6 +178,14 @@ class SweepScheduler:
         self._threads: List[threading.Thread] = []
         self._stop = False
         self._started = False
+        #: Wall-clock sampling profiler state (POST /profile). One
+        #: capture at a time; cumulative sample count survives capture
+        #: windows so /healthz can report profiler activity at every
+        #: obs level (tracked outside the metric registry, like the
+        #: heartbeat).
+        self._profiler_lock = threading.Lock()
+        self._sampler: Optional[ThreadSampler] = None
+        self._samples_collected = 0
 
     # ------------------------------------------------------ lifecycle
     def start(self) -> None:
@@ -372,11 +381,16 @@ class SweepScheduler:
         grid = list(spec.params)
         self._cell_seq += 1
         cell_obs, trace_out, trace_ctx = "off", None, None
+        profile_out = None
         if self.obs_level == "trace":
             cell_obs = "trace"
             trace_out = os.path.join(
                 self.data_dir, job_id,
                 f"trace-cell-{self._cell_seq:06d}.jsonl",
+            )
+            profile_out = os.path.join(
+                self.data_dir, job_id,
+                f"profile-cell-{self._cell_seq:06d}.json",
             )
             trace_ctx = {"job": job_id, "tenant": spec.tenant}
         if spec.engine == "distgnn":
@@ -386,7 +400,7 @@ class SweepScheduler:
                     graph, name, k, grid, spec.seed,
                     DEFAULT_COST_MODEL, spec.fault, spec.comm,
                     spec.num_epochs, cell_obs, self._cell_seq, None,
-                    trace_out, trace_ctx,
+                    trace_out, trace_ctx, profile_out,
                 ),
             )
         else:
@@ -396,7 +410,7 @@ class SweepScheduler:
                     graph, name, k, grid, split, spec.seed,
                     DEFAULT_COST_MODEL, spec.fault, spec.comm,
                     spec.num_epochs, cell_obs, self._cell_seq, None,
-                    trace_out, trace_ctx,
+                    trace_out, trace_ctx, profile_out,
                 ),
             )
         cell = _Cell(
@@ -801,4 +815,55 @@ class SweepScheduler:
             "queue_saturation": round(
                 pending / self.max_pending_cells, 4
             ),
+            "profiler": self.profiler_state(),
         }
+
+    # ------------------------------------------------------ profiling
+    def profiler_state(self) -> Dict[str, object]:
+        """Profiler readiness for /healthz: active flag + samples.
+
+        ``samples_collected`` is cumulative across capture windows;
+        while a capture runs it additionally includes the in-flight
+        window's samples so a watcher sees the count move.
+        """
+        with self._profiler_lock:
+            sampler = self._sampler
+            collected = self._samples_collected
+        if sampler is not None:
+            collected += sampler.samples
+        return {
+            "sampling": sampler is not None,
+            "samples_collected": collected,
+        }
+
+    def profile(
+        self, seconds: float, interval: float = 0.01
+    ) -> Profile:
+        """Sample every daemon thread for ``seconds``; one at a time.
+
+        Blocks the calling (HTTP handler) thread for the capture
+        window — the ThreadingHTTPServer keeps serving meanwhile —
+        and returns the folded ``mode="sample"`` profile. Raises
+        :class:`RuntimeError` when a capture is already running
+        (mapped to 409 by the server).
+        """
+        if seconds <= 0:
+            raise ValueError("seconds must be positive")
+        sampler = ThreadSampler(interval=interval)
+        with self._profiler_lock:
+            if self._sampler is not None:
+                raise RuntimeError(
+                    "a profiling capture is already running"
+                )
+            self._sampler = sampler
+        try:
+            sampler.start()
+            time.sleep(seconds)
+            sampler.stop()
+            profile = sampler.build("serve.sample")
+        finally:
+            sampler.stop()
+            with self._profiler_lock:
+                self._samples_collected += sampler.samples
+                self._sampler = None
+        return profile

@@ -58,6 +58,7 @@ _KNOWN_ROUTES = {
     "queue": "/queue",
     "jobs": "/jobs",
     "shutdown": "/shutdown",
+    "profile": "/profile",
 }
 
 
@@ -205,13 +206,16 @@ class ServeHandler(BaseHTTPRequestHandler):
             self._error(404, f"no such endpoint: {path}")
 
     def _post(self) -> None:
-        path = self.path.partition("?")[0]
+        path, _, query = self.path.partition("?")
         parts = [p for p in path.split("/") if p]
         if parts == ["shutdown"]:
             self._send_json(200, {"status": "shutting down"})
             threading.Thread(
                 target=self.server.shutdown, daemon=True
             ).start()
+            return
+        if parts == ["profile"]:
+            self._profile(query)
             return
         if parts != ["jobs"]:
             self._error(404, f"no such endpoint: {path}")
@@ -240,6 +244,38 @@ class ServeHandler(BaseHTTPRequestHandler):
             self._error(400, str(exc))
             return
         self._send_json(201, job.to_dict())
+
+    def _profile(self, query: str) -> None:
+        """``POST /profile?seconds=N[&interval=I]``: sample the daemon.
+
+        Blocks this handler thread for the capture window (the
+        threading server keeps serving other requests) and returns
+        the folded sample profile as JSON. 409 while another capture
+        is running; seconds is clamped to (0, 60].
+        """
+        params = {}
+        for pair in query.split("&"):
+            key, _, value = pair.partition("=")
+            if key:
+                params[key] = value
+        try:
+            seconds = float(params.get("seconds", 1.0))
+            interval = float(params.get("interval", 0.01))
+        except ValueError:
+            self._error(400, "seconds/interval must be numbers")
+            return
+        if not 0.0 < seconds <= 60.0:
+            self._error(400, "seconds must be in (0, 60]")
+            return
+        if not 0.0 < interval <= 1.0:
+            self._error(400, "interval must be in (0, 1]")
+            return
+        try:
+            profile = self.scheduler.profile(seconds, interval)
+        except RuntimeError as exc:
+            self._error(409, str(exc))
+            return
+        self._send_json(200, profile.to_dict())
 
     def _delete(self) -> None:
         parts = [p for p in self.path.partition("?")[0].split("/") if p]

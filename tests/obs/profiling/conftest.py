@@ -1,0 +1,14 @@
+"""Fixtures for profiling tests: isolate the ambient capture state."""
+
+import pytest
+
+from repro.obs.profiling import capture as profiling
+
+
+@pytest.fixture(autouse=True)
+def clean_profiling_state():
+    """Every test starts and ends with ambient profiling off and
+    the collector empty (``disable`` clears it)."""
+    profiling.disable()
+    yield
+    profiling.disable()

@@ -1,0 +1,165 @@
+"""CLI round-trips: obs profile / flamegraph / profile-diff / trend."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.profiling import load_profile
+
+
+def run(argv, capsys):
+    code = main(argv)
+    return code, capsys.readouterr().out
+
+
+@pytest.fixture
+def profile_json(tmp_path, capsys):
+    """One captured profile of a fast command, as a saved artifact."""
+    path = tmp_path / "profile.json"
+    code, out = run(
+        ["obs", "profile", "-o", str(path), "--top", "3",
+         "--", "datasets"],
+        capsys,
+    )
+    assert code == 0
+    return str(path)
+
+
+class TestObsProfile:
+    def test_prints_hotspot_table_and_saves(self, profile_json, capsys):
+        profile = load_profile(profile_json)
+        assert profile.mode == "cprofile"
+        assert profile.name == "cli:datasets"
+        assert profile.functions and profile.stacks
+
+    def test_collapsed_and_flamegraph_outputs(self, tmp_path, capsys):
+        collapsed = tmp_path / "stacks.txt"
+        flame = tmp_path / "flame.html"
+        code, out = run(
+            ["obs", "profile", "--collapsed", str(collapsed),
+             "--flamegraph", str(flame), "--", "datasets"],
+            capsys,
+        )
+        assert code == 0
+        lines = collapsed.read_text().strip().splitlines()
+        assert lines == sorted(lines)
+        assert all(" " in line for line in lines)
+        assert flame.read_text().startswith("<!DOCTYPE html>")
+
+    def test_no_command_is_usage_error(self, capsys):
+        code, out = run(["obs", "profile"], capsys)
+        assert code == 2
+        assert "give a repro subcommand" in out
+
+    def test_scoped_mode_writes_ambient_profiles(
+        self, tmp_path, capsys
+    ):
+        scoped = tmp_path / "scopes"
+        code, out = run(
+            ["obs", "profile", "--scoped", str(scoped), "--",
+             "partition", "--graph", "OR", "--scale", "tiny",
+             "--cut", "vertex-cut", "--algorithm", "dbh", "-k", "4"],
+            capsys,
+        )
+        assert code == 0
+        names = sorted(p.name for p in scoped.iterdir())
+        assert any("partitioner.dbh" in n for n in names)
+        for name in names:
+            loaded = load_profile(str(scoped / name))
+            assert loaded.mode == "cprofile"
+
+
+class TestObsFlamegraph:
+    def test_renders_from_artifact(self, profile_json, tmp_path, capsys):
+        out_path = tmp_path / "flame.html"
+        code, out = run(
+            ["obs", "flamegraph", profile_json, "-o", str(out_path)],
+            capsys,
+        )
+        assert code == 0
+        assert "profile-data" in out_path.read_text()
+
+    def test_stackless_artifact_is_an_error(self, tmp_path, capsys):
+        data = {"schema": 1, "name": "trimmed", "mode": "cprofile",
+                "seconds": 0.1, "functions": [], "stacks": {}}
+        path = tmp_path / "trimmed.json"
+        path.write_text(json.dumps(data))
+        code, out = run(
+            ["obs", "flamegraph", str(path),
+             "-o", str(tmp_path / "f.html")],
+            capsys,
+        )
+        assert code == 1
+        assert "no collapsed stacks" in out
+
+
+class TestObsProfileDiff:
+    def test_self_diff_is_clean_exit_zero(self, profile_json, capsys):
+        code, out = run(
+            ["obs", "profile-diff", profile_json, profile_json],
+            capsys,
+        )
+        assert code == 0
+        assert "no function-level regressions" in out
+
+    def test_regression_exits_one(self, profile_json, tmp_path, capsys):
+        data = json.loads(open(profile_json).read())
+        for entry in data["functions"]:
+            entry["cumtime"] = entry["cumtime"] * 10 + 0.05
+        slower = tmp_path / "slower.json"
+        slower.write_text(json.dumps(data))
+        report = tmp_path / "diff.json"
+        code, out = run(
+            ["obs", "profile-diff", profile_json, str(slower),
+             "-o", str(report)],
+            capsys,
+        )
+        assert code == 1
+        assert "regressed" in out
+        payload = json.loads(report.read_text())
+        assert payload["empty"] is False
+
+
+class TestObsTrend:
+    @staticmethod
+    def _history(path, kernel_values):
+        entries = [
+            {"kernels": {"OR/hdrf": {"seconds": value}}}
+            for value in kernel_values
+        ]
+        path.write_text(json.dumps(
+            {"schema": 2, "baseline": entries[0], "history": entries}
+        ))
+
+    def test_flat_history_exits_zero(self, tmp_path, capsys):
+        bench = tmp_path / "bench.json"
+        self._history(bench, [0.1] * 8)
+        out_path = tmp_path / "trend.json"
+        code, out = run(
+            ["obs", "trend", "--bench", str(bench),
+             "-o", str(out_path)],
+            capsys,
+        )
+        assert code == 0
+        assert "no drift or anomalies detected" in out
+        assert json.loads(out_path.read_text())["findings"] == []
+
+    def test_slow_creep_exits_one(self, tmp_path, capsys):
+        bench = tmp_path / "bench.json"
+        self._history(bench, [0.1 * (1.1 ** i) for i in range(8)])
+        code, out = run(
+            ["obs", "trend", "--bench", str(bench)], capsys
+        )
+        assert code == 1
+        assert "perf-drift" in out
+
+    def test_creep_ratio_knob(self, tmp_path, capsys):
+        bench = tmp_path / "bench.json"
+        self._history(bench, [0.1 * (1.1 ** i) for i in range(8)])
+        code, out = run(
+            ["obs", "trend", "--bench", str(bench),
+             "--creep-ratio", "10"],
+            capsys,
+        )
+        assert code == 0

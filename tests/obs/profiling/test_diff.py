@@ -1,0 +1,97 @@
+"""Function-level profile diffs on synthetic profiles."""
+
+from repro.obs.profiling import (
+    FunctionStat,
+    Profile,
+    profile_diff,
+    render_diff,
+)
+
+
+def _profile(funcs, name="p"):
+    """``funcs`` maps func id -> (ncalls, cumtime)."""
+    return Profile(
+        name=name,
+        functions=[
+            FunctionStat(func, ncalls, ncalls, cumtime / 2, cumtime)
+            for func, (ncalls, cumtime) in funcs.items()
+        ],
+    )
+
+
+BASE = {"a.py:1:f": (10, 0.100), "a.py:9:g": (5, 0.050)}
+
+
+class TestClassification:
+    def test_self_diff_is_empty(self):
+        diff = profile_diff(_profile(BASE), _profile(BASE))
+        assert diff.is_empty
+        assert diff.findings == []
+        assert "no function-level regressions" in render_diff(diff)
+
+    def test_regression_needs_both_guards(self):
+        # +5% is under the 10% relative threshold: unchanged.
+        small = dict(BASE, **{"a.py:1:f": (10, 0.105)})
+        assert profile_diff(_profile(BASE), _profile(small)).is_empty
+        # +50% over both guards: regressed.
+        big = dict(BASE, **{"a.py:1:f": (10, 0.150)})
+        diff = profile_diff(_profile(BASE), _profile(big))
+        assert [e.func for e in diff.findings] == ["a.py:1:f"]
+        assert diff.findings[0].status == "regressed"
+
+    def test_improvement_is_not_a_finding(self):
+        faster = dict(BASE, **{"a.py:1:f": (10, 0.050)})
+        diff = profile_diff(_profile(BASE), _profile(faster))
+        assert diff.is_empty
+        statuses = {e.func: e.status for e in diff.entries}
+        assert statuses["a.py:1:f"] == "improved"
+
+    def test_added_function_flagged_above_floor(self):
+        grown = dict(BASE, **{"b.py:2:h": (1, 0.030)})
+        diff = profile_diff(_profile(BASE), _profile(grown))
+        assert not diff.is_empty
+        assert [e.func for e in diff.findings] == ["b.py:2:h"]
+        assert diff.findings[0].status == "added"
+
+    def test_added_function_below_floor_is_noise(self):
+        grown = dict(BASE, **{"b.py:2:h": (1, 0.0005)})
+        diff = profile_diff(_profile(BASE), _profile(grown))
+        assert diff.is_empty
+
+    def test_removed_function_breaks_emptiness(self):
+        shrunk = {"a.py:1:f": BASE["a.py:1:f"]}
+        diff = profile_diff(_profile(BASE), _profile(shrunk))
+        assert not diff.is_empty
+        # ...but removals are not findings (nothing got slower).
+        assert diff.findings == []
+        assert "removed" in render_diff(diff)
+
+    def test_removed_below_floor_is_noise(self):
+        base = dict(BASE, **{"tiny.py:1:t": (1, 0.0004)})
+        diff = profile_diff(_profile(base), _profile(BASE))
+        assert diff.is_empty
+
+
+class TestRanking:
+    def test_findings_worst_first(self):
+        worse = {
+            "a.py:1:f": (10, 0.200),  # +0.100
+            "a.py:9:g": (5, 0.080),   # +0.030
+        }
+        diff = profile_diff(_profile(BASE), _profile(worse))
+        assert [e.func for e in diff.findings] == [
+            "a.py:1:f", "a.py:9:g",
+        ]
+        assert diff.findings[0].delta > diff.findings[1].delta
+
+    def test_render_lists_flagged_functions(self):
+        worse = dict(BASE, **{"a.py:1:f": (10, 0.300)})
+        text = render_diff(profile_diff(_profile(BASE), _profile(worse)))
+        assert "regressed" in text
+        assert "a.py:1:f" in text
+
+    def test_to_dict_drops_unchanged(self):
+        worse = dict(BASE, **{"a.py:1:f": (10, 0.300)})
+        data = profile_diff(_profile(BASE), _profile(worse)).to_dict()
+        assert data["empty"] is False
+        assert {e["func"] for e in data["entries"]} == {"a.py:1:f"}

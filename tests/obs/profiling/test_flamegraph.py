@@ -1,0 +1,83 @@
+"""Flamegraph HTML: self-contained, well-formed, deterministic."""
+
+import json
+import re
+
+from repro.obs.profiling import (
+    FunctionStat,
+    Profile,
+    render_flamegraph,
+)
+
+
+def _profile():
+    return Profile(
+        name="cell-000000",
+        mode="cprofile",
+        seconds=0.5,
+        functions=[FunctionStat("a.py:1:f", 1, 1, 0.1, 0.5)],
+        stacks={
+            "a.py:1:f": 0.1,
+            "a.py:1:f;a.py:9:g": 0.3,
+            "a.py:1:f;</script>evil": 0.1,
+        },
+    )
+
+
+def _payload(html: str) -> dict:
+    match = re.search(
+        r'<script type="application/json" id="profile-data">(.*?)'
+        r"</script>",
+        html,
+        re.S,
+    )
+    assert match, "embedded profile payload missing"
+    return json.loads(match.group(1).replace("<\\/", "</"))
+
+
+class TestWellFormed:
+    def test_single_self_contained_document(self):
+        html = render_flamegraph(_profile())
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<script src=" not in html  # no network dependencies
+        assert 'href="http' not in html
+
+    def test_embedded_payload_round_trips(self):
+        payload = _payload(render_flamegraph(_profile()))
+        assert payload["name"] == "cell-000000"
+        assert payload["mode"] == "cprofile"
+        assert set(payload["stacks"]) == set(_profile().stacks)
+
+    def test_script_closers_escaped(self):
+        html = render_flamegraph(_profile())
+        # The raw "</script>" inside a stack key must not terminate
+        # the JSON block early: exactly one profile-data block.
+        assert html.count('id="profile-data"') == 1
+        assert _payload(html)  # still parses
+
+    def test_title_defaults_to_profile_name(self):
+        assert "<title>cell-000000" in render_flamegraph(_profile())
+        assert "<title>custom" in render_flamegraph(
+            _profile(), title="custom"
+        )
+
+
+class TestDeterminism:
+    def test_same_profile_same_bytes(self):
+        assert render_flamegraph(_profile()) == render_flamegraph(
+            _profile()
+        )
+
+    def test_weights_do_not_change_markup_shape(self):
+        slow = _profile()
+        slow.stacks = {k: v * 3 for k, v in slow.stacks.items()}
+        fast_html = render_flamegraph(_profile())
+        slow_html = render_flamegraph(slow)
+        # Same stack keys, different weights: only the embedded JSON
+        # numbers differ, never the surrounding markup.
+        strip = re.compile(
+            r'<script type="application/json" id="profile-data">.*?'
+            r"</script>",
+            re.S,
+        )
+        assert strip.sub("", fast_html) == strip.sub("", slow_html)

@@ -1,0 +1,125 @@
+"""The normalized Profile artifact: identifiers, views, round-trips."""
+
+import pytest
+
+from repro.obs.profiling import (
+    FunctionStat,
+    Profile,
+    load_profile,
+    normalize_func,
+)
+
+
+def _profile(seconds_scale=1.0, name="t"):
+    """A small hand-built cprofile-mode Profile; scaling the timings
+    must never change its identity."""
+    return Profile(
+        name=name,
+        mode="cprofile",
+        seconds=0.5 * seconds_scale,
+        functions=[
+            FunctionStat("a.py:1:f", 3, 3, 0.1 * seconds_scale,
+                         0.4 * seconds_scale),
+            FunctionStat("a.py:9:g", 6, 3, 0.3 * seconds_scale,
+                         0.3 * seconds_scale),
+        ],
+        stacks={
+            "a.py:1:f": 0.1 * seconds_scale,
+            "a.py:1:f;a.py:9:g": 0.3 * seconds_scale,
+        },
+        meta={"argv": ["x"]},
+    )
+
+
+class TestNormalizeFunc:
+    def test_builtin_collapses_to_bare_name(self):
+        assert (
+            normalize_func(("~", 0, "<built-in method builtins.len>"))
+            == "<built-in method builtins.len>"
+        )
+
+    def test_builtin_memory_address_stripped(self):
+        name = "<built-in method __new__ of type object at 0x7f95fdc5ea00>"
+        assert (
+            normalize_func(("~", 0, name))
+            == "<built-in method __new__ of type object>"
+        )
+
+    def test_repo_path_relativized_posix(self):
+        import repro.obs.profiling.profile as module
+
+        ident = normalize_func((module.__file__, 12, "fn"))
+        assert ident == "repro/obs/profiling/profile.py:12:fn"
+
+    def test_unknown_path_falls_back_to_basename(self):
+        ident = normalize_func(("/nowhere/at/all/thing.py", 3, "fn"))
+        assert ident == "thing.py:3:fn"
+
+
+class TestProfileViews:
+    def test_top_functions_sorted_by_key(self):
+        profile = _profile()
+        by_cum = profile.top_functions(2, key="cumtime")
+        assert [s.func for s in by_cum] == ["a.py:1:f", "a.py:9:g"]
+        by_tot = profile.top_functions(2, key="tottime")
+        assert [s.func for s in by_tot] == ["a.py:9:g", "a.py:1:f"]
+
+    def test_top_functions_rejects_unknown_key(self):
+        with pytest.raises(ValueError):
+            _profile().top_functions(2, key="ncalls")
+
+    def test_top_table_mentions_name_and_functions(self):
+        table = _profile().top_table(5)
+        assert "profile t" in table
+        assert "a.py:1:f" in table
+
+    def test_collapsed_usec_integers_sorted(self):
+        lines = _profile().collapsed().strip().splitlines()
+        assert lines == [
+            "a.py:1:f 100000",
+            "a.py:1:f;a.py:9:g 300000",
+        ]
+
+    def test_collapsed_seconds_unit(self):
+        text = _profile().collapsed(unit="seconds")
+        assert "a.py:1:f 0.100000000" in text
+
+
+class TestIdentity:
+    def test_identity_is_timing_free(self):
+        assert _profile(1.0).identity() == _profile(7.3).identity()
+
+    def test_identity_differs_on_stacks(self):
+        other = _profile()
+        other.stacks["a.py:1:f;b.py:2:h"] = 0.0
+        assert other.identity() != _profile().identity()
+
+    def test_sample_mode_identity_is_name_and_mode_only(self):
+        profile = _profile()
+        profile.mode = "sample"
+        assert profile.identity() == {"name": "t", "mode": "sample"}
+
+
+class TestSerialization:
+    def test_save_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "sub" / "p.json")
+        original = _profile()
+        original.save(path)
+        loaded = load_profile(path)
+        assert loaded.to_dict() == original.to_dict()
+        assert loaded.identity() == original.identity()
+
+    def test_save_is_byte_deterministic(self, tmp_path):
+        one, two = str(tmp_path / "1.json"), str(tmp_path / "2.json")
+        _profile().save(one)
+        _profile().save(two)
+        assert open(one, "rb").read() == open(two, "rb").read()
+
+    def test_load_tolerates_trimmed_sections(self, tmp_path):
+        data = _profile().to_dict()
+        del data["stacks"]
+        path = tmp_path / "trim.json"
+        path.write_text(__import__("json").dumps(data))
+        loaded = load_profile(str(path))
+        assert loaded.stacks == {}
+        assert len(loaded.functions) == 2

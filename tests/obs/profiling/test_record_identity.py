@@ -1,0 +1,65 @@
+"""Profiling must never change experiment results.
+
+The pinned contract: a sweep run with ``profile_dir`` set emits records
+byte-identical (as JSON) to the same sweep without profiling — the
+profiler observes the cells, it does not perturb them.
+"""
+
+from repro.experiments import (
+    reduced_grid,
+    run_distgnn_grid_parallel,
+)
+from repro.experiments.export import records_to_json
+from repro.obs.profiling import load_profile
+
+PARTITIONERS = ["hdrf", "random"]
+MACHINES = [2]
+
+
+def _grid():
+    return list(reduced_grid())[:2]
+
+
+def _sweep(tiny_or, profile_dir=None):
+    return run_distgnn_grid_parallel(
+        tiny_or, PARTITIONERS, MACHINES, _grid(), seed=0,
+        workers=1, profile_dir=profile_dir,
+    )
+
+
+class TestRecordIdentity:
+    def test_records_byte_identical_with_profiling(
+        self, tiny_or, tmp_path
+    ):
+        plain = records_to_json(_sweep(tiny_or))
+        profiled = records_to_json(
+            _sweep(tiny_or, profile_dir=str(tmp_path / "profiles"))
+        )
+        assert profiled == plain
+
+    def test_one_artifact_per_cell(self, tiny_or, tmp_path):
+        out = tmp_path / "profiles"
+        _sweep(tiny_or, profile_dir=str(out))
+        names = sorted(p.name for p in out.iterdir())
+        assert names == [
+            "profile-cell-000000.json",
+            "profile-cell-000001.json",
+        ]
+        for name in names:
+            profile = load_profile(str(out / name))
+            assert profile.mode == "cprofile"
+            assert profile.stacks
+
+    def test_cell_profiles_deterministic_across_runs(
+        self, tiny_or, tmp_path
+    ):
+        # Warm process-level caches first so both profiled runs see
+        # the same world (cold-start imports are run-one-only work).
+        _sweep(tiny_or)
+        _sweep(tiny_or, profile_dir=str(tmp_path / "one"))
+        _sweep(tiny_or, profile_dir=str(tmp_path / "two"))
+        for name in ("profile-cell-000000.json",
+                     "profile-cell-000001.json"):
+            one = load_profile(str(tmp_path / "one" / name))
+            two = load_profile(str(tmp_path / "two" / name))
+            assert one.identity() == two.identity()

@@ -1,0 +1,78 @@
+"""The serve daemon's wall-clock thread sampler."""
+
+import threading
+import time
+
+from repro.obs.profiling import ThreadSampler
+
+
+def _busy(stop: threading.Event) -> None:
+    while not stop.is_set():
+        sum(range(1000))
+
+
+class TestLifecycle:
+    def test_start_stop_idempotent(self):
+        sampler = ThreadSampler(interval=0.005)
+        sampler.start()
+        sampler.start()  # second start is a no-op
+        assert sampler.running
+        sampler.stop()
+        sampler.stop()  # second stop is a no-op
+        assert not sampler.running
+
+    def test_concurrent_start_stop_is_safe(self):
+        sampler = ThreadSampler(interval=0.005)
+        threads = [
+            threading.Thread(target=sampler.start) for _ in range(4)
+        ] + [threading.Thread(target=sampler.stop) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        sampler.stop()
+        assert not sampler.running
+
+
+class TestSampling:
+    def test_samples_a_busy_thread(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=_busy, args=(stop,))
+        worker.start()
+        sampler = ThreadSampler(interval=0.005)
+        sampler.start()
+        time.sleep(0.15)
+        sampler.stop()
+        stop.set()
+        worker.join()
+        assert sampler.samples > 0
+        profile = sampler.build("serve.sample")
+        assert profile.mode == "sample"
+        assert profile.stacks
+        assert any("_busy" in f for f in profile.stacks)
+
+    def test_build_identity_is_name_and_mode(self):
+        sampler = ThreadSampler(interval=0.005)
+        sampler.start()
+        time.sleep(0.05)
+        sampler.stop()
+        profile = sampler.build("serve.sample")
+        assert profile.identity() == {
+            "name": "serve.sample", "mode": "sample",
+        }
+
+    def test_weights_scale_with_interval(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=_busy, args=(stop,))
+        worker.start()
+        sampler = ThreadSampler(interval=0.01)
+        sampler.start()
+        time.sleep(0.1)
+        sampler.stop()
+        stop.set()
+        worker.join()
+        profile = sampler.build()
+        # Every stack weight is a whole multiple of the interval.
+        for weight in profile.stacks.values():
+            ratio = weight / 0.01
+            assert abs(ratio - round(ratio)) < 1e-9

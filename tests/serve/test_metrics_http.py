@@ -2,6 +2,7 @@
 
 import json
 import threading
+import time
 import urllib.request
 
 import pytest
@@ -68,6 +69,21 @@ def _status_counts(client):
     return counts
 
 
+def _wait_for(predicate, timeout=10.0):
+    """Poll until ``predicate()`` is truthy and return its value.
+
+    Request metrics are recorded *after* the response bytes reach the
+    client (the handler's ``finally`` block), so a scrape issued right
+    after a response can race the server thread by a few microseconds.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        value = predicate()
+        if value or time.monotonic() >= deadline:
+            return value
+        time.sleep(0.01)
+
+
 class TestErrorPathsAreCounted:
     def test_body_cap_413(self, running):
         client, _ = running
@@ -85,7 +101,9 @@ class TestErrorPathsAreCounted:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(request, timeout=10)
         assert excinfo.value.code == 413
-        assert _status_counts(client)[("/jobs", "413")] == 1
+        assert _wait_for(
+            lambda: _status_counts(client).get(("/jobs", "413"))
+        ) == 1
 
     def test_malformed_json_400(self, running):
         client, _ = running
@@ -98,14 +116,18 @@ class TestErrorPathsAreCounted:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(request, timeout=10)
         assert excinfo.value.code == 400
-        assert _status_counts(client)[("/jobs", "400")] == 1
+        assert _wait_for(
+            lambda: _status_counts(client).get(("/jobs", "400"))
+        ) == 1
 
     def test_unknown_route_404(self, running):
         client, _ = running
         with pytest.raises(ServeError) as excinfo:
             client._request("GET", "/no/such/endpoint")
         assert excinfo.value.status == 404
-        assert _status_counts(client)[("<other>", "404")] == 1
+        assert _wait_for(
+            lambda: _status_counts(client).get(("<other>", "404"))
+        ) == 1
 
     def test_invalid_spec_rejection_counter(self, running):
         client, _ = running
@@ -114,7 +136,9 @@ class TestErrorPathsAreCounted:
         assert excinfo.value.status == 400
         totals = parse_prometheus_totals(client.metrics())
         assert totals["serve.admission_rejected"] == 1
-        assert _status_counts(client)[("/jobs", "400")] == 1
+        assert _wait_for(
+            lambda: _status_counts(client).get(("/jobs", "400"))
+        ) == 1
 
     def test_queue_full_429_counter(self, tmp_path):
         # A never-started scheduler: the queue fills and stays full.
@@ -140,7 +164,9 @@ class TestErrorPathsAreCounted:
             totals = parse_prometheus_totals(client.metrics())
             assert totals["serve.admission_rejected"] == 1
             assert totals["serve.queue_depth_total"] == 2
-            assert _status_counts(client)[("/jobs", "429")] == 1
+            assert _wait_for(
+                lambda: _status_counts(client).get(("/jobs", "429"))
+            ) == 1
         finally:
             server.shutdown()
             server.server_close()
@@ -183,12 +209,21 @@ class TestReconciliation:
     def test_request_log_written(self, running, tmp_path):
         client, scheduler = running
         client.queue()
-        scheduler.metrics.close()  # flush requests.jsonl
         from repro.obs.sink import read_jsonl
 
-        events = read_jsonl(str(tmp_path / "requests.jsonl"))
-        assert any(
-            event["kind"] == "http-request"
-            and event["name"] == "/queue"
-            for event in events
-        )
+        # The sink is line-buffered; the event lands as soon as the
+        # server thread's finally block runs, possibly just after the
+        # client saw the response.
+        def logged():
+            try:
+                events = read_jsonl(str(tmp_path / "requests.jsonl"))
+            except OSError:
+                return False
+            return any(
+                event["kind"] == "http-request"
+                and event["name"] == "/queue"
+                for event in events
+            )
+
+        assert _wait_for(logged)
+        scheduler.metrics.close()
